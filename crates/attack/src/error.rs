@@ -1,0 +1,92 @@
+//! Error type for attack generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while synthesizing poison points.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// Clean dataset was empty or missing a class.
+    DegenerateCleanData,
+    /// A radius/percentile parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Requested point counts do not sum to the budget.
+    BudgetMismatch {
+        /// Budget requested.
+        requested: usize,
+        /// Sum of the per-radius allocations.
+        allocated: usize,
+    },
+    /// Underlying data error.
+    Data(poisongame_data::DataError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::DegenerateCleanData => {
+                write!(f, "clean data is empty or missing a class")
+            }
+            AttackError::BadParameter { what, value } => {
+                write!(f, "parameter `{what}` out of range: {value}")
+            }
+            AttackError::BudgetMismatch {
+                requested,
+                allocated,
+            } => write!(
+                f,
+                "allocations sum to {allocated} but budget is {requested}"
+            ),
+            AttackError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<poisongame_data::DataError> for AttackError {
+    fn from(e: poisongame_data::DataError) -> Self {
+        AttackError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AttackError::DegenerateCleanData.to_string().contains("class"));
+        assert!(AttackError::BadParameter {
+            what: "percentile",
+            value: 2.0
+        }
+        .to_string()
+        .contains("percentile"));
+        assert!(AttackError::BudgetMismatch {
+            requested: 10,
+            allocated: 8
+        }
+        .to_string()
+        .contains("8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

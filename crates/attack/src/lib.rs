@@ -1,0 +1,85 @@
+//! Data poisoning attack strategies.
+//!
+//! The paper's attacker injects `N` points, each placed "optimally
+//! within `r_i` distance from the centroid of the original dataset" —
+//! i.e. adversarially-labelled points pushed as far from their claimed
+//! class's centroid as the filter allows, along the direction that
+//! drags the decision boundary. [`BoundaryAttack`] implements that
+//! placement for one radius, [`MixedRadiusAttack`] for a full attacker
+//! strategy `S_a = {[r_1,n_1],…}`, and label-flip / noise attacks serve
+//! as weaker baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_attack::{AttackStrategy, BoundaryAttack, RadiusSpec};
+//! use poisongame_data::synth::gaussian_blobs;
+//! use poisongame_linalg::Xoshiro256StarStar;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let clean = gaussian_blobs(50, 2, 3.0, 0.5, &mut rng);
+//! let attack = BoundaryAttack::new(RadiusSpec::Percentile(0.05));
+//! let poison = attack.generate(&clean, 10, &mut rng).unwrap();
+//! assert_eq!(poison.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod error;
+pub mod flip;
+pub mod mixed;
+pub mod noise;
+pub mod response;
+pub mod threat;
+
+pub use boundary::{AnchorScope, BoundaryAttack, CentroidKind, RadiusSpec, TargetClass};
+pub use error::AttackError;
+pub use flip::LabelFlipAttack;
+pub use mixed::{MixedRadiusAttack, RadiusAllocation};
+pub use noise::RandomNoiseAttack;
+pub use response::best_response_position;
+pub use threat::{Knowledge, ThreatModel};
+
+use poisongame_data::Dataset;
+use poisongame_linalg::Xoshiro256StarStar;
+
+/// A poisoning attack: given the clean training data, synthesize a
+/// poison dataset to inject.
+pub trait AttackStrategy {
+    /// Generate `n_points` poison points.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject empty/degenerate clean data and invalid
+    /// placement parameters.
+    fn generate(
+        &self,
+        clean: &Dataset,
+        n_points: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<Dataset, AttackError>;
+
+    /// Convenience: generate poison and return `(poisoned training set,
+    /// indices of the injected points within it)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttackStrategy::generate`] errors.
+    fn poison(
+        &self,
+        clean: &Dataset,
+        n_points: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<(Dataset, Vec<usize>), AttackError> {
+        let poison = self.generate(clean, n_points, rng)?;
+        let mut combined = clean.clone();
+        combined
+            .extend_from(&poison)
+            .map_err(AttackError::Data)?;
+        let injected = (clean.len()..combined.len()).collect();
+        Ok((combined, injected))
+    }
+}

@@ -1,0 +1,113 @@
+//! The attacker's best response to a *mixed* defense.
+//!
+//! Against a defender mixing over filter strengths `{(p_i, q_i)}` the
+//! attacker's expected per-point gain from placing at position `p`
+//! (removal-percentile axis, deeper = larger `p`) is
+//! `E(p) · survival(p)` where `survival(p) = Σ_{p_j ≤ p} q_j` — the
+//! probability the realized filter is weaker than the placement. The
+//! survival function is a right-continuous step function that only
+//! jumps at support points, and `E` decreases in `p`, so the best
+//! response always sits *at a support point* (§4.2 of the paper: "the
+//! optimal attack in this case is to place poisoning points near any
+//! boundary of the mixed defense strategy in any combination").
+
+/// Survival probability of a placement at percentile `p` against the
+/// mixed defense `support` (pairs of `(percentile, probability)`).
+pub fn survival_probability(support: &[(f64, f64)], p: f64) -> f64 {
+    support
+        .iter()
+        .filter(|(pj, _)| *pj <= p + 1e-12)
+        .map(|(_, qj)| qj)
+        .sum()
+}
+
+/// Index of the support point maximizing the attacker's expected gain
+/// `E(p_i) · survival(p_i)`, together with that gain. Returns `None`
+/// for an empty support.
+///
+/// `effect` is the per-point damage curve `E(p)`.
+///
+/// # Example
+///
+/// ```
+/// use poisongame_attack::best_response_position;
+///
+/// // Defender mixes 50/50 over two strengths; effect halves when the
+/// // product is equalized — attacker is indifferent.
+/// let support = [(0.05, 0.5), (0.20, 0.5)];
+/// let effect = |p: f64| if p < 0.1 { 1.0 } else { 0.5 };
+/// let (idx, gain) = best_response_position(&support, effect).unwrap();
+/// assert_eq!(idx, 0); // ties break toward the shallower placement
+/// assert!((gain - 0.5).abs() < 1e-12);
+/// ```
+pub fn best_response_position<F>(support: &[(f64, f64)], effect: F) -> Option<(usize, f64)>
+where
+    F: Fn(f64) -> f64,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &(p, _)) in support.iter().enumerate() {
+        let gain = effect(p) * survival_probability(support, p);
+        match best {
+            Some((_, bg)) if gain <= bg + 1e-15 => {}
+            _ => best = Some((i, gain)),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_accumulates_weaker_filters() {
+        let support = [(0.05, 0.3), (0.10, 0.3), (0.20, 0.4)];
+        assert!((survival_probability(&support, 0.05) - 0.3).abs() < 1e-12);
+        assert!((survival_probability(&support, 0.10) - 0.6).abs() < 1e-12);
+        assert!((survival_probability(&support, 0.20) - 1.0).abs() < 1e-12);
+        assert_eq!(survival_probability(&support, 0.01), 0.0);
+        assert!((survival_probability(&support, 0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_response_prefers_high_product() {
+        // Deep placement survives always but E is tiny; shallow
+        // placement survives half the time with big E.
+        let support = [(0.05, 0.5), (0.30, 0.5)];
+        let effect = |p: f64| if p < 0.1 { 1.0 } else { 0.1 };
+        let (idx, gain) = best_response_position(&support, effect).unwrap();
+        assert_eq!(idx, 0);
+        assert!((gain - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_response_switches_when_effect_flattens() {
+        // E barely decays → deeper placement (always survives) wins.
+        let support = [(0.05, 0.5), (0.30, 0.5)];
+        let effect = |p: f64| if p < 0.1 { 1.0 } else { 0.9 };
+        let (idx, gain) = best_response_position(&support, effect).unwrap();
+        assert_eq!(idx, 1);
+        assert!((gain - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_support_is_indifferent() {
+        // Probabilities chosen so E(p_i)·survival(p_i) is constant —
+        // the paper's NE condition 2. Every support point is a best
+        // response.
+        let e = |p: f64| 1.0 - 2.0 * p; // E(0.05)=0.9, E(0.25)=0.5
+        // survival(0.05)=q1, survival(0.25)=1. Equal products:
+        // 0.9 q1 = 0.5 → q1 = 5/9.
+        let support = [(0.05, 5.0 / 9.0), (0.25, 4.0 / 9.0)];
+        let g1 = e(0.05) * survival_probability(&support, 0.05);
+        let g2 = e(0.25) * survival_probability(&support, 0.25);
+        assert!((g1 - g2).abs() < 1e-12);
+        let (_, gain) = best_response_position(&support, e).unwrap();
+        assert!((gain - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_support_is_none() {
+        assert!(best_response_position(&[], |_| 1.0).is_none());
+    }
+}

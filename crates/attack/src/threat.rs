@@ -1,0 +1,105 @@
+//! Threat model: budget and knowledge assumptions.
+
+use crate::error::AttackError;
+use serde::{Deserialize, Serialize};
+
+/// What the attacker knows when choosing a strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Knowledge {
+    /// Full knowledge of data, model and the defender's (pure)
+    /// strategy — the paper's pure-strategy scenario, where the optimal
+    /// attack hugs the filter boundary.
+    Full,
+    /// Knows the defender's *mixed* strategy distribution but not the
+    /// sampled realization — the equilibrium scenario.
+    DistributionOnly,
+    /// No knowledge of the defense (baseline attacks).
+    Oblivious,
+}
+
+/// The attacker's capability envelope.
+///
+/// The paper's experiment: "We assumed that the attacker can manipulate
+/// 20% of the training data" → `budget_fraction = 0.2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreatModel {
+    /// Fraction of the clean training-set size the attacker may inject.
+    pub budget_fraction: f64,
+    /// Knowledge level.
+    pub knowledge: Knowledge,
+}
+
+impl ThreatModel {
+    /// The paper's experimental threat model (20 % budget, full
+    /// knowledge).
+    pub fn paper() -> Self {
+        Self {
+            budget_fraction: 0.2,
+            knowledge: Knowledge::Full,
+        }
+    }
+
+    /// Number of poison points for a clean training set of `clean_len`
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for a fraction outside
+    /// `[0, 1]`.
+    pub fn poison_count(&self, clean_len: usize) -> Result<usize, AttackError> {
+        if !(0.0..=1.0).contains(&self.budget_fraction) || self.budget_fraction.is_nan() {
+            return Err(AttackError::BadParameter {
+                what: "budget_fraction",
+                value: self.budget_fraction,
+            });
+        }
+        Ok((clean_len as f64 * self.budget_fraction).round() as usize)
+    }
+}
+
+impl Default for ThreatModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_threat_model() {
+        let t = ThreatModel::paper();
+        assert_eq!(t.budget_fraction, 0.2);
+        assert_eq!(t.poison_count(3220).unwrap(), 644);
+    }
+
+    #[test]
+    fn zero_budget_allows_nothing() {
+        let t = ThreatModel {
+            budget_fraction: 0.0,
+            knowledge: Knowledge::Oblivious,
+        };
+        assert_eq!(t.poison_count(1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let t = ThreatModel {
+                budget_fraction: bad,
+                knowledge: Knowledge::Full,
+            };
+            assert!(t.poison_count(10).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        let t = ThreatModel {
+            budget_fraction: 0.1,
+            knowledge: Knowledge::Full,
+        };
+        assert_eq!(t.poison_count(15).unwrap(), 2); // 1.5 rounds to 2
+    }
+}

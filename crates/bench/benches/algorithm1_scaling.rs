@@ -1,0 +1,30 @@
+//! Bench: the §5 scaling claim — Algorithm 1's cost grows with the
+//! support size `n` (the paper: "the computation time increases
+//! significantly when computing high value of n").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poisongame_bench::calibrated_game;
+use poisongame_core::{Algorithm1, Algorithm1Config};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let game = calibrated_game();
+    let mut group = c.benchmark_group("algorithm1_scaling");
+
+    for n in 1usize..=5 {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let solver = Algorithm1::new(Algorithm1Config {
+                n_radii: n,
+                ..Default::default()
+            });
+            b.iter(|| {
+                let result = solver.solve(black_box(&game)).expect("solver runs");
+                black_box(result.defender_loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

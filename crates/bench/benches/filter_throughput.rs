@@ -1,0 +1,56 @@
+//! Ablation bench: sanitizer throughput — the sphere filter under
+//! each centroid estimator, plus the slab and k-NN baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poisongame_bench::bench_dataset;
+use poisongame_defense::{
+    CentroidEstimator, Filter, FilterStrength, KnnDistanceFilter, RadiusFilter, SlabFilter,
+};
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let data = bench_dataset(1200);
+    let mut group = c.benchmark_group("filter_throughput");
+
+    let estimators = [
+        ("mean", CentroidEstimator::Mean),
+        ("median", CentroidEstimator::CoordinateMedian),
+        ("trimmed", CentroidEstimator::TrimmedMean { trim: 0.1 }),
+        ("geometric", CentroidEstimator::GeometricMedian),
+    ];
+    for (name, estimator) in estimators {
+        group.bench_with_input(
+            BenchmarkId::new("radius_filter", name),
+            &estimator,
+            |b, &est| {
+                let filter = RadiusFilter::new(FilterStrength::RemoveFraction(0.1), est);
+                b.iter(|| {
+                    let outcome = filter.split(black_box(&data)).expect("filter runs");
+                    black_box(outcome.kept_indices.len())
+                })
+            },
+        );
+    }
+
+    group.bench_function("slab_filter", |b| {
+        let filter = SlabFilter::new(0.1, CentroidEstimator::CoordinateMedian);
+        b.iter(|| {
+            let outcome = filter.split(black_box(&data)).expect("filter runs");
+            black_box(outcome.kept_indices.len())
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function("knn_filter_k5", |b| {
+        let filter = KnnDistanceFilter::new(5, 0.1);
+        b.iter(|| {
+            let outcome = filter.split(black_box(&data)).expect("filter runs");
+            black_box(outcome.kept_indices.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation bench: the three zero-sum solvers on the discretized
+//! poisoning game — exact simplex LP vs fictitious play vs
+//! multiplicative weights.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poisongame_bench::calibrated_game;
+use poisongame_core::bridge::to_matrix_game;
+use poisongame_core::game_model::percentile_grid;
+use poisongame_theory::{
+    solve_fictitious_play, solve_lp, solve_multiplicative_weights, FictitiousPlayConfig,
+    MultiplicativeWeightsConfig,
+};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let game = calibrated_game();
+    let mut group = c.benchmark_group("solver_comparison");
+    group.sample_size(10);
+
+    for resolution in [20usize, 60] {
+        let grid = percentile_grid(resolution);
+        let matrix = to_matrix_game(&game, &grid);
+
+        group.bench_with_input(
+            BenchmarkId::new("simplex_lp", resolution),
+            &matrix,
+            |b, m| {
+                b.iter(|| {
+                    let sol = solve_lp(black_box(m)).expect("LP solves");
+                    black_box(sol.value)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fictitious_play", resolution),
+            &matrix,
+            |b, m| {
+                let cfg = FictitiousPlayConfig {
+                    max_iterations: 30_000,
+                    tolerance: 1e-4,
+                    check_every: 1000,
+                };
+                b.iter(|| {
+                    // FP may hit the cap at this tolerance; both
+                    // outcomes measure the same work.
+                    let out = solve_fictitious_play(black_box(m), &cfg);
+                    black_box(out.is_ok())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multiplicative_weights", resolution),
+            &matrix,
+            |b, m| {
+                let cfg = MultiplicativeWeightsConfig {
+                    iterations: 5_000,
+                    eta: None,
+                };
+                b.iter(|| {
+                    let sol = solve_multiplicative_weights(black_box(m), &cfg)
+                        .expect("MW solves");
+                    black_box(sol.value)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

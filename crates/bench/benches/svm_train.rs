@@ -1,0 +1,32 @@
+//! Bench: the victim model — hinge-loss SVM training at various epoch
+//! budgets (the paper trains 5000 epochs; the sweep shows cost is
+//! linear in epochs, which justifies the reduced-epoch quick mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poisongame_bench::bench_dataset;
+use poisongame_ml::svm::LinearSvm;
+use poisongame_ml::{Classifier, TrainConfig};
+use std::hint::black_box;
+
+fn bench_svm(c: &mut Criterion) {
+    let data = bench_dataset(1200);
+    let mut group = c.benchmark_group("svm_train");
+    group.sample_size(10);
+
+    for epochs in [50usize, 200, 1000] {
+        group.bench_with_input(BenchmarkId::new("epochs", epochs), &epochs, |b, &epochs| {
+            b.iter(|| {
+                let mut svm = LinearSvm::new(TrainConfig {
+                    epochs,
+                    ..TrainConfig::default()
+                });
+                svm.fit(black_box(&data)).expect("training succeeds");
+                black_box(svm.bias())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svm);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: Table 1 — Algorithm 1 for the paper's support sizes
+//! `n = 2` and `n = 3` on the calibrated curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poisongame_bench::calibrated_game;
+use poisongame_core::{Algorithm1, Algorithm1Config};
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let game = calibrated_game();
+    let mut group = c.benchmark_group("table1_algorithm1");
+
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, &n| {
+            let solver = Algorithm1::new(Algorithm1Config {
+                n_radii: n,
+                ..Default::default()
+            });
+            b.iter(|| {
+                let result = solver.solve(black_box(&game)).expect("solver runs");
+                black_box(result.defender_loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Discretize the continuous poisoning game into a finite matrix game
+//! and solve it exactly — the independent cross-check on Algorithm 1.
+//!
+//! Attacker actions: place the whole budget at one grid percentile
+//! (mixing over these spans every expected allocation, because the
+//! payoff is linear in the allocation), plus an "abstain" action.
+//! Defender actions: one filter strength per grid percentile. The LP
+//! solution is an exact NE of the discretized game; as the grid
+//! refines, its value converges to the continuous game's value, so
+//! Algorithm 1's loss should match it closely.
+
+use crate::error::CoreError;
+use crate::game_model::{percentile_grid, PoisonGame};
+use crate::strategy::DefenderMixedStrategy;
+use poisongame_theory::{solve_lp, MatrixGame, Solution};
+use serde::{Deserialize, Serialize};
+
+/// A solved discretization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscretizedSolution {
+    /// Grid percentiles indexing both players' actions.
+    pub grid: Vec<f64>,
+    /// The exact matrix-game solution (row = attacker; the final row
+    /// index is the abstain action).
+    pub solution: Solution,
+    /// The defender's equilibrium strategy collapsed onto its support.
+    pub defender_strategy: DefenderMixedStrategy,
+    /// The attacker's equilibrium placement mass per grid percentile
+    /// (excludes abstain).
+    pub attacker_support: Vec<(f64, f64)>,
+    /// The game value = the defender's equilibrium loss.
+    pub value: f64,
+}
+
+/// Build the discretized payoff matrix.
+///
+/// Rows: placements at each grid percentile, then abstain.
+/// Columns: filter strengths at each grid percentile.
+pub fn to_matrix_game(game: &PoisonGame, grid: &[f64]) -> MatrixGame {
+    let n = game.n_points() as f64;
+    let g = grid.to_vec();
+    MatrixGame::from_fn(grid.len() + 1, grid.len(), move |i, j| {
+        let theta = g[j];
+        let cost = game.cost().eval(theta);
+        if i == g.len() {
+            // Abstain.
+            cost
+        } else {
+            let p = g[i];
+            let survives = theta <= p + 1e-12;
+            if survives {
+                n * game.effect().eval(p) + cost
+            } else {
+                cost
+            }
+        }
+    })
+}
+
+/// Solve the discretized game exactly by LP.
+///
+/// # Errors
+///
+/// Propagates LP-solver and strategy-construction failures.
+pub fn solve_discretized(
+    game: &PoisonGame,
+    resolution: usize,
+) -> Result<DiscretizedSolution, CoreError> {
+    let grid = percentile_grid(resolution);
+    let matrix = to_matrix_game(game, &grid);
+    let solution = solve_lp(&matrix)?;
+
+    // Collapse the defender's grid distribution onto its support.
+    let mut support = Vec::new();
+    let mut probs = Vec::new();
+    for (j, &q) in solution.column_strategy.probabilities().iter().enumerate() {
+        if q > 1e-9 {
+            support.push(grid[j]);
+            probs.push(q);
+        }
+    }
+    let defender_strategy = DefenderMixedStrategy::new(support, probs)?;
+
+    let attacker_support: Vec<(f64, f64)> = solution
+        .row_strategy
+        .probabilities()
+        .iter()
+        .take(grid.len())
+        .enumerate()
+        .filter(|(_, &q)| q > 1e-9)
+        .map(|(i, &q)| (grid[i], q))
+        .collect();
+
+    let value = solution.value;
+    Ok(DiscretizedSolution {
+        grid,
+        solution,
+        defender_strategy,
+        attacker_support,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::Algorithm1;
+    use crate::curves::{CostCurve, EffectCurve};
+
+    fn paper_like_game() -> PoisonGame {
+        let effect = EffectCurve::from_samples(&[
+            (0.0, 2.0e-4),
+            (0.05, 1.4e-4),
+            (0.10, 9.0e-5),
+            (0.20, 4.0e-5),
+            (0.30, 1.5e-5),
+            (0.40, 2.0e-6),
+            (0.45, -1.0e-6),
+        ])
+        .unwrap();
+        let cost = CostCurve::from_samples(&[
+            (0.0, 0.0),
+            (0.05, 0.004),
+            (0.10, 0.009),
+            (0.20, 0.022),
+            (0.30, 0.040),
+            (0.40, 0.065),
+        ])
+        .unwrap();
+        PoisonGame::new(effect, cost, 644).unwrap()
+    }
+
+    #[test]
+    fn matrix_entries_match_payoff_semantics() {
+        let game = paper_like_game();
+        let grid = [0.0, 0.1, 0.2];
+        let m = to_matrix_game(&game, &grid);
+        assert_eq!(m.shape(), (4, 3));
+        // Placement at 0.1 vs filter 0.2: removed → only Γ.
+        assert!((m.payoff(1, 2) - game.cost().eval(0.2)).abs() < 1e-12);
+        // Placement at 0.2 vs filter 0.1: survives.
+        let expected = 644.0 * game.effect().eval(0.2) + game.cost().eval(0.1);
+        assert!((m.payoff(2, 1) - expected).abs() < 1e-12);
+        // Abstain row: pure Γ.
+        assert!((m.payoff(3, 1) - game.cost().eval(0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discretized_equilibrium_is_mixed() {
+        // Proposition 1 in discrete form: the equilibrium of the
+        // discretized poisoning game is not pure.
+        let game = paper_like_game();
+        let grid = percentile_grid(50);
+        let m = to_matrix_game(&game, &grid);
+        assert!(m.saddle_point().is_none(), "unexpected pure NE");
+        let sol = solve_discretized(&game, 50).unwrap();
+        assert!(
+            sol.defender_strategy.support().len() >= 2,
+            "defender NE should mix: {:?}",
+            sol.defender_strategy.support()
+        );
+    }
+
+    #[test]
+    fn lp_value_close_to_algorithm1_loss() {
+        let game = paper_like_game();
+        let lp = solve_discretized(&game, 100).unwrap();
+        let a1 = Algorithm1::with_support_size(4).solve(&game).unwrap();
+        // Algorithm 1 restricts the support size; the LP mixes freely
+        // over the grid. They must agree within discretization slack.
+        let rel = (lp.value - a1.defender_loss).abs() / lp.value.abs().max(1e-12);
+        assert!(
+            rel < 0.15,
+            "LP value {} vs Algorithm1 loss {} (rel {rel})",
+            lp.value,
+            a1.defender_loss
+        );
+    }
+
+    #[test]
+    fn defender_equilibrium_loss_below_pure_strategies() {
+        let game = paper_like_game();
+        let sol = solve_discretized(&game, 60).unwrap();
+        // The LP value is the defender's guaranteed cap; every pure
+        // strategy does weakly worse against a best-responding attacker.
+        for &theta in &sol.grid {
+            let pure = DefenderMixedStrategy::pure(theta).unwrap();
+            let pure_loss = pure.defender_loss(game.effect(), game.cost(), game.n_points());
+            assert!(sol.value <= pure_loss + 1e-9, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn attacker_mass_stays_in_profitable_zone() {
+        let game = paper_like_game();
+        let sol = solve_discretized(&game, 60).unwrap();
+        for &(p, _) in &sol.attacker_support {
+            assert!(
+                game.effect().eval(p) >= -1e-9,
+                "attacker places at unprofitable {p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the game-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the poisoning-game model and Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A curve could not be built or violates a required shape.
+    BadCurve {
+        /// Explanation.
+        message: String,
+    },
+    /// A percentile/probability argument was out of range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The requested support lies (partly) where the attacker gains
+    /// nothing (`E(p) ≤ 0`), so the indifference system has no
+    /// solution.
+    UnprofitableSupport {
+        /// The offending percentile.
+        percentile: f64,
+    },
+    /// Algorithm 1 could not make progress.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Underlying numerical error.
+    Linalg(poisongame_linalg::LinalgError),
+    /// Underlying game-theory error.
+    Game(poisongame_theory::GameError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadCurve { message } => write!(f, "bad curve: {message}"),
+            CoreError::BadParameter { what, value } => {
+                write!(f, "parameter `{what}` out of range: {value}")
+            }
+            CoreError::UnprofitableSupport { percentile } => write!(
+                f,
+                "support point {percentile} lies where poisoning is unprofitable"
+            ),
+            CoreError::NoConvergence { iterations } => {
+                write!(f, "algorithm 1 made no progress after {iterations} iterations")
+            }
+            CoreError::Linalg(e) => write!(f, "numerical error: {e}"),
+            CoreError::Game(e) => write!(f, "game error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Game(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<poisongame_linalg::LinalgError> for CoreError {
+    fn from(e: poisongame_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<poisongame_theory::GameError> for CoreError {
+    fn from(e: poisongame_theory::GameError) -> Self {
+        CoreError::Game(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::BadCurve {
+            message: "not monotone".into()
+        }
+        .to_string()
+        .contains("monotone"));
+        assert!(CoreError::BadParameter {
+            what: "p",
+            value: 2.0
+        }
+        .to_string()
+        .contains("p"));
+        assert!(CoreError::UnprofitableSupport { percentile: 0.4 }
+            .to_string()
+            .contains("0.4"));
+        assert!(CoreError::NoConvergence { iterations: 3 }.to_string().contains("3"));
+    }
+
+    #[test]
+    fn sources_preserved() {
+        let e: CoreError = poisongame_linalg::LinalgError::EmptyInput.into();
+        assert!(e.source().is_some());
+        let e: CoreError = poisongame_theory::GameError::SolverStalled { pivots: 1 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,197 @@
+//! The continuous poisoning game `U(S_a, θ) = Σ_{p_i ≥ θ} n_i·E(p_i) + Γ(θ)`.
+
+use crate::curves::{CostCurve, EffectCurve};
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The attacker's pure strategy: placements `{(p_i, n_i)}` on the
+/// removal-percentile axis (the paper's `S_a = {[r_i, n_i]}`).
+pub type AttackPlacement = Vec<(f64, usize)>;
+
+/// The poisoning game instance: curves plus the poison budget `N`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoisonGame {
+    effect: EffectCurve,
+    cost: CostCurve,
+    n_points: usize,
+}
+
+impl PoisonGame {
+    /// Build a game.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadParameter`] if `n_points == 0` (with no
+    /// budget there is no game).
+    pub fn new(effect: EffectCurve, cost: CostCurve, n_points: usize) -> Result<Self, CoreError> {
+        if n_points == 0 {
+            return Err(CoreError::BadParameter {
+                what: "n_points",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            effect,
+            cost,
+            n_points,
+        })
+    }
+
+    /// The effect curve `E(p)`.
+    pub fn effect(&self) -> &EffectCurve {
+        &self.effect
+    }
+
+    /// The cost curve `Γ(p)`.
+    pub fn cost(&self) -> &CostCurve {
+        &self.cost
+    }
+
+    /// The poison budget `N`.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// The zero-sum payoff to the **attacker** for pure strategies:
+    /// surviving points (placed at `p_i ≥ θ`, i.e. inside the filter)
+    /// contribute `n_i·E(p_i)`; the defender additionally pays `Γ(θ)`.
+    pub fn payoff(&self, attack: &AttackPlacement, theta: f64) -> f64 {
+        let damage: f64 = attack
+            .iter()
+            .filter(|(p, _)| *p >= theta - 1e-12)
+            .map(|(p, n)| *n as f64 * self.effect.eval(*p))
+            .sum();
+        damage + self.cost.eval(theta)
+    }
+
+    /// The attacker's best-response placement against a *pure* filter
+    /// strength `θ` — the paper's BRF (1a)/(1b): if placing just inside
+    /// the filter is profitable (`E(θ) > 0`), put all `N` points there;
+    /// otherwise nothing the attacker does helps and any removed
+    /// placement (payoff 0) is a best response — we return an empty
+    /// placement for that case.
+    pub fn attacker_best_response(&self, theta: f64) -> AttackPlacement {
+        if self.effect.eval(theta) > 0.0 {
+            vec![(theta, self.n_points)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The defender's best-response filter strength against a known
+    /// attack, by direct minimization over a grid of `resolution`
+    /// candidate strengths (the BRF (2a)/(2b) of the paper, computed
+    /// numerically rather than symbolically).
+    pub fn defender_best_response(&self, attack: &AttackPlacement, resolution: usize) -> f64 {
+        let grid = percentile_grid(resolution);
+        let mut best = (0.0, f64::INFINITY);
+        for &theta in &grid {
+            let loss = self.payoff(attack, theta);
+            if loss < best.1 {
+                best = (theta, loss);
+            }
+        }
+        best.0
+    }
+
+    /// The percentile form of the paper's `T_a`: placements deeper than
+    /// this gain the attacker nothing. `None` when every placement is
+    /// profitable.
+    pub fn profit_threshold(&self) -> Option<f64> {
+        self.effect.profit_threshold()
+    }
+}
+
+/// An evenly spaced grid of `resolution + 1` percentiles covering
+/// `[0, 0.5]` — the operating range of the filter (removing more than
+/// half of each class is never rational: `Γ` dwarfs any poison damage
+/// there, and the paper's Figure 1 sweeps 0–40 %).
+pub fn percentile_grid(resolution: usize) -> Vec<f64> {
+    let resolution = resolution.max(1);
+    (0..=resolution)
+        .map(|i| 0.5 * i as f64 / resolution as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> PoisonGame {
+        let effect =
+            EffectCurve::from_samples(&[(0.0, 1.0), (0.2, 0.5), (0.4, 0.0), (0.5, -0.2)])
+                .unwrap();
+        let cost = CostCurve::from_samples(&[(0.0, 0.0), (0.25, 5.0), (0.5, 20.0)]).unwrap();
+        PoisonGame::new(effect, cost, 10).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let g = game();
+        assert!(PoisonGame::new(g.effect().clone(), g.cost().clone(), 0).is_err());
+    }
+
+    #[test]
+    fn payoff_counts_only_survivors() {
+        let g = game();
+        // One placement outside the filter (removed), one inside.
+        let attack = vec![(0.05, 4), (0.3, 6)];
+        // θ = 0.1: the 0.05 placement is removed (0.05 < 0.1), the 0.3
+        // placement survives.
+        let u = g.payoff(&attack, 0.1);
+        let expected = 6.0 * g.effect().eval(0.3) + g.cost().eval(0.1);
+        assert!((u - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payoff_with_no_filter_counts_everything() {
+        let g = game();
+        let attack = vec![(0.05, 4), (0.3, 6)];
+        let u = g.payoff(&attack, 0.0);
+        let expected = 4.0 * g.effect().eval(0.05) + 6.0 * g.effect().eval(0.3);
+        assert!((u - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attacker_best_response_hugs_filter() {
+        let g = game();
+        let br = g.attacker_best_response(0.1);
+        assert_eq!(br, vec![(0.1, 10)]);
+        // Beyond the profit threshold the attacker abstains.
+        let br = g.attacker_best_response(0.45);
+        assert!(br.is_empty());
+    }
+
+    #[test]
+    fn defender_best_response_balances_terms() {
+        let g = game();
+        // All poison at the boundary: tightening to just past 0.0
+        // removes everything at tiny Γ cost.
+        let attack = vec![(0.0, 10)];
+        let br = g.defender_best_response(&attack, 200);
+        assert!(br > 0.0 && br < 0.1, "br {br}");
+        // Attack so deep it is unprofitable to chase: θ = 0 is best.
+        let attack = vec![(0.45, 10)];
+        let br = g.defender_best_response(&attack, 200);
+        let loss_at_br = g.payoff(&attack, br);
+        let loss_at_zero = g.payoff(&attack, 0.0);
+        assert!(loss_at_br <= loss_at_zero + 1e-12);
+    }
+
+    #[test]
+    fn profit_threshold_matches_curve() {
+        let g = game();
+        let t = g.profit_threshold().unwrap();
+        assert!((t - 0.4).abs() < 1e-9, "threshold {t}");
+    }
+
+    #[test]
+    fn grid_covers_operating_range() {
+        let grid = percentile_grid(10);
+        assert_eq!(grid.len(), 11);
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(*grid.last().unwrap(), 0.5);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(percentile_grid(0).len(), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Seeded train/test splitting and cross-validation folds.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::label::Label;
+use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
+
+/// Randomly split into `(train, test)` with the given test fraction.
+///
+/// The paper's experiment uses `test_fraction = 0.3` on 4601 points
+/// (3220 train / 1381 test).
+///
+/// # Errors
+///
+/// Returns [`DataError::BadFraction`] for a fraction outside `(0, 1)`
+/// and [`DataError::DegenerateSplit`] if either side would be empty.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<(Dataset, Dataset), DataError> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 || test_fraction.is_nan() {
+        return Err(DataError::BadFraction {
+            what: "test_fraction",
+            value: test_fraction,
+        });
+    }
+    let n = data.len();
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    if n_test == 0 || n_test == n {
+        return Err(DataError::DegenerateSplit);
+    }
+    let idx = shuffled_indices(n, rng);
+    let test_idx = &idx[..n_test];
+    let train_idx = &idx[n_test..];
+    Ok((data.select(train_idx), data.select(test_idx)))
+}
+
+/// Split preserving the class ratio on both sides (stratified holdout).
+///
+/// # Errors
+///
+/// Same as [`train_test_split`], plus [`DataError::MissingClass`] if a
+/// class is absent, and [`DataError::DegenerateSplit`] if a class is too
+/// small to appear on both sides.
+pub fn stratified_split(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<(Dataset, Dataset), DataError> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 || test_fraction.is_nan() {
+        return Err(DataError::BadFraction {
+            what: "test_fraction",
+            value: test_fraction,
+        });
+    }
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for label in Label::both() {
+        let class_idx = data.class_indices(label);
+        if class_idx.is_empty() {
+            return Err(DataError::MissingClass);
+        }
+        let order = shuffled_indices(class_idx.len(), rng);
+        let n_test = (class_idx.len() as f64 * test_fraction).round() as usize;
+        if n_test == 0 || n_test == class_idx.len() {
+            return Err(DataError::DegenerateSplit);
+        }
+        for (k, &o) in order.iter().enumerate() {
+            if k < n_test {
+                test_idx.push(class_idx[o]);
+            } else {
+                train_idx.push(class_idx[o]);
+            }
+        }
+    }
+    // Shuffle the merged sides so class blocks are not contiguous.
+    let train_order = shuffled_indices(train_idx.len(), rng);
+    let test_order = shuffled_indices(test_idx.len(), rng);
+    let train_final: Vec<usize> = train_order.iter().map(|&i| train_idx[i]).collect();
+    let test_final: Vec<usize> = test_order.iter().map(|&i| test_idx[i]).collect();
+    Ok((data.select(&train_final), data.select(&test_final)))
+}
+
+/// `k`-fold index partition for cross-validation. Folds differ in size
+/// by at most one.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadFraction`] if `k < 2` or
+/// [`DataError::DegenerateSplit`] if `k > data.len()`.
+pub fn k_fold_indices(
+    data: &Dataset,
+    k: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<Vec<Vec<usize>>, DataError> {
+    if k < 2 {
+        return Err(DataError::BadFraction {
+            what: "k",
+            value: k as f64,
+        });
+    }
+    if k > data.len() {
+        return Err(DataError::DegenerateSplit);
+    }
+    let idx = shuffled_indices(data.len(), rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &point) in idx.iter().enumerate() {
+        folds[i % k].push(point);
+    }
+    Ok(folds)
+}
+
+/// Train/test datasets for fold `fold` of a `k`-fold partition.
+pub fn fold_split(data: &Dataset, folds: &[Vec<usize>], fold: usize) -> (Dataset, Dataset) {
+    assert!(fold < folds.len(), "fold index out of range");
+    let test_idx = &folds[fold];
+    let train_idx: Vec<usize> = folds
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != fold)
+        .flat_map(|(_, f)| f.iter().copied())
+        .collect();
+    (data.select(&train_idx), data.select(test_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let labels: Vec<Label> = (0..n)
+            .map(|i| if i % 3 == 0 { Label::Positive } else { Label::Negative })
+            .collect();
+        Dataset::from_rows(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let d = toy(100);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let (train, test) = train_test_split(&d, 0.3, &mut rng).unwrap();
+        assert_eq!(test.len(), 30);
+        assert_eq!(train.len(), 70);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = toy(50);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let (train, test) = train_test_split(&d, 0.2, &mut rng).unwrap();
+        let mut seen: Vec<f64> = train
+            .iter()
+            .chain(test.iter())
+            .map(|(x, _)| x[0])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let d = toy(10);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        assert!(train_test_split(&d, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&d, 1.0, &mut rng).is_err());
+        assert!(train_test_split(&d, -0.5, &mut rng).is_err());
+        assert!(train_test_split(&d, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_rejects_degenerate() {
+        let d = toy(3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        assert!(matches!(
+            train_test_split(&d, 0.01, &mut rng).unwrap_err(),
+            DataError::DegenerateSplit
+        ));
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(40);
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(9);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(9);
+        let (a, _) = train_test_split(&d, 0.25, &mut r1).unwrap();
+        let (b, _) = train_test_split(&d, 0.25, &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        let d = toy(90); // 30 positive, 60 negative
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let (train, test) = stratified_split(&d, 0.3, &mut rng).unwrap();
+        assert_eq!(test.class_count(Label::Positive), 9);
+        assert_eq!(test.class_count(Label::Negative), 18);
+        assert_eq!(train.class_count(Label::Positive), 21);
+    }
+
+    #[test]
+    fn stratified_needs_both_classes() {
+        let d = Dataset::from_rows(
+            vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            vec![Label::Negative; 4],
+        )
+        .unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        assert!(matches!(
+            stratified_split(&d, 0.5, &mut rng).unwrap_err(),
+            DataError::MissingClass
+        ));
+    }
+
+    #[test]
+    fn k_fold_partitions_everything() {
+        let d = toy(23);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let folds = k_fold_indices(&d, 5, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 4 || s == 5));
+    }
+
+    #[test]
+    fn k_fold_validation() {
+        let d = toy(5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        assert!(k_fold_indices(&d, 1, &mut rng).is_err());
+        assert!(k_fold_indices(&d, 6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fold_split_assembles_complement() {
+        let d = toy(10);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(10);
+        let folds = k_fold_indices(&d, 2, &mut rng).unwrap();
+        let (train, test) = fold_split(&d, &folds, 0);
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(test.len(), folds[0].len());
+    }
+}

@@ -1,0 +1,454 @@
+//! Synthetic data generators.
+//!
+//! The build environment has no network access, so the UCI Spambase
+//! file cannot be fetched. [`spambase_like`] generates a stand-in with
+//! the exact Spambase *schema* (57 features: 48 word frequencies, 6
+//! character frequencies, 3 capital-run-length statistics; 4601 rows;
+//! 39.4 % spam) and the same statistical regime: zero-inflated,
+//! right-skewed frequency columns, heavy-tailed capital-run columns,
+//! two classes separable by a linear model at roughly 90 % accuracy
+//! with a small irreducible error. The poisoning game consumes only
+//! the distance-from-centroid distribution and the induced accuracy
+//! curves, both of which this generator preserves qualitatively (see
+//! DESIGN.md).
+//!
+//! [`gaussian_blobs`] provides a low-dimensional generator for fast
+//! unit tests and the quickstart example.
+
+use crate::dataset::Dataset;
+use crate::label::Label;
+use poisongame_linalg::rng::{exponential, log_normal, shuffled_indices, Xoshiro256StarStar};
+
+/// Number of features in the Spambase schema.
+pub const SPAMBASE_DIM: usize = 57;
+
+/// Number of rows in the UCI Spambase dataset.
+pub const SPAMBASE_ROWS: usize = 4601;
+
+/// Spam fraction of the UCI Spambase dataset (1813 / 4601).
+pub const SPAMBASE_SPAM_FRACTION: f64 = 1813.0 / 4601.0;
+
+/// Configuration for [`spambase_like`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpambaseConfig {
+    /// Number of rows to generate (UCI: 4601).
+    pub rows: usize,
+    /// Fraction of spam rows (UCI: 0.394).
+    pub spam_fraction: f64,
+    /// Probability that a row's recorded label is flipped relative to
+    /// the class its features were drawn from — the irreducible error
+    /// that keeps clean accuracy near the real dataset's ~90 %.
+    pub label_noise: f64,
+    /// Multiplier on class separation; `1.0` matches the calibrated
+    /// default, smaller values create harder problems.
+    pub separation: f64,
+}
+
+impl Default for SpambaseConfig {
+    fn default() -> Self {
+        Self {
+            rows: SPAMBASE_ROWS,
+            spam_fraction: SPAMBASE_SPAM_FRACTION,
+            label_noise: 0.05,
+            separation: 1.0,
+        }
+    }
+}
+
+impl SpambaseConfig {
+    /// A reduced-size configuration for fast tests (same schema).
+    pub fn small(rows: usize) -> Self {
+        Self {
+            rows,
+            ..Self::default()
+        }
+    }
+}
+
+/// How one synthetic feature is distributed, per class.
+///
+/// Index 0 of each pair is ham (negative), index 1 is spam (positive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FeatureKind {
+    /// With probability `zero_prob[class]` the value is 0, otherwise
+    /// exponential with mean `mean[class]`, truncated at `cap`.
+    ZeroInflatedExp {
+        zero_prob: [f64; 2],
+        mean: [f64; 2],
+        cap: f64,
+    },
+    /// Log-normal with parameters per class, shifted to be ≥ `min`;
+    /// rounded to an integer when `round` is set (run lengths are
+    /// integers in the real data).
+    LogNormal {
+        mu: [f64; 2],
+        sigma: [f64; 2],
+        min: f64,
+        round: bool,
+    },
+}
+
+/// The 57-feature synthetic schema. Word groups:
+/// * features 0–19  — spam-indicative words (`free`, `money`, …),
+/// * features 20–39 — ham-indicative words (`george`, `meeting`, …),
+/// * features 40–47 — neutral words,
+/// * features 48–53 — character frequencies (`;`, `(`, `[`, `!`, `$`, `#`),
+/// * features 54–56 — capital-run statistics (average, longest, total).
+fn schema(separation: f64) -> Vec<FeatureKind> {
+    let s = separation;
+    let mut features = Vec::with_capacity(SPAMBASE_DIM);
+    // Spam-indicative words: more frequent in spam, but present in ham
+    // too — the class-conditional distributions overlap substantially,
+    // as in the real corpus (generic mail mentions "money" as well).
+    for i in 0..20 {
+        let strength = 0.16 + 0.016 * i as f64;
+        features.push(FeatureKind::ZeroInflatedExp {
+            zero_prob: [0.86 - 0.01 * (i % 3) as f64, (0.74 - 0.008 * i as f64).max(0.55)],
+            mean: [0.22, (0.22 + strength * s).min(0.8)],
+            cap: 20.0,
+        });
+    }
+    // Ham-indicative words: more frequent in ham, present in spam.
+    for i in 0..20 {
+        let strength = 0.15 + 0.015 * i as f64;
+        features.push(FeatureKind::ZeroInflatedExp {
+            zero_prob: [(0.72 - 0.007 * i as f64).max(0.55), 0.87],
+            mean: [(0.20 + strength * s).min(0.7), 0.18],
+            cap: 20.0,
+        });
+    }
+    // Neutral words: identical in both classes.
+    for i in 0..8 {
+        features.push(FeatureKind::ZeroInflatedExp {
+            zero_prob: [0.8 - 0.02 * i as f64, 0.8 - 0.02 * i as f64],
+            mean: [0.4, 0.4],
+            cap: 15.0,
+        });
+    }
+    // Character frequencies: `!` (index 51) and `$` (index 52) are the
+    // classic spam markers; the others are weak or neutral.
+    features.push(FeatureKind::ZeroInflatedExp {
+        // ';'
+        zero_prob: [0.55, 0.75],
+        mean: [0.12, 0.08],
+        cap: 5.0,
+    });
+    features.push(FeatureKind::ZeroInflatedExp {
+        // '('
+        zero_prob: [0.35, 0.5],
+        mean: [0.18, 0.14],
+        cap: 5.0,
+    });
+    features.push(FeatureKind::ZeroInflatedExp {
+        // '['
+        zero_prob: [0.85, 0.9],
+        mean: [0.06, 0.05],
+        cap: 3.0,
+    });
+    features.push(FeatureKind::ZeroInflatedExp {
+        // '!'
+        zero_prob: [0.50, 0.33],
+        mean: [0.15, (0.22 + 0.12 * s).min(0.6)],
+        cap: 10.0,
+    });
+    features.push(FeatureKind::ZeroInflatedExp {
+        // '$'
+        zero_prob: [0.88, 0.64],
+        mean: [0.06, (0.10 + 0.06 * s).min(0.3)],
+        cap: 6.0,
+    });
+    features.push(FeatureKind::ZeroInflatedExp {
+        // '#'
+        zero_prob: [0.9, 0.85],
+        mean: [0.08, 0.1],
+        cap: 6.0,
+    });
+    // Capital-run statistics — strongly heavy-tailed, higher for spam.
+    features.push(FeatureKind::LogNormal {
+        // average
+        mu: [0.45, 0.45 + 0.3 * s],
+        sigma: [0.7, 1.0],
+        min: 1.0,
+        round: false,
+    });
+    features.push(FeatureKind::LogNormal {
+        // longest — very heavy tail, like the UCI column (max 9989);
+        // far heavier for spam (SHOUTING subject lines).
+        mu: [2.0, 2.0 + 0.5 * s],
+        sigma: [1.1, 1.5],
+        min: 1.0,
+        round: true,
+    });
+    features.push(FeatureKind::LogNormal {
+        // total — the heaviest UCI column (max 15841).
+        mu: [4.0, 4.0 + 0.45 * s],
+        sigma: [1.2, 1.7],
+        min: 1.0,
+        round: true,
+    });
+    debug_assert_eq!(features.len(), SPAMBASE_DIM);
+    features
+}
+
+fn sample_feature(kind: &FeatureKind, class: usize, rng: &mut Xoshiro256StarStar) -> f64 {
+    match *kind {
+        FeatureKind::ZeroInflatedExp { zero_prob, mean, cap } => {
+            if rng.next_f64() < zero_prob[class] {
+                0.0
+            } else {
+                exponential(1.0 / mean[class], rng).min(cap)
+            }
+        }
+        FeatureKind::LogNormal { mu, sigma, min, round } => {
+            let v = log_normal(mu[class], sigma[class], rng).max(min);
+            if round {
+                v.round()
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Generate a Spambase-like dataset. Deterministic given the RNG state.
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `spam_fraction` outside `(0, 1)`, or
+/// `label_noise` outside `[0, 0.5)`.
+///
+/// # Example
+///
+/// ```
+/// use poisongame_data::synth::{spambase_like, SpambaseConfig};
+/// use poisongame_linalg::Xoshiro256StarStar;
+/// use rand::SeedableRng;
+///
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let d = spambase_like(&SpambaseConfig::small(200), &mut rng);
+/// assert_eq!(d.len(), 200);
+/// assert_eq!(d.dim(), 57);
+/// ```
+pub fn spambase_like(config: &SpambaseConfig, rng: &mut Xoshiro256StarStar) -> Dataset {
+    assert!(config.rows > 0, "rows must be positive");
+    assert!(
+        config.spam_fraction > 0.0 && config.spam_fraction < 1.0,
+        "spam_fraction must be in (0,1)"
+    );
+    assert!(
+        (0.0..0.5).contains(&config.label_noise),
+        "label_noise must be in [0,0.5)"
+    );
+
+    let schema = schema(config.separation);
+    let n_spam = ((config.rows as f64) * config.spam_fraction).round() as usize;
+    // True generative class per row, then shuffled.
+    let mut classes: Vec<usize> = vec![1; n_spam];
+    classes.extend(std::iter::repeat(0).take(config.rows - n_spam));
+    let order = shuffled_indices(config.rows, rng);
+    let classes: Vec<usize> = order.iter().map(|&i| classes[i]).collect();
+
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(config.rows);
+    let mut labels: Vec<Label> = Vec::with_capacity(config.rows);
+    for &class in &classes {
+        let row: Vec<f64> = schema
+            .iter()
+            .map(|kind| sample_feature(kind, class, rng))
+            .collect();
+        let mut label = if class == 1 { Label::Positive } else { Label::Negative };
+        // Uniform symmetric label noise: the irreducible error that
+        // keeps clean accuracy near the real dataset's ~90 %. Noise is
+        // independent of a row's position so that filtering far-out
+        // rows does not interact with the poison's effectiveness (the
+        // paper's payoff is additive in E and Γ).
+        if rng.next_f64() < config.label_noise {
+            label = label.flipped();
+        }
+        rows.push(row);
+        labels.push(label);
+    }
+    Dataset::from_rows(rows, labels).expect("generator emits consistent rows")
+}
+
+/// Two Gaussian blobs in `dim` dimensions centred at `±offset·1/√dim`
+/// with isotropic standard deviation `sigma`; `n` points per class.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `dim == 0`, or `sigma <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use poisongame_data::synth::gaussian_blobs;
+/// use poisongame_linalg::Xoshiro256StarStar;
+/// use rand::SeedableRng;
+///
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let d = gaussian_blobs(50, 2, 2.0, 0.5, &mut rng);
+/// assert_eq!(d.len(), 100);
+/// ```
+pub fn gaussian_blobs(
+    n: usize,
+    dim: usize,
+    offset: f64,
+    sigma: f64,
+    rng: &mut Xoshiro256StarStar,
+) -> Dataset {
+    assert!(n > 0 && dim > 0, "n and dim must be positive");
+    assert!(sigma > 0.0, "sigma must be positive");
+    let shift = offset / (dim as f64).sqrt();
+    let mut rows = Vec::with_capacity(2 * n);
+    let mut labels = Vec::with_capacity(2 * n);
+    for class in [0usize, 1usize] {
+        let sign = if class == 1 { 1.0 } else { -1.0 };
+        for _ in 0..n {
+            let row: Vec<f64> = (0..dim)
+                .map(|_| sign * shift + sigma * poisongame_linalg::rng::standard_normal(rng))
+                .collect();
+            rows.push(row);
+            labels.push(if class == 1 { Label::Positive } else { Label::Negative });
+        }
+    }
+    // Shuffle so class blocks are interleaved.
+    let order = shuffled_indices(2 * n, rng);
+    let rows: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+    let labels: Vec<Label> = order.iter().map(|&i| labels[i]).collect();
+    Dataset::from_rows(rows, labels).expect("generator emits consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_matches_uci_shape() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let d = spambase_like(&SpambaseConfig::default(), &mut rng);
+        assert_eq!(d.len(), SPAMBASE_ROWS);
+        assert_eq!(d.dim(), SPAMBASE_DIM);
+        let frac = d.class_fraction(Label::Positive);
+        // Label noise moves the fraction slightly; stay within 3 points.
+        assert!((frac - SPAMBASE_SPAM_FRACTION).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(7);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(7);
+        let a = spambase_like(&SpambaseConfig::small(300), &mut r1);
+        let b = spambase_like(&SpambaseConfig::small(300), &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn features_are_non_negative_and_finite() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let d = spambase_like(&SpambaseConfig::small(500), &mut rng);
+        for (x, _) in d.iter() {
+            assert!(x.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn capital_run_columns_are_heavy_tailed_and_at_least_one() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let d = spambase_like(&SpambaseConfig::small(2000), &mut rng);
+        let summary = d.column_summary();
+        for c in 54..57 {
+            assert!(summary[c].min >= 1.0, "column {c} min {}", summary[c].min);
+            // Heavy tail: max far above mean.
+            assert!(summary[c].max > 5.0 * summary[c].mean, "column {c} not heavy-tailed");
+        }
+        // Run lengths (longest/total) are integers.
+        for c in 55..57 {
+            for (x, _) in d.iter() {
+                assert_eq!(x[c], x[c].round());
+            }
+        }
+    }
+
+    #[test]
+    fn spam_words_separate_classes() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let d = spambase_like(
+            &SpambaseConfig {
+                label_noise: 0.0,
+                ..SpambaseConfig::small(3000)
+            },
+            &mut rng,
+        );
+        let spam_mean = d.class_mean(Label::Positive).unwrap();
+        let ham_mean = d.class_mean(Label::Negative).unwrap();
+        // Spam-indicative block (0..20) higher for spam; ham block
+        // (20..40) higher for ham; exclamation mark (51) higher for spam.
+        let spam_block: f64 = spam_mean[..20].iter().sum();
+        let ham_block_spam: f64 = spam_mean[20..40].iter().sum();
+        let spam_block_ham: f64 = ham_mean[..20].iter().sum();
+        let ham_block: f64 = ham_mean[20..40].iter().sum();
+        assert!(spam_block > 2.0 * spam_block_ham, "{spam_block} vs {spam_block_ham}");
+        assert!(ham_block > 2.0 * ham_block_spam, "{ham_block} vs {ham_block_spam}");
+        assert!(spam_mean[51] > 2.0 * ham_mean[51]);
+    }
+
+    #[test]
+    fn label_noise_flips_recorded_labels() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        let noisy = spambase_like(
+            &SpambaseConfig {
+                label_noise: 0.2,
+                ..SpambaseConfig::small(2000)
+            },
+            &mut rng,
+        );
+        // Symmetric flips on a 39.4 % positive base rate move the
+        // recorded positive fraction toward 0.5.
+        let frac = noisy.class_fraction(Label::Positive);
+        assert!(frac > SPAMBASE_SPAM_FRACTION + 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must be positive")]
+    fn zero_rows_panics() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        spambase_like(&SpambaseConfig::small(0), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "spam_fraction")]
+    fn bad_fraction_panics() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        spambase_like(
+            &SpambaseConfig {
+                spam_fraction: 1.5,
+                ..SpambaseConfig::small(10)
+            },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn blobs_are_separated() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(17);
+        let d = gaussian_blobs(200, 4, 4.0, 0.5, &mut rng);
+        assert_eq!(d.len(), 400);
+        assert_eq!(d.class_count(Label::Positive), 200);
+        let pos = d.class_mean(Label::Positive).unwrap();
+        let neg = d.class_mean(Label::Negative).unwrap();
+        let dist = poisongame_linalg::vector::euclidean_distance(&pos, &neg);
+        assert!(dist > 3.0, "class means too close: {dist}");
+    }
+
+    #[test]
+    fn blobs_shuffled_not_blocked() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(19);
+        let d = gaussian_blobs(100, 2, 2.0, 1.0, &mut rng);
+        // First 100 labels should not all be the same class.
+        let first_block_pos = d.labels()[..100]
+            .iter()
+            .filter(|&&l| l == Label::Positive)
+            .count();
+        assert!(first_block_pos > 10 && first_block_pos < 90);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for defense mechanisms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by filters and centroid estimators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DefenseError {
+    /// The dataset to filter was empty.
+    EmptyDataset,
+    /// One class had no points; per-class filtering needs both.
+    MissingClass,
+    /// A strength/fraction parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An iterative estimator (Weiszfeld) failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Underlying data error.
+    Data(poisongame_data::DataError),
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::EmptyDataset => write!(f, "dataset to filter is empty"),
+            DefenseError::MissingClass => write!(f, "a class has no points"),
+            DefenseError::BadParameter { what, value } => {
+                write!(f, "parameter `{what}` out of range: {value}")
+            }
+            DefenseError::NoConvergence { iterations } => {
+                write!(f, "estimator did not converge after {iterations} iterations")
+            }
+            DefenseError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl Error for DefenseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DefenseError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<poisongame_data::DataError> for DefenseError {
+    fn from(e: poisongame_data::DataError) -> Self {
+        DefenseError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DefenseError::EmptyDataset.to_string().contains("empty"));
+        assert!(DefenseError::MissingClass.to_string().contains("class"));
+        assert!(DefenseError::BadParameter {
+            what: "fraction",
+            value: 2.0
+        }
+        .to_string()
+        .contains("fraction"));
+        assert!(DefenseError::NoConvergence { iterations: 9 }
+            .to_string()
+            .contains("9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DefenseError>();
+    }
+}

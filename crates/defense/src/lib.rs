@@ -1,0 +1,37 @@
+//! Distance-based filtering defenses against data poisoning.
+//!
+//! The paper's defender removes every training point farther than a
+//! chosen radius `θ_d` from its class centroid (the outlier filter of
+//! Paudice et al. / Steinhardt et al.). This crate implements that
+//! sphere filter with pluggable robust centroid estimators, plus two
+//! baseline detectors (slab and k-NN distance) used for ablations.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_data::synth::gaussian_blobs;
+//! use poisongame_defense::{CentroidEstimator, FilterStrength, RadiusFilter, Filter};
+//! use poisongame_linalg::Xoshiro256StarStar;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let data = gaussian_blobs(100, 2, 3.0, 0.5, &mut rng);
+//! let filter = RadiusFilter::new(FilterStrength::RemoveFraction(0.1), CentroidEstimator::Mean);
+//! let outcome = filter.split(&data).unwrap();
+//! assert!(outcome.removed_indices.len() >= 18); // ~10% per class
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centroid;
+pub mod error;
+pub mod filter;
+pub mod knn;
+pub mod slab;
+
+pub use centroid::CentroidEstimator;
+pub use error::DefenseError;
+pub use filter::{Filter, FilterAccounting, FilterOutcome, FilterScope, FilterStrength, RadiusFilter};
+pub use knn::KnnDistanceFilter;
+pub use slab::SlabFilter;

@@ -1,0 +1,107 @@
+//! Error type for game construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by game-theoretic routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// A probability vector had non-finite or negative entries, or a
+    /// zero sum.
+    InvalidDistribution {
+        /// Explanation of the violation.
+        message: String,
+    },
+    /// Strategy length does not match the game dimension.
+    DimensionMismatch {
+        /// Expected number of actions.
+        expected: usize,
+        /// Found number of actions.
+        found: usize,
+    },
+    /// The payoff matrix was empty or contained non-finite entries.
+    InvalidPayoffs {
+        /// Explanation of the violation.
+        message: String,
+    },
+    /// The LP solver hit its pivot cap (should not happen with Bland's
+    /// rule unless the problem is numerically degenerate).
+    SolverStalled {
+        /// Pivots performed before giving up.
+        pivots: usize,
+    },
+    /// An iterative solver failed to reach the requested exploitability.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Exploitability at the final iterate.
+        exploitability: f64,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidDistribution { message } => {
+                write!(f, "invalid probability distribution: {message}")
+            }
+            GameError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} actions, found {found}")
+            }
+            GameError::InvalidPayoffs { message } => {
+                write!(f, "invalid payoff matrix: {message}")
+            }
+            GameError::SolverStalled { pivots } => {
+                write!(f, "simplex stalled after {pivots} pivots")
+            }
+            GameError::NoConvergence {
+                iterations,
+                exploitability,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (exploitability {exploitability:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GameError::InvalidDistribution {
+            message: "negative".into()
+        }
+        .to_string()
+        .contains("negative"));
+        assert!(GameError::DimensionMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("3"));
+        assert!(GameError::InvalidPayoffs {
+            message: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(GameError::SolverStalled { pivots: 10 }.to_string().contains("10"));
+        assert!(GameError::NoConvergence {
+            iterations: 5,
+            exploitability: 0.5
+        }
+        .to_string()
+        .contains("5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GameError>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Fictitious play — the classic learning dynamic (Brown 1951,
+//! Robinson 1951). In zero-sum games the empirical strategy profile
+//! converges to a Nash equilibrium; convergence is slow (`O(1/√t)` in
+//! practice) but the method is simple and a useful independent check on
+//! the LP solver.
+
+use crate::error::GameError;
+use crate::matrix_game::MatrixGame;
+use crate::strategy::{MixedStrategy, Solution};
+use poisongame_linalg::vector;
+
+/// Configuration for [`solve_fictitious_play`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FictitiousPlayConfig {
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Stop once exploitability of the empirical profile falls below
+    /// this threshold.
+    pub tolerance: f64,
+    /// How often (in iterations) to evaluate exploitability.
+    pub check_every: usize,
+}
+
+impl Default for FictitiousPlayConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 500_000,
+            tolerance: 5e-3,
+            check_every: 500,
+        }
+    }
+}
+
+/// Run simultaneous fictitious play until the empirical profile's
+/// exploitability drops below `config.tolerance`.
+///
+/// # Errors
+///
+/// Returns [`GameError::NoConvergence`] (carrying the final
+/// exploitability) if the iteration cap is reached first.
+///
+/// # Example
+///
+/// ```
+/// use poisongame_theory::{solve_fictitious_play, FictitiousPlayConfig, MatrixGame};
+///
+/// let pennies = MatrixGame::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+/// let sol = solve_fictitious_play(&pennies, &FictitiousPlayConfig::default()).unwrap();
+/// assert!(sol.value.abs() < 0.01);
+/// ```
+pub fn solve_fictitious_play(
+    game: &MatrixGame,
+    config: &FictitiousPlayConfig,
+) -> Result<Solution, GameError> {
+    let (m, n) = game.shape();
+    // Cumulative payoff each row action has earned against the
+    // opponent's historical actions (and vice versa).
+    let mut row_cum = vec![0.0; m];
+    let mut col_cum = vec![0.0; n];
+    let mut row_counts = vec![0.0; m];
+    let mut col_counts = vec![0.0; n];
+
+    // Start from action 0 for both players (deterministic).
+    let mut row_action = 0usize;
+    let mut col_action = 0usize;
+
+    for t in 1..=config.max_iterations {
+        row_counts[row_action] += 1.0;
+        col_counts[col_action] += 1.0;
+
+        // Update cumulative payoffs given the opponent's latest action.
+        for i in 0..m {
+            row_cum[i] += game.payoff(i, col_action);
+        }
+        for j in 0..n {
+            col_cum[j] += game.payoff(row_action, j);
+        }
+
+        // Best responses to the empirical mixture (cumulative payoffs
+        // order identically to averages).
+        row_action = vector::argmax(&row_cum).expect("non-empty");
+        col_action = vector::argmin(&col_cum).expect("non-empty");
+
+        if t % config.check_every == 0 || t == config.max_iterations {
+            let x = MixedStrategy::from_weights(row_counts.clone())?;
+            let y = MixedStrategy::from_weights(col_counts.clone())?;
+            let expl = game.exploitability(&x, &y)?;
+            if expl < config.tolerance {
+                let value = game.expected_payoff(&x, &y)?;
+                return Ok(Solution {
+                    row_strategy: x,
+                    column_strategy: y,
+                    value,
+                    iterations: t,
+                });
+            }
+        }
+    }
+
+    let x = MixedStrategy::from_weights(row_counts)?;
+    let y = MixedStrategy::from_weights(col_counts)?;
+    let expl = game.exploitability(&x, &y)?;
+    Err(GameError::NoConvergence {
+        iterations: config.max_iterations,
+        exploitability: expl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve_lp;
+
+    #[test]
+    fn pennies_converges_to_uniform() {
+        let g = MatrixGame::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let sol = solve_fictitious_play(&g, &FictitiousPlayConfig::default()).unwrap();
+        assert!(sol.value.abs() < 0.01);
+        assert!((sol.row_strategy.prob(0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn saddle_game_converges_fast() {
+        let g = MatrixGame::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        let sol = solve_fictitious_play(&g, &FictitiousPlayConfig::default()).unwrap();
+        assert!((sol.value - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn matches_lp_value_on_rps() {
+        let g = MatrixGame::from_rows(&[
+            vec![0.0, -1.0, 1.0],
+            vec![1.0, 0.0, -1.0],
+            vec![-1.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let fp = solve_fictitious_play(&g, &FictitiousPlayConfig::default()).unwrap();
+        let lp = solve_lp(&g).unwrap();
+        assert!((fp.value - lp.value).abs() < 0.02);
+    }
+
+    #[test]
+    fn exploitability_bounded_by_tolerance() {
+        let g = MatrixGame::from_rows(&[vec![2.0, -1.0, 0.5], vec![-1.0, 3.0, -0.5]]).unwrap();
+        let cfg = FictitiousPlayConfig {
+            tolerance: 5e-3,
+            ..FictitiousPlayConfig::default()
+        };
+        let sol = solve_fictitious_play(&g, &cfg).unwrap();
+        let expl = g
+            .exploitability(&sol.row_strategy, &sol.column_strategy)
+            .unwrap();
+        assert!(expl < 5e-3);
+    }
+
+    #[test]
+    fn impossible_tolerance_reports_no_convergence() {
+        let g = MatrixGame::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let cfg = FictitiousPlayConfig {
+            max_iterations: 50,
+            tolerance: 1e-12,
+            check_every: 10,
+        };
+        match solve_fictitious_play(&g, &cfg) {
+            Err(GameError::NoConvergence { iterations, .. }) => assert_eq!(iterations, 50),
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+}

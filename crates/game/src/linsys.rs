@@ -1,0 +1,124 @@
+//! Dense linear-system solving (Gaussian elimination with partial
+//! pivoting) — used by support enumeration to compute indifference
+//! strategies.
+
+use poisongame_linalg::Matrix;
+
+/// Solve `A x = b` for square `A` by Gaussian elimination with partial
+/// pivoting. Returns `None` for singular (or numerically singular)
+/// systems.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b` has the wrong length.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve: matrix must be square");
+    assert_eq!(b.len(), n, "solve: rhs length mismatch");
+
+    // Augmented matrix [A | b].
+    let mut aug = vec![vec![0.0; n + 1]; n];
+    for i in 0..n {
+        aug[i][..n].copy_from_slice(a.row(i));
+        aug[i][n] = b[i];
+    }
+
+    for col in 0..n {
+        // Partial pivot: largest absolute entry in this column.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                aug[r1][col]
+                    .abs()
+                    .partial_cmp(&aug[r2][col].abs())
+                    .expect("finite entries")
+            })
+            .expect("non-empty range");
+        if aug[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot_row);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = aug[row][col] / aug[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                aug[row][k] -= factor * aug[col][k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = aug[row][n];
+        for k in (row + 1)..n {
+            acc -= aug[row][k] * x[k];
+        }
+        x[row] = acc / aug[row][row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // x + y = 3, x - y = 1 → x = 2, y = 1.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]).unwrap();
+        let x = solve(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let mut m = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            m.set(i, i, 1.0);
+        }
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve(&m, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let a = Matrix::zeros(2, 3);
+        solve(&a, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Exact equilibrium by support enumeration — for small games only.
+//!
+//! For every candidate equal-size support pair the indifference
+//! conditions form a square linear system; a solution with non-negative
+//! probabilities and no profitable outside deviation is a Nash
+//! equilibrium. Exponential in the action counts, so the entry point
+//! rejects games with more than [`MAX_ACTIONS`] actions per side. Used
+//! in tests as a third independent oracle besides the LP and the
+//! learning dynamics.
+
+use crate::error::GameError;
+use crate::linsys;
+use crate::matrix_game::MatrixGame;
+use crate::strategy::{MixedStrategy, Solution};
+use poisongame_linalg::Matrix;
+
+/// Maximum actions per player accepted by [`solve_support_enumeration`].
+pub const MAX_ACTIONS: usize = 10;
+
+const TOL: f64 = 1e-8;
+
+/// Enumerate all size-`k` subsets of `0..n` (lexicographic).
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        let needed = k - current.len();
+        for i in start..=(n - needed) {
+            current.push(i);
+            rec(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    if k == 0 || k > n {
+        return out;
+    }
+    rec(0, n, k, &mut current, &mut out);
+    out
+}
+
+/// Solve the indifference system for a support pair. Returns the
+/// candidate `(probabilities over support, value)` for the *opponent*
+/// mixing over `mix_support` that makes every action in `indiff_support`
+/// yield the same payoff.
+///
+/// `payoff(i, j)` must give the payoff relevant to the indifferent
+/// player for its action `i` and the mixing player's action `j`.
+fn indifference_mix<F>(
+    indiff_support: &[usize],
+    mix_support: &[usize],
+    payoff: F,
+) -> Option<(Vec<f64>, f64)>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let k = indiff_support.len();
+    debug_assert_eq!(k, mix_support.len());
+    // Unknowns: k probabilities + value v.
+    // Rows: k indifference equations  Σ_j p_j payoff(i,j) − v = 0,
+    //       1 normalization           Σ_j p_j = 1.
+    let n = k + 1;
+    let mut rows = Vec::with_capacity(n);
+    for &i in indiff_support {
+        let mut row = Vec::with_capacity(n);
+        for &j in mix_support {
+            row.push(payoff(i, j));
+        }
+        row.push(-1.0);
+        rows.push(row);
+    }
+    let mut norm = vec![1.0; k];
+    norm.push(0.0);
+    rows.push(norm);
+    let a = Matrix::from_rows(&rows).ok()?;
+    let mut b = vec![0.0; n];
+    b[k] = 1.0;
+    let sol = linsys::solve(&a, &b)?;
+    let (probs, v) = sol.split_at(k);
+    if probs.iter().any(|&p| p < -TOL) {
+        return None;
+    }
+    let clipped: Vec<f64> = probs.iter().map(|&p| p.max(0.0)).collect();
+    Some((clipped, v[0]))
+}
+
+/// Solve a small zero-sum game exactly by support enumeration.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidPayoffs`] for games larger than
+/// [`MAX_ACTIONS`] per side, and [`GameError::NoConvergence`] if no
+/// support pair yields an equilibrium (cannot happen for exact
+/// arithmetic; indicates numerical degeneracy).
+pub fn solve_support_enumeration(game: &MatrixGame) -> Result<Solution, GameError> {
+    let (m, n) = game.shape();
+    if m > MAX_ACTIONS || n > MAX_ACTIONS {
+        return Err(GameError::InvalidPayoffs {
+            message: format!("support enumeration limited to {MAX_ACTIONS} actions per side"),
+        });
+    }
+
+    // Try supports from small to large; equal sizes first (square
+    // systems); this finds pure saddle points at k = 1 immediately.
+    for k in 1..=m.min(n) {
+        for row_support in subsets(m, k) {
+            for col_support in subsets(n, k) {
+                // Column mix that makes the supported rows indifferent.
+                let Some((y_probs, v1)) = indifference_mix(&row_support, &col_support, |i, j| {
+                    game.payoff(i, j)
+                }) else {
+                    continue;
+                };
+                // Row mix that makes the supported columns indifferent.
+                let Some((x_probs, v2)) = indifference_mix(&col_support, &row_support, |j, i| {
+                    game.payoff(i, j)
+                }) else {
+                    continue;
+                };
+                if (v1 - v2).abs() > 1e-6 {
+                    continue;
+                }
+                let v = 0.5 * (v1 + v2);
+
+                // Assemble full-length strategies.
+                let mut x = vec![0.0; m];
+                for (idx, &i) in row_support.iter().enumerate() {
+                    x[i] = x_probs[idx];
+                }
+                let mut y = vec![0.0; n];
+                for (idx, &j) in col_support.iter().enumerate() {
+                    y[j] = y_probs[idx];
+                }
+                let Ok(xs) = MixedStrategy::from_weights(x) else {
+                    continue;
+                };
+                let Ok(ys) = MixedStrategy::from_weights(y) else {
+                    continue;
+                };
+
+                // No profitable deviation outside the supports.
+                let row_vals = game.row_values(&ys)?;
+                if row_vals.iter().any(|&rv| rv > v + 1e-6) {
+                    continue;
+                }
+                let col_vals = game.column_values(&xs)?;
+                if col_vals.iter().any(|&cv| cv < v - 1e-6) {
+                    continue;
+                }
+
+                return Ok(Solution {
+                    row_strategy: xs,
+                    column_strategy: ys,
+                    value: v,
+                    iterations: 1,
+                });
+            }
+        }
+    }
+
+    Err(GameError::NoConvergence {
+        iterations: 0,
+        exploitability: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve_lp;
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(subsets(3, 3), vec![vec![0, 1, 2]]);
+        assert!(subsets(2, 3).is_empty());
+        assert!(subsets(3, 0).is_empty());
+    }
+
+    #[test]
+    fn pure_saddle_found_at_k1() {
+        let g = MatrixGame::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        let sol = solve_support_enumeration(&g).unwrap();
+        assert!((sol.value - 2.0).abs() < 1e-9);
+        assert!(sol.row_strategy.is_pure());
+    }
+
+    #[test]
+    fn pennies_support_is_full() {
+        let g = MatrixGame::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let sol = solve_support_enumeration(&g).unwrap();
+        assert!(sol.value.abs() < 1e-9);
+        assert_eq!(sol.row_strategy.support().len(), 2);
+        assert!((sol.row_strategy.prob(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_lp_on_random_games() {
+        use poisongame_linalg::Xoshiro256StarStar;
+        use rand::SeedableRng;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        for _ in 0..5 {
+            let g = MatrixGame::from_fn(4, 4, |_, _| (rng.next_f64() * 10.0).round() - 5.0);
+            let lp = solve_lp(&g).unwrap();
+            let se = solve_support_enumeration(&g).unwrap();
+            assert!(
+                (lp.value - se.value).abs() < 1e-6,
+                "lp {} vs se {}",
+                lp.value,
+                se.value
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_games() {
+        let g = MatrixGame::from_fn(MAX_ACTIONS + 1, 2, |i, j| (i + j) as f64);
+        assert!(matches!(
+            solve_support_enumeration(&g).unwrap_err(),
+            GameError::InvalidPayoffs { .. }
+        ));
+    }
+
+    #[test]
+    fn rps_uniform() {
+        let g = MatrixGame::from_rows(&[
+            vec![0.0, -1.0, 1.0],
+            vec![1.0, 0.0, -1.0],
+            vec![-1.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let sol = solve_support_enumeration(&g).unwrap();
+        assert!(sol.value.abs() < 1e-9);
+        for p in sol.column_strategy.probabilities() {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests on the zero-sum substrate: the LP solution of
+//! a random game is always an equilibrium, and values respect the
+//! pure-strategy bounds.
+
+use poisongame_theory::{solve_lp, MatrixGame, MixedStrategy};
+use proptest::prelude::*;
+
+fn random_game() -> impl Strategy<Value = MatrixGame> {
+    (1usize..7, 1usize..7).prop_flat_map(|(m, n)| {
+        prop::collection::vec(-10.0f64..10.0, m * n).prop_map(move |cells| {
+            let rows: Vec<Vec<f64>> = cells.chunks(n).map(|c| c.to_vec()).collect();
+            MatrixGame::from_rows(&rows).expect("finite payoffs")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solution_has_zero_exploitability(game in random_game()) {
+        let sol = solve_lp(&game).unwrap();
+        let expl = game.exploitability(&sol.row_strategy, &sol.column_strategy).unwrap();
+        prop_assert!(expl.abs() < 1e-6, "exploitability {expl}");
+    }
+
+    #[test]
+    fn value_between_pure_bounds(game in random_game()) {
+        let sol = solve_lp(&game).unwrap();
+        prop_assert!(sol.value >= game.pure_maximin() - 1e-9);
+        prop_assert!(sol.value <= game.pure_minimax() + 1e-9);
+    }
+
+    #[test]
+    fn saddle_point_when_found_matches_lp_value(game in random_game()) {
+        if let Some((i, j)) = game.saddle_point() {
+            let sol = solve_lp(&game).unwrap();
+            prop_assert!((game.payoff(i, j) - sol.value).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mixed_strategy_normalization(weights in prop::collection::vec(0.0f64..10.0, 1..10)) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-9);
+        let s = MixedStrategy::from_weights(weights).unwrap();
+        let sum: f64 = s.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifting_payoffs_shifts_value_linearly(game in random_game(), delta in -5.0f64..5.0) {
+        let base = solve_lp(&game).unwrap();
+        let shifted = solve_lp(&game.shifted(delta)).unwrap();
+        prop_assert!((shifted.value - base.value - delta).abs() < 1e-6);
+    }
+}

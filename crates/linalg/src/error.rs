@@ -1,0 +1,111 @@
+//! Error type for numerical operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands were expected to share a dimension but did not.
+    DimensionMismatch {
+        /// Dimension of the first operand.
+        left: usize,
+        /// Dimension of the second operand.
+        right: usize,
+    },
+    /// An operand that must be non-empty was empty.
+    EmptyInput,
+    /// A matrix shape was invalid (e.g. data length not divisible by
+    /// the number of columns).
+    InvalidShape {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the backing buffer.
+        len: usize,
+    },
+    /// A scalar argument was outside its legal domain.
+    DomainError {
+        /// Name of the offending argument.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative routine failed to converge within its iteration cap.
+    NoConvergence {
+        /// Name of the routine.
+        what: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// Name of the offending argument.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            LinalgError::EmptyInput => write!(f, "input must be non-empty"),
+            LinalgError::InvalidShape { rows, cols, len } => write!(
+                f,
+                "invalid shape: {rows}x{cols} does not match buffer of length {len}"
+            ),
+            LinalgError::DomainError { what, value } => {
+                write!(f, "argument `{what}` out of domain: {value}")
+            }
+            LinalgError::NoConvergence { what, iterations } => {
+                write!(f, "`{what}` did not converge after {iterations} iterations")
+            }
+            LinalgError::NotFinite { what } => {
+                write!(f, "argument `{what}` must be finite")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch { left: 3, right: 4 };
+        assert_eq!(e.to_string(), "dimension mismatch: 3 vs 4");
+        let e = LinalgError::EmptyInput;
+        assert!(e.to_string().contains("non-empty"));
+        let e = LinalgError::InvalidShape {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::DomainError {
+            what: "alpha",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("alpha"));
+        let e = LinalgError::NoConvergence {
+            what: "weiszfeld",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = LinalgError::NotFinite { what: "x" };
+        assert!(e.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

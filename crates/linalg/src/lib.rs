@@ -1,0 +1,37 @@
+//! Dense linear algebra, statistics, empirical curves and deterministic
+//! randomness — the numerical substrate shared by every `poisongame` crate.
+//!
+//! The crate is deliberately small and dependency-light: everything the
+//! poisoning-game reproduction needs (distance geometry for the sphere
+//! filter, robust statistics for centroid estimation, piecewise-linear
+//! curves for the `E(p)`/`Γ(p)` payoff inputs, finite-difference gradients
+//! for Algorithm 1, and a portable seeded RNG) is implemented here from
+//! scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_linalg::{stats, vector};
+//!
+//! let a = [1.0, 2.0, 2.0];
+//! let b = [1.0, 0.0, 0.0];
+//! assert_eq!(vector::dot(&a, &b), 1.0);
+//! assert_eq!(vector::euclidean_distance(&a, &b), (0.0f64 + 4.0 + 4.0).sqrt());
+//! assert_eq!(stats::mean(&a), 5.0 / 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod error;
+pub mod matrix;
+pub mod numeric;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use curve::PiecewiseLinear;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use rng::Xoshiro256StarStar;

@@ -1,0 +1,334 @@
+//! Numerical utilities: finite differences, projected gradient descent
+//! helpers, bracketing searches.
+//!
+//! Algorithm 1 of the paper performs gradient descent on the defender's
+//! support radii with a loss assembled from empirical curves — there is
+//! no analytic gradient, so central finite differences are used.
+
+use crate::error::LinalgError;
+
+/// Central finite-difference gradient of `f` at `x`.
+///
+/// Step size is per-coordinate `h * max(1, |x_i|)`.
+pub fn finite_difference_gradient<F>(f: &F, x: &[f64], h: f64) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut grad = vec![0.0; x.len()];
+    let mut probe = x.to_vec();
+    for i in 0..x.len() {
+        let step = h * x[i].abs().max(1.0);
+        let orig = probe[i];
+        probe[i] = orig + step;
+        let up = f(&probe);
+        probe[i] = orig - step;
+        let down = f(&probe);
+        probe[i] = orig;
+        grad[i] = (up - down) / (2.0 * step);
+    }
+    grad
+}
+
+/// Outcome of [`projected_gradient_descent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DescentResult {
+    /// Minimizer found.
+    pub x: Vec<f64>,
+    /// Objective value at the minimizer.
+    pub value: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was met before the cap.
+    pub converged: bool,
+    /// Objective value after each iteration (for diagnostics/plots).
+    pub trace: Vec<f64>,
+}
+
+/// Configuration for [`projected_gradient_descent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DescentConfig {
+    /// Initial step size.
+    pub step: f64,
+    /// Multiplicative backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Max backtracking halvings per iteration.
+    pub max_backtracks: usize,
+    /// Convergence threshold on objective improvement.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Finite-difference step.
+    pub fd_step: f64,
+}
+
+impl Default for DescentConfig {
+    fn default() -> Self {
+        Self {
+            step: 0.05,
+            backtrack: 0.5,
+            max_backtracks: 30,
+            tolerance: 1e-9,
+            max_iterations: 500,
+            fd_step: 1e-5,
+        }
+    }
+}
+
+/// Minimize `f` by gradient descent with backtracking line search,
+/// projecting each iterate back onto the feasible set via `project`.
+///
+/// `project` must be idempotent on feasible points; it receives the
+/// tentative iterate and returns the projected one.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DomainError`] if the starting point evaluates
+/// to a non-finite objective.
+pub fn projected_gradient_descent<F, P>(
+    f: F,
+    project: P,
+    x0: &[f64],
+    config: &DescentConfig,
+) -> Result<DescentResult, LinalgError>
+where
+    F: Fn(&[f64]) -> f64,
+    P: Fn(&[f64]) -> Vec<f64>,
+{
+    let mut x = project(x0);
+    let mut value = f(&x);
+    if !value.is_finite() {
+        return Err(LinalgError::DomainError {
+            what: "f(x0)",
+            value,
+        });
+    }
+    let mut trace = Vec::with_capacity(config.max_iterations.min(1024));
+    trace.push(value);
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        let grad = finite_difference_gradient(&f, &x, config.fd_step);
+        let grad_norm = crate::vector::norm2(&grad);
+        if grad_norm < config.tolerance {
+            converged = true;
+            break;
+        }
+        // Backtracking line search on the projected step.
+        let mut step = config.step;
+        let mut improved = false;
+        for _ in 0..=config.max_backtracks {
+            let mut candidate = x.clone();
+            crate::vector::axpy(-step, &grad, &mut candidate);
+            let candidate = project(&candidate);
+            let cand_value = f(&candidate);
+            if cand_value.is_finite() && cand_value < value {
+                let improvement = value - cand_value;
+                x = candidate;
+                value = cand_value;
+                improved = true;
+                trace.push(value);
+                if improvement < config.tolerance {
+                    converged = true;
+                }
+                break;
+            }
+            step *= config.backtrack;
+        }
+        if !improved {
+            // No descent direction at any tested step: treat as converged.
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    Ok(DescentResult {
+        x,
+        value,
+        iterations,
+        converged,
+        trace,
+    })
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DomainError`] if `a >= b` or the bounds are
+/// not finite.
+pub fn golden_section_min<F>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, LinalgError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(a.is_finite() && b.is_finite()) {
+        return Err(LinalgError::NotFinite { what: "bounds" });
+    }
+    if a >= b {
+        return Err(LinalgError::DomainError { what: "a", value: a });
+    }
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut lo, mut hi) = (a, b);
+    let mut c = hi - inv_phi * (hi - lo);
+    let mut d = lo + inv_phi * (hi - lo);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (hi - lo).abs() > tol {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - inv_phi * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + inv_phi * (hi - lo);
+            fd = f(d);
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Bisection root of a continuous `f` on `[a, b]` with `f(a)` and `f(b)`
+/// of opposite sign.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DomainError`] when the signs at the endpoints
+/// do not bracket a root.
+pub fn bisect_root<F>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, LinalgError>
+where
+    F: Fn(f64) -> f64,
+{
+    let (mut lo, mut hi) = (a, b);
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(LinalgError::DomainError { what: "bracket", value: flo });
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Clamp every coordinate into `[lo, hi]`.
+pub fn clamp_all(x: &mut [f64], lo: f64, hi: f64) {
+    for v in x.iter_mut() {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_quadratic_is_linear() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1] * x[1];
+        let g = finite_difference_gradient(&f, &[1.0, 2.0], 1e-6);
+        assert!((g[0] - 2.0).abs() < 1e-5);
+        assert!((g[1] - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn descent_minimizes_quadratic() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let res = projected_gradient_descent(
+            f,
+            |x| x.to_vec(),
+            &[0.0, 0.0],
+            &DescentConfig {
+                step: 0.3,
+                max_iterations: 2000,
+                tolerance: 1e-12,
+                ..DescentConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(res.converged);
+        assert!((res.x[0] - 3.0).abs() < 1e-3, "x0={}", res.x[0]);
+        assert!((res.x[1] + 1.0).abs() < 1e-3, "x1={}", res.x[1]);
+        assert!(res.value < 1e-5);
+        assert!(res.trace.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn descent_respects_projection() {
+        // Minimize x^2 constrained to x >= 1: solution is x = 1.
+        let f = |x: &[f64]| x[0] * x[0];
+        let res = projected_gradient_descent(
+            f,
+            |x| vec![x[0].max(1.0)],
+            &[5.0],
+            &DescentConfig::default(),
+        )
+        .unwrap();
+        assert!((res.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn descent_rejects_nonfinite_start() {
+        let f = |_: &[f64]| f64::NAN;
+        assert!(projected_gradient_descent(f, |x| x.to_vec(), &[0.0], &DescentConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_min() {
+        let x = golden_section_min(|x| (x - 2.5).powi(2), 0.0, 10.0, 1e-8).unwrap();
+        assert!((x - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_validates_bounds() {
+        assert!(golden_section_min(|x| x, 1.0, 1.0, 1e-8).is_err());
+        assert!(golden_section_min(|x| x, f64::NAN, 1.0, 1e-8).is_err());
+    }
+
+    #[test]
+    fn bisect_finds_root() {
+        let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_rejects_non_bracket() {
+        assert!(bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_roots() {
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, 1e-9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clamp_all_clamps() {
+        let mut x = vec![-1.0, 0.5, 2.0];
+        clamp_all(&mut x, 0.0, 1.0);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+}

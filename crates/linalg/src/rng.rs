@@ -1,0 +1,351 @@
+//! Deterministic, portable random number generation.
+//!
+//! Every experiment in this workspace must be reproducible bit-for-bit
+//! from its recorded seed, across machines and across versions of the
+//! `rand` crate. `rand`'s `StdRng` explicitly does not promise a stable
+//! stream between releases, so we carry our own generator: the public
+//! xoshiro256** algorithm (Blackman & Vigna) seeded through SplitMix64,
+//! exposed through `rand::RngCore`/`SeedableRng` so all of `rand`'s
+//! distributions and sequence utilities still compose with it.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// xoshiro256** — a small, fast, high-quality PRNG with a fixed,
+/// portable output stream.
+///
+/// # Example
+///
+/// ```
+/// use poisongame_linalg::Xoshiro256StarStar;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut a = Xoshiro256StarStar::seed_from_u64(42);
+/// let mut b = Xoshiro256StarStar::seed_from_u64(42);
+/// let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+/// let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+/// assert_eq!(xs, ys);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via the SplitMix64 expansion recommended by the xoshiro
+    /// authors; any `u64` (including 0) yields a well-mixed state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Spawn an independent generator for a sub-task, derived
+    /// deterministically from this generator's stream.
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.next_raw())
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // The all-zero state is the one fixed point of xoshiro; remap it.
+        if s == [0, 0, 0, 0] {
+            return Self::new(0);
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+/// SplitMix64 — used to expand small seeds into full xoshiro state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// New stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, deterministic given the RNG.
+pub fn shuffled_indices(n: usize, rng: &mut Xoshiro256StarStar) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next_raw() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Sample `k` distinct indices from `0..n` without replacement.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement(
+    n: usize,
+    k: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut idx = shuffled_indices(n, rng);
+    idx.truncate(k);
+    idx
+}
+
+/// Draw one standard-normal variate (Marsaglia polar method).
+pub fn standard_normal(rng: &mut Xoshiro256StarStar) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draw one exponential variate with the given rate (`rate > 0`).
+///
+/// # Panics
+///
+/// Panics if `rate <= 0` or is not finite.
+pub fn exponential(rate: f64, rng: &mut Xoshiro256StarStar) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "exponential: bad rate {rate}");
+    // 1 - U is in (0, 1], so ln is finite.
+    -(1.0 - rng.next_f64()).ln() / rate
+}
+
+/// Draw one log-normal variate with the given parameters of the
+/// underlying normal.
+pub fn log_normal(mu: f64, sigma: f64, rng: &mut Xoshiro256StarStar) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reference_stream_is_stable() {
+        // Lock in the output stream: if these change, every recorded
+        // experiment seed in the repo silently changes meaning.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(99);
+        let mut b = Xoshiro256StarStar::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn from_seed_all_zero_is_remapped() {
+        let mut rng = Xoshiro256StarStar::from_seed([0u8; 32]);
+        // Must not be stuck at zero.
+        assert_ne!(rng.next_u64(), 0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn composes_with_rand_distributions() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let x: f64 = rng.gen_range(0.0..10.0);
+        assert!((0.0..10.0).contains(&x));
+        let y: bool = rng.gen();
+        let _ = y;
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut idx = shuffled_indices(100, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut s = sample_without_replacement(50, 20, &mut rng);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        sample_without_replacement(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(123);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let m = crate::stats::mean(&xs);
+        let v = crate::stats::variance(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "variance {v}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(321);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| exponential(2.0, &mut rng)).collect();
+        let m = crate::stats::mean(&xs);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(log_normal(0.0, 1.0, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(77);
+        let mut b = Xoshiro256StarStar::seed_from_u64(77);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..10 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        // Parent and fork produce different streams.
+        assert_ne!(a.next_u64(), fa.next_u64());
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs of SplitMix64 with seed 1234567 (reference
+        // implementation by Vigna).
+        let mut sm = SplitMix64::new(1234567);
+        let v0 = sm.next();
+        let v1 = sm.next();
+        assert_ne!(v0, v1);
+        // Determinism check.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next(), v0);
+        assert_eq!(sm2.next(), v1);
+    }
+}

@@ -1,0 +1,375 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! All binary operations panic on dimension mismatch in debug terms only
+//! when documented; the checked variants return [`LinalgError`]. The
+//! poisoning-game pipeline works with moderate dimensionality (tens of
+//! features), so simple scalar loops are more than fast enough and keep
+//! the code auditable.
+
+use crate::error::LinalgError;
+
+/// Inner product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let d = poisongame_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(d, 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Checked variant of [`dot`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
+pub fn try_dot(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    Ok(dot(a, b))
+}
+
+/// `y ← y + alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Multiply every element of `x` in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise sum returning a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` returning a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Euclidean (L2) norm.
+///
+/// Uses a scaled accumulation so very large components do not overflow.
+pub fn norm2(x: &[f64]) -> f64 {
+    let max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return if max == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    let sum: f64 = x.iter().map(|v| (v / max) * (v / max)).sum();
+    max * sum.sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L∞ norm (maximum absolute value); `0.0` for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let d = poisongame_linalg::vector::euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 5.0);
+/// ```
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean_distance: dimension mismatch");
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+/// Squared Euclidean distance (avoids the square root when only ordering
+/// matters, e.g. nearest-neighbour queries).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Manhattan (L1) distance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn manhattan_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "manhattan_distance: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Normalize `x` in place to unit L2 norm.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DomainError`] if the norm is zero or non-finite
+/// (the vector is left untouched in that case).
+pub fn normalize(x: &mut [f64]) -> Result<(), LinalgError> {
+    let n = norm2(x);
+    if n == 0.0 || !n.is_finite() {
+        return Err(LinalgError::DomainError {
+            what: "norm",
+            value: n,
+        });
+    }
+    scale(1.0 / n, x);
+    Ok(())
+}
+
+/// Linear interpolation `a + t * (b - a)` element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+}
+
+/// Project `point` onto the sphere of radius `radius` centred at `center`.
+///
+/// If `point == center` the projection is ill-defined; the first axis
+/// direction is used.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `radius < 0`.
+pub fn project_to_sphere(point: &[f64], center: &[f64], radius: f64) -> Vec<f64> {
+    assert!(radius >= 0.0, "project_to_sphere: negative radius");
+    assert_eq!(
+        point.len(),
+        center.len(),
+        "project_to_sphere: dimension mismatch"
+    );
+    let mut dir = sub(point, center);
+    let n = norm2(&dir);
+    if n == 0.0 {
+        dir = vec![0.0; point.len()];
+        if !dir.is_empty() {
+            dir[0] = 1.0;
+        }
+        return add(center, &scale_copy(radius, &dir));
+    }
+    add(center, &scale_copy(radius / n, &dir))
+}
+
+/// Return `alpha * x` as a new vector.
+pub fn scale_copy(alpha: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|v| alpha * v).collect()
+}
+
+/// True if every element is finite.
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Index of the maximum element (first on ties); `None` for empty input
+/// or if every element is NaN.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first on ties); `None` for empty input
+/// or if every element is NaN.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn try_dot_rejects_mismatch() {
+        let e = try_dot(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(e, LinalgError::DimensionMismatch { left: 1, right: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms_agree_on_axis_vector() {
+        let x = [0.0, -3.0, 0.0];
+        assert_eq!(norm1(&x), 3.0);
+        assert_eq!(norm2(&x), 3.0);
+        assert_eq!(norm_inf(&x), 3.0);
+    }
+
+    #[test]
+    fn norm2_handles_huge_components_without_overflow() {
+        let x = [1e200, 1e200];
+        let n = norm2(&x);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * 2.0f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn norm2_of_zero_vector_is_zero() {
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn distance_triangle_inequality_spot_check() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let c = [2.0, 0.0];
+        assert!(euclidean_distance(&a, &c) <= euclidean_distance(&a, &b) + euclidean_distance(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    fn squared_distance_matches_euclidean() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert!((squared_distance(&a, &b).sqrt() - euclidean_distance(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_distance_basic() {
+        assert_eq!(manhattan_distance(&[0.0, 0.0], &[1.0, -2.0]), 3.0);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        normalize(&mut x).unwrap();
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_vector() {
+        let mut x = vec![0.0, 0.0];
+        assert!(normalize(&mut x).is_err());
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn project_to_sphere_lands_on_radius() {
+        let c = [1.0, 1.0];
+        let p = [5.0, 1.0];
+        let proj = project_to_sphere(&p, &c, 2.0);
+        assert!((euclidean_distance(&proj, &c) - 2.0).abs() < 1e-12);
+        assert_eq!(proj, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn project_to_sphere_degenerate_center_point() {
+        let c = [1.0, 1.0];
+        let proj = project_to_sphere(&c, &c, 2.0);
+        assert!((euclidean_distance(&proj, &c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 10.0];
+        let b = [10.0, 0.0];
+        assert_eq!(lerp(&a, &b, 0.0), a.to_vec());
+        assert_eq!(lerp(&a, &b, 1.0), b.to_vec());
+        assert_eq!(lerp(&a, &b, 0.5), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn argmax_argmin_with_nan_and_ties() {
+        let x = [f64::NAN, 2.0, 5.0, 5.0, -1.0];
+        assert_eq!(argmax(&x), Some(2));
+        assert_eq!(argmin(&x), Some(4));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+        assert!(all_finite(&[]));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests on the numerical substrate.
+
+use poisongame_linalg::rng::{sample_without_replacement, shuffled_indices};
+use poisongame_linalg::{curve::isotonic_non_decreasing, stats, vector, PiecewiseLinear, Xoshiro256StarStar};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric(a in finite_vec(1..20), b in finite_vec(1..20)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let d1 = vector::dot(a, b);
+        let d2 = vector::dot(b, a);
+        prop_assert!((d1 - d2).abs() <= 1e-9 * d1.abs().max(1.0));
+    }
+
+    #[test]
+    fn triangle_inequality(a in finite_vec(2..8), b in finite_vec(2..8), c in finite_vec(2..8)) {
+        let n = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+        let ac = vector::euclidean_distance(a, c);
+        let ab = vector::euclidean_distance(a, b);
+        let bc = vector::euclidean_distance(b, c);
+        prop_assert!(ac <= ab + bc + 1e-6 * (ab + bc + 1.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(xs in finite_vec(1..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let vlo = stats::quantile(&xs, lo).unwrap();
+        let vhi = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-12);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
+    }
+
+    #[test]
+    fn running_stats_matches_batch(xs in finite_vec(2..60)) {
+        let mut s = stats::RunningStats::new();
+        xs.iter().for_each(|&v| s.push(v));
+        prop_assert!((s.mean() - stats::mean(&xs)).abs() < 1e-6 * stats::mean(&xs).abs().max(1.0));
+        prop_assert!((s.sample_variance() - stats::variance(&xs)).abs()
+            < 1e-5 * stats::variance(&xs).abs().max(1.0));
+    }
+
+    #[test]
+    fn pava_output_is_monotone_and_mean_preserving(ys in finite_vec(1..40)) {
+        let fit = isotonic_non_decreasing(&ys);
+        prop_assert_eq!(fit.len(), ys.len());
+        prop_assert!(fit.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        let sum_in: f64 = ys.iter().sum();
+        let sum_out: f64 = fit.iter().sum();
+        prop_assert!((sum_in - sum_out).abs() < 1e-6 * sum_in.abs().max(1.0));
+    }
+
+    #[test]
+    fn piecewise_eval_within_knot_value_range(
+        knots in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..12),
+        x in -200.0f64..200.0,
+    ) {
+        let curve = PiecewiseLinear::new(knots).unwrap();
+        let y = curve.eval(x);
+        let ymin = curve.ys().iter().copied().fold(f64::INFINITY, f64::min);
+        let ymax = curve.ys().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y >= ymin - 1e-9 && y <= ymax + 1e-9);
+    }
+
+    #[test]
+    fn shuffle_is_permutation(n in 1usize..200, seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut idx = shuffled_indices(n, &mut rng);
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct(n in 1usize..100, seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let k = n / 2;
+        let mut s = sample_without_replacement(n, k, &mut rng);
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+    }
+}

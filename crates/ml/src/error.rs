@@ -1,0 +1,110 @@
+//! Error type for training and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by classifiers and validation helpers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Training set was empty.
+    EmptyTrainingSet,
+    /// Training set contains a single class; a discriminative linear
+    /// model cannot be fit.
+    SingleClass,
+    /// The model has not been fitted yet.
+    NotFitted,
+    /// A prediction input has the wrong feature width.
+    DimensionMismatch {
+        /// Width the model was trained with.
+        expected: usize,
+        /// Width of the offending input.
+        found: usize,
+    },
+    /// A hyperparameter was outside its legal range.
+    BadHyperparameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Training diverged (non-finite weights).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// Underlying data error.
+    Data(poisongame_data::DataError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::SingleClass => write!(f, "training set contains a single class"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} features, found {found}")
+            }
+            MlError::BadHyperparameter { what, value } => {
+                write!(f, "hyperparameter `{what}` out of range: {value}")
+            }
+            MlError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch}")
+            }
+            MlError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl Error for MlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<poisongame_data::DataError> for MlError {
+    fn from(e: poisongame_data::DataError) -> Self {
+        MlError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(MlError::SingleClass.to_string().contains("single class"));
+        assert!(MlError::NotFitted.to_string().contains("not been fitted"));
+        assert!(MlError::DimensionMismatch {
+            expected: 5,
+            found: 3
+        }
+        .to_string()
+        .contains("5"));
+        assert!(MlError::BadHyperparameter {
+            what: "lambda",
+            value: -1.0
+        }
+        .to_string()
+        .contains("lambda"));
+        assert!(MlError::Diverged { epoch: 17 }.to_string().contains("17"));
+    }
+
+    #[test]
+    fn data_error_has_source() {
+        let e: MlError = poisongame_data::DataError::Empty.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

@@ -1,0 +1,164 @@
+//! Loss functions for binary linear classifiers.
+//!
+//! All losses operate on the *margin* `m = y·f(x)` where `y ∈ {−1,+1}`
+//! and `f(x) = w·x + b`: a positive margin is a correct classification.
+
+/// Hinge loss `max(0, 1 − m)` — the SVM loss used throughout the paper.
+///
+/// # Example
+///
+/// ```
+/// use poisongame_ml::loss::hinge;
+/// assert_eq!(hinge(2.0), 0.0);   // confidently correct
+/// assert_eq!(hinge(0.0), 1.0);   // on the boundary
+/// assert_eq!(hinge(-1.0), 2.0);  // confidently wrong
+/// ```
+pub fn hinge(margin: f64) -> f64 {
+    (1.0 - margin).max(0.0)
+}
+
+/// Subgradient of the hinge loss with respect to the margin
+/// (`−1` inside the margin, `0` outside).
+pub fn hinge_grad(margin: f64) -> f64 {
+    if margin < 1.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Squared hinge loss `max(0, 1 − m)²` (smooth variant).
+pub fn squared_hinge(margin: f64) -> f64 {
+    let h = hinge(margin);
+    h * h
+}
+
+/// Gradient of the squared hinge loss w.r.t. the margin.
+pub fn squared_hinge_grad(margin: f64) -> f64 {
+    if margin < 1.0 {
+        -2.0 * (1.0 - margin)
+    } else {
+        0.0
+    }
+}
+
+/// Logistic loss `ln(1 + e^{−m})`, computed in a numerically stable
+/// form for large |m|.
+pub fn logistic(margin: f64) -> f64 {
+    // ln(1+e^{-m}) = max(0,-m) + ln(1 + e^{-|m|})
+    (-margin).max(0.0) + (-margin.abs()).exp().ln_1p()
+}
+
+/// Gradient of the logistic loss w.r.t. the margin: `−σ(−m)`.
+pub fn logistic_grad(margin: f64) -> f64 {
+    -sigmoid(-margin)
+}
+
+/// The logistic sigmoid `1 / (1 + e^{−z})`, stable for large |z|.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Zero-one loss on the margin sign (`1` for errors, boundary counts
+/// as an error).
+pub fn zero_one(margin: f64) -> f64 {
+    if margin > 0.0 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// Mean of a loss over a margin iterator; `0.0` when empty.
+pub fn mean_loss<I, F>(margins: I, loss: F) -> f64
+where
+    I: IntoIterator<Item = f64>,
+    F: Fn(f64) -> f64,
+{
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for m in margins {
+        total += loss(m);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hinge_piecewise() {
+        assert_eq!(hinge(1.0), 0.0);
+        assert_eq!(hinge(0.5), 0.5);
+        assert_eq!(hinge(-2.0), 3.0);
+        assert_eq!(hinge_grad(0.5), -1.0);
+        assert_eq!(hinge_grad(1.5), 0.0);
+    }
+
+    #[test]
+    fn squared_hinge_is_square() {
+        assert_eq!(squared_hinge(0.0), 1.0);
+        assert_eq!(squared_hinge(-1.0), 4.0);
+        assert_eq!(squared_hinge(2.0), 0.0);
+        assert_eq!(squared_hinge_grad(0.0), -2.0);
+        assert_eq!(squared_hinge_grad(3.0), 0.0);
+    }
+
+    #[test]
+    fn logistic_matches_naive_in_safe_range() {
+        for m in [-3.0, -1.0, 0.0, 0.5, 2.0] {
+            let naive = (1.0 + (-m as f64).exp()).ln();
+            assert!((logistic(m) - naive).abs() < 1e-12, "margin {m}");
+        }
+    }
+
+    #[test]
+    fn logistic_is_stable_for_extreme_margins() {
+        assert!(logistic(1000.0).is_finite());
+        assert!(logistic(-1000.0).is_finite());
+        assert!((logistic(-1000.0) - 1000.0).abs() < 1e-9);
+        assert!(logistic(1000.0) < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        for z in [-50.0, -1.0, 0.3, 20.0] {
+            let s = sigmoid(z);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-z) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn logistic_grad_bounds() {
+        assert!((logistic_grad(0.0) + 0.5).abs() < 1e-15);
+        assert!(logistic_grad(100.0).abs() < 1e-12);
+        assert!((logistic_grad(-100.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_one_counts_boundary_as_error() {
+        assert_eq!(zero_one(0.0), 1.0);
+        assert_eq!(zero_one(0.1), 0.0);
+        assert_eq!(zero_one(-0.1), 1.0);
+    }
+
+    #[test]
+    fn mean_loss_averages() {
+        let margins = vec![1.0, 0.0, -1.0];
+        assert!((mean_loss(margins, hinge) - (0.0 + 1.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert_eq!(mean_loss(Vec::<f64>::new(), hinge), 0.0);
+    }
+}

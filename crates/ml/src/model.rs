@@ -1,0 +1,193 @@
+//! The [`Classifier`] trait and shared training configuration.
+
+use crate::error::MlError;
+use crate::schedule::Schedule;
+use poisongame_data::{Dataset, Label};
+use serde::{Deserialize, Serialize};
+
+/// Shared configuration for the SGD-trained linear models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training data. The paper trains for
+    /// 5000 epochs; experiments expose this knob so tests can run fast.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Learning-rate schedule.
+    pub schedule: Schedule,
+    /// Seed for the per-epoch shuffling (training is deterministic
+    /// given this seed).
+    pub seed: u64,
+    /// Whether to fit an intercept term.
+    pub fit_bias: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            lambda: 1e-4,
+            schedule: Schedule::default(),
+            seed: 0x5eed,
+            fit_bias: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's configuration: 5000 epochs of hinge-loss SGD.
+    pub fn paper() -> Self {
+        Self {
+            epochs: 5000,
+            ..Self::default()
+        }
+    }
+
+    /// Validate hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadHyperparameter`] on any invalid field.
+    pub fn validate(&self) -> Result<(), MlError> {
+        if self.epochs == 0 {
+            return Err(MlError::BadHyperparameter {
+                what: "epochs",
+                value: 0.0,
+            });
+        }
+        if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
+            return Err(MlError::BadHyperparameter {
+                what: "lambda",
+                value: self.lambda,
+            });
+        }
+        if !self.schedule.is_valid() {
+            return Err(MlError::BadHyperparameter {
+                what: "schedule",
+                value: f64::NAN,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A binary classifier over dense feature vectors.
+///
+/// Implementations must be deterministic given their configuration
+/// (including the training seed).
+pub trait Classifier {
+    /// Fit on a labelled dataset, replacing any previous fit.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`MlError::EmptyTrainingSet`],
+    /// [`MlError::SingleClass`], [`MlError::BadHyperparameter`] or
+    /// [`MlError::Diverged`] as applicable.
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
+
+    /// Signed decision value for one point (positive ⇒ positive class).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before [`Classifier::fit`] and
+    /// [`MlError::DimensionMismatch`] on width mismatch.
+    fn decision_function(&self, x: &[f64]) -> Result<f64, MlError>;
+
+    /// Predicted label for one point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::decision_function`].
+    fn predict(&self, x: &[f64]) -> Result<Label, MlError> {
+        Ok(Label::from_signed(self.decision_function(x)?))
+    }
+
+    /// Predicted labels for every point in a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is unfitted or widths mismatch (callers
+    /// evaluating a fitted model on the split it came from cannot hit
+    /// either condition).
+    fn predict_batch(&self, data: &Dataset) -> Vec<Label> {
+        data.iter()
+            .map(|(x, _)| self.predict(x).expect("model fitted and widths match"))
+            .collect()
+    }
+
+    /// Fraction of `data` classified correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Classifier::predict_batch`].
+    fn accuracy_on(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| self.predict(x).expect("model fitted") == *y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Validate a dataset before fitting a discriminative model.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyTrainingSet`] or [`MlError::SingleClass`].
+pub fn check_trainable(data: &Dataset) -> Result<(), MlError> {
+    if data.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if data.class_count(Label::Positive) == 0 || data.class_count(Label::Negative) == 0 {
+        return Err(MlError::SingleClass);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        TrainConfig::default().validate().unwrap();
+        TrainConfig::paper().validate().unwrap();
+        assert_eq!(TrainConfig::paper().epochs, 5000);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fields() {
+        let mut c = TrainConfig::default();
+        c.epochs = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::default();
+        c.lambda = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::default();
+        c.schedule = Schedule::Constant { eta0: -0.5 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn check_trainable_conditions() {
+        let empty = Dataset::empty(2);
+        assert!(matches!(
+            check_trainable(&empty).unwrap_err(),
+            MlError::EmptyTrainingSet
+        ));
+        let single = Dataset::from_rows(vec![vec![1.0]], vec![Label::Positive]).unwrap();
+        assert!(matches!(
+            check_trainable(&single).unwrap_err(),
+            MlError::SingleClass
+        ));
+        let both = Dataset::from_rows(
+            vec![vec![1.0], vec![2.0]],
+            vec![Label::Positive, Label::Negative],
+        )
+        .unwrap();
+        assert!(check_trainable(&both).is_ok());
+    }
+}

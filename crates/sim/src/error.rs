@@ -1,0 +1,109 @@
+//! Error type for the experiment pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while running experiments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Dataset preparation failed.
+    Data(poisongame_data::DataError),
+    /// Model training failed.
+    Ml(poisongame_ml::MlError),
+    /// Attack synthesis failed.
+    Attack(poisongame_attack::AttackError),
+    /// Filtering failed.
+    Defense(poisongame_defense::DefenseError),
+    /// Game-model computation failed.
+    Core(poisongame_core::CoreError),
+    /// An experiment parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Data(e) => write!(f, "data: {e}"),
+            SimError::Ml(e) => write!(f, "training: {e}"),
+            SimError::Attack(e) => write!(f, "attack: {e}"),
+            SimError::Defense(e) => write!(f, "defense: {e}"),
+            SimError::Core(e) => write!(f, "game model: {e}"),
+            SimError::BadParameter { what, value } => {
+                write!(f, "parameter `{what}` out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Data(e) => Some(e),
+            SimError::Ml(e) => Some(e),
+            SimError::Attack(e) => Some(e),
+            SimError::Defense(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            SimError::BadParameter { .. } => None,
+        }
+    }
+}
+
+impl From<poisongame_data::DataError> for SimError {
+    fn from(e: poisongame_data::DataError) -> Self {
+        SimError::Data(e)
+    }
+}
+
+impl From<poisongame_ml::MlError> for SimError {
+    fn from(e: poisongame_ml::MlError) -> Self {
+        SimError::Ml(e)
+    }
+}
+
+impl From<poisongame_attack::AttackError> for SimError {
+    fn from(e: poisongame_attack::AttackError) -> Self {
+        SimError::Attack(e)
+    }
+}
+
+impl From<poisongame_defense::DefenseError> for SimError {
+    fn from(e: poisongame_defense::DefenseError) -> Self {
+        SimError::Defense(e)
+    }
+}
+
+impl From<poisongame_core::CoreError> for SimError {
+    fn from(e: poisongame_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: SimError = poisongame_data::DataError::Empty.into();
+        assert!(e.to_string().contains("data"));
+        assert!(e.source().is_some());
+        let e = SimError::BadParameter {
+            what: "strength",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("strength"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,251 @@
+//! Estimate the game curves `E(p)` and `Γ(p)` from experiments.
+//!
+//! The paper: "The input of the algorithm, `E(p)` and `Γ(p)`, are
+//! approximated using the results in Fig. 1." Concretely:
+//!
+//! * `Γ(p)` — the clean-data series of Figure 1 gives the accuracy
+//!   cost of filtering at strength `p`.
+//! * `E(p)` — an unfiltered placement sweep: inject the budget at
+//!   position `p` with no filter and divide the accuracy drop by the
+//!   budget to get per-point damage.
+
+use crate::error::SimError;
+use crate::fig1::Fig1Results;
+use crate::pipeline::{attack_filter_train_eval, filter_train_eval, prepare, ExperimentConfig};
+use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
+use poisongame_defense::FilterStrength;
+use poisongame_linalg::Xoshiro256StarStar;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Curves estimated from experiments, plus the raw samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveEstimate {
+    /// Fitted per-point damage curve.
+    pub effect: EffectCurve,
+    /// Fitted genuine-removal cost curve.
+    pub cost: CostCurve,
+    /// Raw `(placement, per-point damage)` samples.
+    pub effect_samples: Vec<(f64, f64)>,
+    /// Raw `(strength, accuracy loss)` samples.
+    pub cost_samples: Vec<(f64, f64)>,
+    /// Clean, unfiltered baseline accuracy.
+    pub baseline_accuracy: f64,
+    /// Poison budget the effect sweep used.
+    pub n_poison: usize,
+}
+
+impl CurveEstimate {
+    /// Assemble the poisoning game from the estimated curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates game-construction failures (zero budget).
+    pub fn game(&self) -> Result<PoisonGame, SimError> {
+        Ok(PoisonGame::new(
+            self.effect.clone(),
+            self.cost.clone(),
+            self.n_poison,
+        )?)
+    }
+}
+
+/// Fit `Γ(p)` from an existing Figure 1 sweep (its clean series).
+///
+/// # Errors
+///
+/// Propagates curve-fitting failures.
+pub fn cost_curve_from_fig1(fig1: &Fig1Results) -> Result<CostCurve, SimError> {
+    let base = fig1
+        .rows
+        .iter()
+        .find(|r| r.removed_fraction == 0.0)
+        .map(|r| r.accuracy_clean)
+        .unwrap_or(fig1.baseline_accuracy);
+    let samples: Vec<(f64, f64)> = fig1
+        .rows
+        .iter()
+        .map(|r| (r.removed_fraction, (base - r.accuracy_clean).max(0.0)))
+        .collect();
+    Ok(CostCurve::from_samples(&samples)?)
+}
+
+/// Run the placement sweep and fit both curves.
+///
+/// `placements` are attack positions for the `E(p)` sweep;
+/// `strengths` are filter strengths for the `Γ(p)` sweep.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for empty grids and propagates
+/// pipeline failures.
+pub fn estimate_curves(
+    config: &ExperimentConfig,
+    placements: &[f64],
+    strengths: &[f64],
+) -> Result<CurveEstimate, SimError> {
+    if placements.is_empty() || strengths.is_empty() {
+        return Err(SimError::BadParameter {
+            what: "grids",
+            value: 0.0,
+        });
+    }
+    let prepared = prepare(config)?;
+    let baseline = filter_train_eval(
+        &prepared.train,
+        &[],
+        &prepared.test,
+        FilterStrength::RemoveFraction(0.0),
+        config,
+    )?;
+
+    // E(p): unfiltered damage per poison point at each placement.
+    let mut effect_samples = Vec::with_capacity(placements.len());
+    for &p in placements {
+        if !(0.0..1.0).contains(&p) || p.is_nan() {
+            return Err(SimError::BadParameter {
+                what: "placement",
+                value: p,
+            });
+        }
+        let mut rng =
+            Xoshiro256StarStar::seed_from_u64(config.seed ^ p.to_bits().rotate_left(29));
+        let attacked = attack_filter_train_eval(
+            &prepared,
+            p,
+            FilterStrength::RemoveFraction(0.0),
+            config,
+            &mut rng,
+        )?;
+        let damage = (baseline.accuracy - attacked.accuracy) / prepared.n_poison as f64;
+        effect_samples.push((p, damage));
+    }
+
+    // Γ(p): clean accuracy loss at each strength.
+    let mut cost_samples = Vec::with_capacity(strengths.len());
+    for &s in strengths {
+        if !(0.0..1.0).contains(&s) || s.is_nan() {
+            return Err(SimError::BadParameter {
+                what: "strength",
+                value: s,
+            });
+        }
+        let clean = filter_train_eval(
+            &prepared.train,
+            &[],
+            &prepared.test,
+            FilterStrength::RemoveFraction(s),
+            config,
+        )?;
+        cost_samples.push((s, (baseline.accuracy - clean.accuracy).max(0.0)));
+    }
+
+    let effect = EffectCurve::from_samples(&effect_samples)?;
+    let cost = CostCurve::from_samples(&cost_samples)?;
+    Ok(CurveEstimate {
+        effect,
+        cost,
+        effect_samples,
+        cost_samples,
+        baseline_accuracy: baseline.accuracy,
+        n_poison: prepared.n_poison,
+    })
+}
+
+/// Default placement grid for the effect sweep.
+pub fn default_placements() -> Vec<f64> {
+    vec![0.01, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40]
+}
+
+/// Default strength grid for the cost sweep (matches Figure 1).
+pub fn default_strengths() -> Vec<f64> {
+    vec![0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DataSource;
+    use poisongame_defense::CentroidEstimator;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 42,
+            source: DataSource::SyntheticSpambase { rows: 600 },
+            test_fraction: 0.3,
+            budget_fraction: 0.2,
+            epochs: 40,
+            centroid: CentroidEstimator::CoordinateMedian,
+        }
+    }
+
+    #[test]
+    fn curves_have_expected_shape() {
+        let est = estimate_curves(
+            &quick_config(),
+            &[0.02, 0.15, 0.35],
+            &[0.0, 0.1, 0.3],
+        )
+        .unwrap();
+        // Effect: boundary placement damages at least as much as deep.
+        assert!(est.effect.eval(0.02) >= est.effect.eval(0.35));
+        // Boundary placement on separable blobs must do real damage.
+        assert!(
+            est.effect.eval(0.02) > 0.0,
+            "no measurable damage: {:?}",
+            est.effect_samples
+        );
+        // Cost: anchored at zero, non-decreasing.
+        assert_eq!(est.cost.eval(0.0), 0.0);
+        assert!(est.cost.eval(0.3) >= est.cost.eval(0.1) - 1e-12);
+        assert!(est.baseline_accuracy > 0.75);
+    }
+
+    #[test]
+    fn game_assembles() {
+        let est =
+            estimate_curves(&quick_config(), &[0.05, 0.2], &[0.0, 0.2]).unwrap();
+        let game = est.game().unwrap();
+        assert_eq!(game.n_points(), est.n_poison);
+    }
+
+    #[test]
+    fn empty_grids_rejected() {
+        assert!(estimate_curves(&quick_config(), &[], &[0.1]).is_err());
+        assert!(estimate_curves(&quick_config(), &[0.1], &[]).is_err());
+        assert!(estimate_curves(&quick_config(), &[1.5], &[0.1]).is_err());
+    }
+
+    #[test]
+    fn cost_curve_from_fig1_uses_clean_series() {
+        use crate::fig1::{Fig1Results, Fig1Row};
+        let fig1 = Fig1Results {
+            rows: vec![
+                Fig1Row {
+                    removed_fraction: 0.0,
+                    accuracy_under_attack: 0.80,
+                    accuracy_clean: 0.92,
+                    poison_recall: 0.0,
+                },
+                Fig1Row {
+                    removed_fraction: 0.2,
+                    accuracy_under_attack: 0.85,
+                    accuracy_clean: 0.89,
+                    poison_recall: 1.0,
+                },
+            ],
+            baseline_accuracy: 0.92,
+            n_poison: 100,
+        };
+        let cost = cost_curve_from_fig1(&fig1).unwrap();
+        assert_eq!(cost.eval(0.0), 0.0);
+        assert!((cost.eval(0.2) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_grids_are_valid() {
+        assert!(!default_placements().is_empty());
+        assert!(!default_strengths().is_empty());
+        assert!(default_strengths().contains(&0.0));
+    }
+}

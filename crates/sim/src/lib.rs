@@ -1,0 +1,47 @@
+//! End-to-end experiment pipeline reproducing the paper's evaluation.
+//!
+//! * [`pipeline`] — dataset preparation (generate → split → scale) and
+//!   the attack → filter → train → evaluate loop shared by every
+//!   experiment.
+//! * [`fig1`] — Figure 1: accuracy vs filter strength under the
+//!   optimal pure-strategy attack, and on clean data.
+//! * [`estimate`] — fits the `E(p)` / `Γ(p)` curves from sweep
+//!   measurements (the paper's "approximated using the results in
+//!   Fig. 1").
+//! * [`table1`] — Table 1: Algorithm 1's mixed defense for `n = 2, 3`
+//!   and its empirical accuracy under the best-responding attack.
+//! * [`scaling`] — the §5 text claims: accuracy plateaus for `n ≥ 3`
+//!   while solve time grows.
+//! * [`monte_carlo`] — repeated-game simulation validating the
+//!   equilibrium indifference property empirically.
+//! * [`report`] — ASCII tables and CSV output.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
+//! use poisongame_sim::fig1::{run_fig1, Fig1Config};
+//!
+//! let config = ExperimentConfig::paper().quick();
+//! let results = run_fig1(&config, &Fig1Config::default()).unwrap();
+//! for row in &results.rows {
+//!     println!("{:.0}% removed: attacked {:.3}, clean {:.3}",
+//!         row.removed_fraction * 100.0, row.accuracy_under_attack, row.accuracy_clean);
+//! }
+//! # let _ = DataSource::default();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod estimate;
+pub mod fig1;
+pub mod monte_carlo;
+pub mod pipeline;
+pub mod report;
+pub mod scaling;
+pub mod table1;
+
+pub use error::SimError;
+pub use pipeline::{DataSource, ExperimentConfig, Prepared};

@@ -1,0 +1,163 @@
+//! Monte-Carlo validation of the equilibrium indifference property.
+//!
+//! At the defender's NE every support placement yields the attacker
+//! the same expected gain (§4.2). This module plays the game
+//! repeatedly — sampling the defender's filter strength each round —
+//! and checks that the *empirical* per-placement payoffs converge to a
+//! common value, closing the loop between the analytic strategy and
+//! the stochastic game it is meant to secure.
+
+use crate::error::SimError;
+use poisongame_core::{DefenderMixedStrategy, PoisonGame};
+use poisongame_linalg::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Result of a repeated-game simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloResults {
+    /// `(placement, empirical mean attacker payoff)` per candidate.
+    pub candidate_payoffs: Vec<(f64, f64)>,
+    /// Relative spread `(max − min)/|max|` of the payoffs.
+    pub payoff_spread: f64,
+    /// Empirical mean of the defender's total loss (damage + Γ).
+    pub mean_defender_loss: f64,
+    /// Rounds simulated.
+    pub rounds: usize,
+}
+
+/// Simulate `rounds` plays of the game: each round the defender samples
+/// a strength from `strategy`, and every candidate placement's payoff
+/// (`N·E(p)` if it survives, else 0) is recorded.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `rounds == 0`.
+pub fn simulate_repeated_game(
+    game: &PoisonGame,
+    strategy: &DefenderMixedStrategy,
+    rounds: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<MonteCarloResults, SimError> {
+    if rounds == 0 {
+        return Err(SimError::BadParameter {
+            what: "rounds",
+            value: 0.0,
+        });
+    }
+    let candidates: Vec<f64> = strategy.support().to_vec();
+    let n = game.n_points() as f64;
+    let mut sums = vec![0.0; candidates.len()];
+    let mut loss_sum = 0.0;
+
+    for _ in 0..rounds {
+        let theta = strategy.sample(rng);
+        let mut best_payoff: f64 = 0.0;
+        for (k, &p) in candidates.iter().enumerate() {
+            let survives = theta <= p + 1e-12;
+            let payoff = if survives { n * game.effect().eval(p) } else { 0.0 };
+            sums[k] += payoff;
+            best_payoff = best_payoff.max(payoff);
+        }
+        // Defender pays the best response damage plus the filter cost.
+        loss_sum += best_payoff + game.cost().eval(theta);
+    }
+
+    let candidate_payoffs: Vec<(f64, f64)> = candidates
+        .iter()
+        .zip(&sums)
+        .map(|(&p, &s)| (p, s / rounds as f64))
+        .collect();
+    let max = candidate_payoffs
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = candidate_payoffs
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::INFINITY, f64::min);
+    let payoff_spread = if max.abs() < 1e-300 {
+        0.0
+    } else {
+        (max - min) / max.abs()
+    };
+
+    Ok(MonteCarloResults {
+        candidate_payoffs,
+        payoff_spread,
+        mean_defender_loss: loss_sum / rounds as f64,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poisongame_core::ne::equalizing_strategy;
+    use poisongame_core::{CostCurve, EffectCurve};
+    use rand::SeedableRng;
+
+    fn game() -> PoisonGame {
+        let effect = EffectCurve::from_samples(&[
+            (0.0, 2.0e-4),
+            (0.10, 9.0e-5),
+            (0.20, 4.0e-5),
+            (0.40, 2.0e-6),
+        ])
+        .unwrap();
+        let cost =
+            CostCurve::from_samples(&[(0.0, 0.0), (0.20, 0.022), (0.40, 0.065)]).unwrap();
+        PoisonGame::new(effect, cost, 644).unwrap()
+    }
+
+    #[test]
+    fn equalizing_strategy_is_empirically_indifferent() {
+        let g = game();
+        let strategy = equalizing_strategy(&[0.05, 0.15, 0.30], g.effect()).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        let mc = simulate_repeated_game(&g, &strategy, 200_000, &mut rng).unwrap();
+        assert!(
+            mc.payoff_spread < 0.02,
+            "payoffs not indifferent: {:?} (spread {})",
+            mc.candidate_payoffs,
+            mc.payoff_spread
+        );
+    }
+
+    #[test]
+    fn non_equalizing_strategy_shows_spread() {
+        let g = game();
+        // Uniform probabilities are not equalizing for this curve.
+        let strategy =
+            DefenderMixedStrategy::new(vec![0.05, 0.30], vec![0.5, 0.5]).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(32);
+        let mc = simulate_repeated_game(&g, &strategy, 100_000, &mut rng).unwrap();
+        assert!(
+            mc.payoff_spread > 0.1,
+            "expected visible spread, got {}",
+            mc.payoff_spread
+        );
+    }
+
+    #[test]
+    fn empirical_matches_analytic_payoff() {
+        let g = game();
+        let strategy = equalizing_strategy(&[0.05, 0.25], g.effect()).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(33);
+        let mc = simulate_repeated_game(&g, &strategy, 300_000, &mut rng).unwrap();
+        let analytic = g.n_points() as f64 * strategy.attacker_gain(g.effect());
+        for &(p, emp) in &mc.candidate_payoffs {
+            assert!(
+                (emp - analytic).abs() / analytic < 0.02,
+                "placement {p}: empirical {emp} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rounds_rejected() {
+        let g = game();
+        let strategy = DefenderMixedStrategy::pure(0.1).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(34);
+        assert!(simulate_repeated_game(&g, &strategy, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Dataset preparation and the shared attack → filter → train →
+//! evaluate loop.
+
+use crate::error::SimError;
+use poisongame_attack::{AttackStrategy, BoundaryAttack, RadiusSpec, ThreatModel};
+use poisongame_data::scale::StandardScaler;
+use poisongame_data::split::train_test_split;
+use poisongame_data::synth::{gaussian_blobs, spambase_like, SpambaseConfig};
+use poisongame_data::Dataset;
+use poisongame_defense::{
+    CentroidEstimator, Filter, FilterAccounting, FilterStrength, RadiusFilter,
+};
+use poisongame_ml::svm::LinearSvm;
+use poisongame_ml::{Classifier, TrainConfig};
+use poisongame_linalg::Xoshiro256StarStar;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which dataset the experiment runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSource {
+    /// The synthetic Spambase stand-in (see `poisongame-data`).
+    SyntheticSpambase {
+        /// Number of rows (UCI: 4601).
+        rows: usize,
+    },
+    /// Gaussian blobs — small and fast, for tests and the quickstart.
+    Blobs {
+        /// Points per class.
+        per_class: usize,
+        /// Feature dimension.
+        dim: usize,
+        /// Class-mean separation.
+        offset: f64,
+        /// Isotropic standard deviation.
+        sigma: f64,
+    },
+    /// A verbatim Spambase-format CSV (drop-in for the real UCI file).
+    CsvText {
+        /// The file contents.
+        text: String,
+    },
+}
+
+impl Default for DataSource {
+    fn default() -> Self {
+        DataSource::SyntheticSpambase { rows: 4601 }
+    }
+}
+
+/// Experiment configuration shared by Figure 1 / Table 1 / scaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed: every random choice derives from it.
+    pub seed: u64,
+    /// Dataset source.
+    pub source: DataSource,
+    /// Held-out fraction (paper: 0.3).
+    pub test_fraction: f64,
+    /// Attacker budget as a fraction of the clean training set
+    /// (paper: 0.2).
+    pub budget_fraction: f64,
+    /// SVM training epochs (paper: 5000).
+    pub epochs: usize,
+    /// Centroid estimator anchoring the defense filter.
+    pub centroid: CentroidEstimator,
+}
+
+impl ExperimentConfig {
+    /// The paper's experimental setup: Spambase-scale data, 70/30
+    /// split, 20 % budget, 5000-epoch hinge-loss SVM.
+    pub fn paper() -> Self {
+        Self {
+            seed: 20190607, // arXiv submission date of the paper
+            source: DataSource::default(),
+            test_fraction: 0.3,
+            budget_fraction: 0.2,
+            epochs: 5000,
+            centroid: CentroidEstimator::CoordinateMedian,
+        }
+    }
+
+    /// Same protocol at reduced scale/epochs — minutes-to-seconds for
+    /// CI and examples. The curve *shapes* are preserved.
+    pub fn quick(mut self) -> Self {
+        self.epochs = 150;
+        if let DataSource::SyntheticSpambase { rows } = self.source {
+            self.source = DataSource::SyntheticSpambase { rows: rows.min(1500) };
+        }
+        self
+    }
+
+    /// Training configuration derived from this experiment.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            seed: self.seed ^ 0x7261_696e, // "rain" — decorrelate from data seed
+            ..TrainConfig::default()
+        }
+    }
+
+    /// The threat model implied by the budget fraction.
+    pub fn threat_model(&self) -> ThreatModel {
+        ThreatModel {
+            budget_fraction: self.budget_fraction,
+            ..ThreatModel::paper()
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A prepared experiment: scaled train/test splits plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prepared {
+    /// Scaled training data (clean).
+    pub train: Dataset,
+    /// Scaled held-out data.
+    pub test: Dataset,
+    /// The scaler fitted on the raw training split.
+    pub scaler: StandardScaler,
+    /// Number of poison points the budget allows.
+    pub n_poison: usize,
+}
+
+/// Generate, split and scale the dataset for an experiment.
+///
+/// # Errors
+///
+/// Propagates dataset generation/splitting/scaling failures.
+pub fn prepare(config: &ExperimentConfig) -> Result<Prepared, SimError> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
+    let full = match &config.source {
+        DataSource::SyntheticSpambase { rows } => spambase_like(
+            &SpambaseConfig {
+                rows: *rows,
+                ..SpambaseConfig::default()
+            },
+            &mut rng,
+        ),
+        DataSource::Blobs {
+            per_class,
+            dim,
+            offset,
+            sigma,
+        } => gaussian_blobs(*per_class, *dim, *offset, *sigma, &mut rng),
+        DataSource::CsvText { text } => poisongame_data::csv::parse_csv(text)?,
+    };
+    let (train_raw, test_raw) = train_test_split(&full, config.test_fraction, &mut rng)?;
+    // Z-scoring (not min-max): it stabilizes SGD while *preserving* the
+    // heavy right tails of the capital-run columns, which carry the
+    // distance geometry the radius filter and the game model live on.
+    let (train, scaler) = StandardScaler::fit_transform(&train_raw)?;
+    let test = scaler.transform(&test_raw)?;
+    let n_poison = config.threat_model().poison_count(train.len())?;
+    Ok(Prepared {
+        train,
+        test,
+        scaler,
+        n_poison,
+    })
+}
+
+/// Result of one attack → filter → train → evaluate run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Held-out accuracy of the model trained on the filtered data.
+    pub accuracy: f64,
+    /// Ground-truth poison/genuine accounting of the filter.
+    pub accounting: FilterAccounting,
+    /// Fraction of the (poisoned) training set the filter removed.
+    pub removed_fraction: f64,
+}
+
+/// Filter a (possibly poisoned) training set, train the SVM on the
+/// survivors and evaluate on the held-out split.
+///
+/// `poison_indices` is the experiment's ground truth for accounting;
+/// pass `&[]` for clean runs.
+///
+/// # Errors
+///
+/// Propagates filtering and training failures.
+pub fn filter_train_eval(
+    train: &Dataset,
+    poison_indices: &[usize],
+    test: &Dataset,
+    strength: FilterStrength,
+    config: &ExperimentConfig,
+) -> Result<EvalOutcome, SimError> {
+    let filter = RadiusFilter::new(strength, config.centroid);
+    let outcome = filter.split(train)?;
+    let kept = outcome.kept_dataset(train);
+    let mut svm = LinearSvm::new(config.train_config());
+    svm.fit(&kept)?;
+    Ok(EvalOutcome {
+        accuracy: svm.accuracy_on(test),
+        accounting: outcome.account(poison_indices),
+        removed_fraction: outcome.removed_fraction(train),
+    })
+}
+
+/// The placement that "hugs" a strength-`theta` filter from inside,
+/// accounting for the attacker's own contamination: the rank-based
+/// global filter removes `θ·(n+m)` points of the poisoned training
+/// set, so the poison must sit deeper than the `θ·(n+m)/n` quantile of
+/// the *genuine* distance distribution (plus `slack` for the centroid
+/// shift the poison itself induces). `n` is the clean training size,
+/// `m` the poison budget.
+pub fn hugging_placement(prepared: &Prepared, theta: f64, slack: f64) -> f64 {
+    let n = prepared.train.len() as f64;
+    let m = prepared.n_poison as f64;
+    (theta * (n + m) / n + slack).min(0.95)
+}
+
+/// Poison the clean training set with the optimal boundary attack at
+/// `placement` (removal-percentile axis), then filter/train/evaluate.
+///
+/// # Errors
+///
+/// Propagates attack, filtering and training failures.
+pub fn attack_filter_train_eval(
+    prepared: &Prepared,
+    placement: f64,
+    strength: FilterStrength,
+    config: &ExperimentConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<EvalOutcome, SimError> {
+    let attack = BoundaryAttack::new(RadiusSpec::Percentile(placement));
+    let (poisoned, injected) = attack.poison(&prepared.train, prepared.n_poison, rng)?;
+    filter_train_eval(&poisoned, &injected, &prepared.test, strength, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_blob_config() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 7,
+            source: DataSource::Blobs {
+                per_class: 120,
+                dim: 4,
+                offset: 3.0,
+                sigma: 0.6,
+            },
+            test_fraction: 0.3,
+            budget_fraction: 0.2,
+            epochs: 40,
+            centroid: CentroidEstimator::CoordinateMedian,
+        }
+    }
+
+    /// Small synthetic-Spambase config: the geometry the attack is
+    /// calibrated for (blobs are too separable for poison to matter).
+    fn quick_spam_config() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 7,
+            source: DataSource::SyntheticSpambase { rows: 600 },
+            test_fraction: 0.3,
+            budget_fraction: 0.2,
+            epochs: 40,
+            centroid: CentroidEstimator::CoordinateMedian,
+        }
+    }
+
+    #[test]
+    fn prepare_splits_and_scales() {
+        let p = prepare(&quick_blob_config()).unwrap();
+        assert_eq!(p.train.len() + p.test.len(), 240);
+        assert_eq!(p.n_poison, (p.train.len() as f64 * 0.2).round() as usize);
+        // Z-scored: every column of the training split has ~zero mean.
+        let sums = p.train.features().column_means().unwrap();
+        assert!(sums.iter().all(|m| m.abs() < 1e-9));
+    }
+
+    #[test]
+    fn clean_baseline_accuracy_is_high() {
+        let config = quick_blob_config();
+        let p = prepare(&config).unwrap();
+        let out = filter_train_eval(
+            &p.train,
+            &[],
+            &p.test,
+            FilterStrength::RemoveFraction(0.0),
+            &config,
+        )
+        .unwrap();
+        assert!(out.accuracy > 0.95, "clean accuracy {}", out.accuracy);
+        assert_eq!(out.accounting.poison_removed, 0);
+    }
+
+    #[test]
+    fn boundary_attack_hurts_unfiltered_model() {
+        let config = quick_spam_config();
+        let p = prepare(&config).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let clean = filter_train_eval(
+            &p.train,
+            &[],
+            &p.test,
+            FilterStrength::RemoveFraction(0.0),
+            &config,
+        )
+        .unwrap();
+        let attacked = attack_filter_train_eval(
+            &p,
+            0.02,
+            FilterStrength::RemoveFraction(0.0),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            attacked.accuracy < clean.accuracy - 0.02,
+            "attack did nothing: clean {} vs attacked {}",
+            clean.accuracy,
+            attacked.accuracy
+        );
+    }
+
+    #[test]
+    fn strong_filter_blunts_shallow_attack() {
+        let config = quick_spam_config();
+        let p = prepare(&config).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        // Attack right at the boundary; a 30 % filter removes far more
+        // points than the poison budget plus genuine tail — the poison
+        // dies and accuracy recovers most of the damage.
+        let unfiltered = attack_filter_train_eval(
+            &p,
+            0.01,
+            FilterStrength::RemoveFraction(0.0),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        let filtered = attack_filter_train_eval(
+            &p,
+            0.01,
+            FilterStrength::RemoveFraction(0.30),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            filtered.accounting.poison_recall() > 0.8,
+            "filter caught only {:.0}%",
+            filtered.accounting.poison_recall() * 100.0
+        );
+        assert!(
+            filtered.accuracy > unfiltered.accuracy + 0.05,
+            "filtering did not recover accuracy: {} vs {}",
+            filtered.accuracy,
+            unfiltered.accuracy
+        );
+    }
+
+    #[test]
+    fn deep_attack_survives_weak_filter() {
+        let config = quick_spam_config();
+        let p = prepare(&config).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(17);
+        // Attack deep (30th percentile), filter only removes 5 %.
+        let out = attack_filter_train_eval(
+            &p,
+            0.30,
+            FilterStrength::RemoveFraction(0.05),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            out.accounting.poison_recall() < 0.2,
+            "deep poison should survive, recall {:.2}",
+            out.accounting.poison_recall()
+        );
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.test_fraction, 0.3);
+        assert_eq!(c.budget_fraction, 0.2);
+        assert_eq!(c.epochs, 5000);
+        let q = c.quick();
+        assert!(q.epochs < 5000);
+    }
+
+    #[test]
+    fn csv_source_round_trips() {
+        let config = ExperimentConfig {
+            seed: 5,
+            source: DataSource::CsvText {
+                text: (0..60)
+                    .map(|i| {
+                        let y = i % 2;
+                        let base = if y == 1 { 5.0 } else { 0.0 };
+                        format!("{},{},{}\n", base + (i % 7) as f64 * 0.1, base, y)
+                    })
+                    .collect::<String>(),
+            },
+            test_fraction: 0.3,
+            budget_fraction: 0.1,
+            epochs: 20,
+            centroid: CentroidEstimator::Mean,
+        };
+        let p = prepare(&config).unwrap();
+        assert_eq!(p.train.len() + p.test.len(), 60);
+        assert_eq!(p.train.dim(), 2);
+    }
+}

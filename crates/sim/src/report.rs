@@ -1,0 +1,250 @@
+//! Result rendering: ASCII tables (for terminals and EXPERIMENTS.md)
+//! and CSV (for plotting).
+
+use crate::fig1::Fig1Results;
+use crate::scaling::ScalingResults;
+use crate::table1::Table1Results;
+
+/// Render a generic ASCII table with a header row.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+\n";
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out
+}
+
+/// Render rows as CSV with a header line (no quoting — all cells here
+/// are numeric or simple labels).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 1 as an ASCII table.
+pub fn fig1_table(results: &Fig1Results) -> String {
+    let rows: Vec<Vec<String>> = results
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}%", r.removed_fraction * 100.0),
+                format!("{:.4}", r.accuracy_under_attack),
+                format!("{:.4}", r.accuracy_clean),
+                format!("{:.0}%", r.poison_recall * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Figure 1 — pure strategy defense under optimal attack\n\
+         (baseline accuracy {:.4}, N = {} poison points)\n",
+        results.baseline_accuracy, results.n_poison
+    );
+    out.push_str(&render_table(
+        &["removed", "acc (attacked)", "acc (clean)", "poison caught"],
+        &rows,
+    ));
+    out
+}
+
+/// Figure 1 as CSV.
+pub fn fig1_csv(results: &Fig1Results) -> String {
+    let rows: Vec<Vec<String>> = results
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.removed_fraction),
+                format!("{}", r.accuracy_under_attack),
+                format!("{}", r.accuracy_clean),
+                format!("{}", r.poison_recall),
+            ]
+        })
+        .collect();
+    render_csv(
+        &["removed_fraction", "accuracy_under_attack", "accuracy_clean", "poison_recall"],
+        &rows,
+    )
+}
+
+/// Table 1 in the paper's layout (one column block per support size).
+pub fn table1_table(results: &Table1Results) -> String {
+    let mut out = String::from("Table 1 — mixed strategy defense under optimal attack\n");
+    for row in &results.rows {
+        out.push_str(&format!("\n# radius = {}\n", row.n_radii));
+        let radii: Vec<String> = row
+            .support
+            .iter()
+            .map(|p| format!("{:.1}%", p * 100.0))
+            .collect();
+        let probs: Vec<String> = row
+            .probabilities
+            .iter()
+            .map(|q| format!("{:.1}%", q * 100.0))
+            .collect();
+        out.push_str(&render_table(
+            &["Radius", "Probability"],
+            &radii
+                .iter()
+                .zip(&probs)
+                .map(|(r, p)| vec![r.clone(), p.clone()])
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str(&format!(
+            "accuracy: {:.4} empirical / {:.4} predicted (attacker at {:.1}%)\n",
+            row.empirical_accuracy,
+            row.predicted_accuracy,
+            row.attacker_placement * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "\nbest pure accuracy under attack: {:.4} | clean baseline: {:.4}\n",
+        results.best_pure_accuracy, results.baseline_accuracy
+    ));
+    out
+}
+
+/// Scaling results as an ASCII table.
+pub fn scaling_table(results: &ScalingResults) -> String {
+    let rows: Vec<Vec<String>> = results
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_radii.to_string(),
+                format!("{:.6}", r.defender_loss),
+                format!("{:.4}", r.predicted_accuracy),
+                r.iterations.to_string(),
+                format!("{:.1} ms", r.solve_micros as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Scaling — Algorithm 1 vs support size n\n");
+    out.push_str(&render_table(
+        &["n", "defender loss", "predicted acc", "iterations", "solve time"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1::Fig1Row;
+    use crate::scaling::ScalingRow;
+    use crate::table1::Table1Row;
+
+    fn fig1() -> Fig1Results {
+        Fig1Results {
+            rows: vec![Fig1Row {
+                removed_fraction: 0.1,
+                accuracy_under_attack: 0.85,
+                accuracy_clean: 0.91,
+                poison_recall: 0.7,
+            }],
+            baseline_accuracy: 0.92,
+            n_poison: 644,
+        }
+    }
+
+    #[test]
+    fn generic_table_aligns_columns() {
+        let out = render_table(
+            &["a", "long header"],
+            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+        );
+        assert!(out.contains("| a         | long header |"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let out = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fig1_renderings_contain_data() {
+        let t = fig1_table(&fig1());
+        assert!(t.contains("10.0%"));
+        assert!(t.contains("0.8500"));
+        let c = fig1_csv(&fig1());
+        assert!(c.starts_with("removed_fraction"));
+        assert!(c.contains("0.85"));
+    }
+
+    #[test]
+    fn table1_rendering_matches_paper_layout() {
+        let t = table1_table(&Table1Results {
+            rows: vec![Table1Row {
+                n_radii: 2,
+                support: vec![0.058, 0.157],
+                probabilities: vec![0.512, 0.488],
+                predicted_accuracy: 0.856,
+                empirical_accuracy: 0.859,
+                attacker_placement: 0.058,
+            }],
+            best_pure_accuracy: 0.84,
+            baseline_accuracy: 0.92,
+        });
+        assert!(t.contains("# radius = 2"));
+        assert!(t.contains("5.8%"));
+        assert!(t.contains("51.2%"));
+    }
+
+    #[test]
+    fn scaling_rendering_includes_time() {
+        let t = scaling_table(&ScalingResults {
+            rows: vec![ScalingRow {
+                n_radii: 3,
+                defender_loss: 0.05,
+                predicted_accuracy: 0.87,
+                iterations: 42,
+                solve_micros: 1500,
+            }],
+        });
+        assert!(t.contains("1.5 ms"));
+        assert!(t.contains("42"));
+    }
+}
