@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate for the poisongame workspace. Mirrors what a hosted pipeline
+# would run; keep it green before merging.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI green."

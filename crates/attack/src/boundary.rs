@@ -46,7 +46,7 @@ impl RadiusSpec {
     ) -> Result<f64, AttackError> {
         match *self {
             RadiusSpec::Absolute(r) => {
-                if !(r >= 0.0) || !r.is_finite() {
+                if r < 0.0 || !r.is_finite() {
                     return Err(AttackError::BadParameter {
                         what: "radius",
                         value: r,
@@ -122,10 +122,7 @@ pub fn global_centroid(data: &Dataset, kind: CentroidKind) -> Result<Vec<f64>, A
         return Err(AttackError::DegenerateCleanData);
     }
     match kind {
-        CentroidKind::Mean => Ok(data
-            .features()
-            .column_means()
-            .expect("non-empty dataset")),
+        CentroidKind::Mean => Ok(data.features().column_means().expect("non-empty dataset")),
         CentroidKind::CoordinateMedian => {
             let mut center = Vec::with_capacity(data.dim());
             let mut column = Vec::with_capacity(data.len());
@@ -387,7 +384,10 @@ mod tests {
             let max_genuine = dists.iter().copied().fold(0.0f64, f64::max);
             let d = vector::euclidean_distance(x, &center);
             assert!(d <= max_genuine + 1e-9);
-            assert!(d > 0.5 * max_genuine, "poison too shallow: {d} vs {max_genuine}");
+            assert!(
+                d > 0.5 * max_genuine,
+                "poison too shallow: {d} vs {max_genuine}"
+            );
         }
     }
 
@@ -443,8 +443,7 @@ mod tests {
             .unwrap();
         for (x, y) in poison.iter() {
             let own = class_centroid(&data, y, CentroidKind::CoordinateMedian).unwrap();
-            let other =
-                class_centroid(&data, y.flipped(), CentroidKind::CoordinateMedian).unwrap();
+            let other = class_centroid(&data, y.flipped(), CentroidKind::CoordinateMedian).unwrap();
             // The poison must be closer to the opposite centroid than
             // its own class centroid is.
             let own_to_other = vector::euclidean_distance(&own, &other);
@@ -464,7 +463,10 @@ mod tests {
             RadiusSpec::Absolute(f64::NAN),
         ] {
             let attack = BoundaryAttack::new(bad);
-            assert!(attack.generate(&data, 2, &mut rng).is_err(), "{bad:?} accepted");
+            assert!(
+                attack.generate(&data, 2, &mut rng).is_err(),
+                "{bad:?} accepted"
+            );
         }
     }
 

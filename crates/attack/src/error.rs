@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(AttackError::DegenerateCleanData.to_string().contains("class"));
+        assert!(AttackError::DegenerateCleanData
+            .to_string()
+            .contains("class"));
         assert!(AttackError::BadParameter {
             what: "percentile",
             value: 2.0

@@ -53,14 +53,14 @@ mod tests {
     fn copies_points_with_flipped_labels() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let clean = gaussian_blobs(30, 2, 3.0, 0.5, &mut rng);
-        let poison = LabelFlipAttack::new().generate(&clean, 15, &mut rng).unwrap();
+        let poison = LabelFlipAttack::new()
+            .generate(&clean, 15, &mut rng)
+            .unwrap();
         assert_eq!(poison.len(), 15);
         for (x, y) in poison.iter() {
             // Each poison point must be an exact copy of a clean point
             // with the opposite label.
-            let found = clean
-                .iter()
-                .any(|(cx, cy)| cx == x && cy == y.flipped());
+            let found = clean.iter().any(|(cx, cy)| cx == x && cy == y.flipped());
             assert!(found, "poison point is not a flipped copy");
         }
     }
@@ -91,7 +91,9 @@ mod tests {
     fn flips_both_directions_on_balanced_data() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let clean = gaussian_blobs(100, 2, 3.0, 0.5, &mut rng);
-        let poison = LabelFlipAttack::new().generate(&clean, 60, &mut rng).unwrap();
+        let poison = LabelFlipAttack::new()
+            .generate(&clean, 60, &mut rng)
+            .unwrap();
         assert!(poison.class_count(Label::Positive) > 10);
         assert!(poison.class_count(Label::Negative) > 10);
     }

@@ -76,9 +76,7 @@ pub trait AttackStrategy {
     ) -> Result<(Dataset, Vec<usize>), AttackError> {
         let poison = self.generate(clean, n_points, rng)?;
         let mut combined = clean.clone();
-        combined
-            .extend_from(&poison)
-            .map_err(AttackError::Data)?;
+        combined.extend_from(&poison).map_err(AttackError::Data)?;
         let injected = (clean.len()..combined.len()).collect();
         Ok((combined, injected))
     }

@@ -68,7 +68,8 @@ impl MixedRadiusAttack {
             });
         }
         let total: f64 = weights.iter().sum();
-        if !(total > 0.0) || weights.iter().any(|w| *w < 0.0 || !w.is_finite()) {
+        if !(total.is_finite() && total > 0.0) || weights.iter().any(|w| *w < 0.0 || !w.is_finite())
+        {
             return Err(AttackError::BadParameter {
                 what: "weights",
                 value: total,

@@ -56,7 +56,9 @@ mod tests {
     fn points_stay_in_bounding_box() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let clean = gaussian_blobs(50, 3, 3.0, 0.5, &mut rng);
-        let poison = RandomNoiseAttack::new().generate(&clean, 40, &mut rng).unwrap();
+        let poison = RandomNoiseAttack::new()
+            .generate(&clean, 40, &mut rng)
+            .unwrap();
         let summary = clean.column_summary();
         for (x, _) in poison.iter() {
             for (c, &v) in x.iter().enumerate() {
@@ -69,7 +71,9 @@ mod tests {
     fn labels_are_roughly_balanced() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let clean = gaussian_blobs(30, 2, 3.0, 0.5, &mut rng);
-        let poison = RandomNoiseAttack::new().generate(&clean, 200, &mut rng).unwrap();
+        let poison = RandomNoiseAttack::new()
+            .generate(&clean, 200, &mut rng)
+            .unwrap();
         let pos = poison.class_count(Label::Positive);
         assert!(pos > 60 && pos < 140, "positive count {pos}");
     }

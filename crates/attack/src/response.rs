@@ -96,8 +96,8 @@ mod tests {
         // the paper's NE condition 2. Every support point is a best
         // response.
         let e = |p: f64| 1.0 - 2.0 * p; // E(0.05)=0.9, E(0.25)=0.5
-        // survival(0.05)=q1, survival(0.25)=1. Equal products:
-        // 0.9 q1 = 0.5 → q1 = 5/9.
+                                        // survival(0.05)=q1, survival(0.25)=1. Equal products:
+                                        // 0.9 q1 = 0.5 → q1 = 5/9.
         let support = [(0.05, 5.0 / 9.0), (0.25, 4.0 / 9.0)];
         let g1 = e(0.05) * survival_probability(&support, 0.05);
         let g2 = e(0.25) * survival_probability(&support, 0.25);

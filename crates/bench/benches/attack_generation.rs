@@ -28,9 +28,18 @@ fn bench_attacks(c: &mut Criterion) {
 
     group.bench_function("mixed_radius_3", |b| {
         let attack = MixedRadiusAttack::new(vec![
-            RadiusAllocation { spec: RadiusSpec::Percentile(0.05), count: 80 },
-            RadiusAllocation { spec: RadiusSpec::Percentile(0.10), count: 80 },
-            RadiusAllocation { spec: RadiusSpec::Percentile(0.20), count: 80 },
+            RadiusAllocation {
+                spec: RadiusSpec::Percentile(0.05),
+                count: 80,
+            },
+            RadiusAllocation {
+                spec: RadiusSpec::Percentile(0.10),
+                count: 80,
+            },
+            RadiusAllocation {
+                spec: RadiusSpec::Percentile(0.20),
+                count: 80,
+            },
         ]);
         b.iter(|| {
             let mut rng = Xoshiro256StarStar::seed_from_u64(2);

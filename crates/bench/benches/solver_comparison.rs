@@ -1,16 +1,34 @@
 //! Ablation bench: the three zero-sum solvers on the discretized
 //! poisoning game — exact simplex LP vs fictitious play vs
-//! multiplicative weights.
+//! multiplicative weights — all driven through the unified
+//! `ZeroSumSolver` trait so the bench measures exactly the code path
+//! experiments use.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use poisongame_bench::calibrated_game;
 use poisongame_core::bridge::to_matrix_game;
 use poisongame_core::game_model::percentile_grid;
 use poisongame_theory::{
-    solve_fictitious_play, solve_lp, solve_multiplicative_weights, FictitiousPlayConfig,
-    MultiplicativeWeightsConfig,
+    FictitiousPlay, FictitiousPlayConfig, MultiplicativeWeights, MultiplicativeWeightsConfig,
+    SimplexLp, ZeroSumSolver,
 };
 use std::hint::black_box;
+
+/// Solver roster with bench-scale iteration budgets.
+fn roster() -> Vec<Box<dyn ZeroSumSolver>> {
+    vec![
+        Box::new(SimplexLp),
+        Box::new(FictitiousPlay(FictitiousPlayConfig {
+            max_iterations: 30_000,
+            tolerance: 1e-4,
+            check_every: 1000,
+        })),
+        Box::new(MultiplicativeWeights(MultiplicativeWeightsConfig {
+            iterations: 5_000,
+            eta: None,
+        })),
+    ]
+}
 
 fn bench_solvers(c: &mut Criterion) {
     let game = calibrated_game();
@@ -21,48 +39,26 @@ fn bench_solvers(c: &mut Criterion) {
         let grid = percentile_grid(resolution);
         let matrix = to_matrix_game(&game, &grid);
 
-        group.bench_with_input(
-            BenchmarkId::new("simplex_lp", resolution),
-            &matrix,
-            |b, m| {
-                b.iter(|| {
-                    let sol = solve_lp(black_box(m)).expect("LP solves");
-                    black_box(sol.value)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fictitious_play", resolution),
-            &matrix,
-            |b, m| {
-                let cfg = FictitiousPlayConfig {
-                    max_iterations: 30_000,
-                    tolerance: 1e-4,
-                    check_every: 1000,
-                };
-                b.iter(|| {
-                    // FP may hit the cap at this tolerance; both
-                    // outcomes measure the same work.
-                    let out = solve_fictitious_play(black_box(m), &cfg);
-                    black_box(out.is_ok())
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("multiplicative_weights", resolution),
-            &matrix,
-            |b, m| {
-                let cfg = MultiplicativeWeightsConfig {
-                    iterations: 5_000,
-                    eta: None,
-                };
-                b.iter(|| {
-                    let sol = solve_multiplicative_weights(black_box(m), &cfg)
-                        .expect("MW solves");
-                    black_box(sol.value)
-                })
-            },
-        );
+        for solver in roster() {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), resolution),
+                &matrix,
+                |b, m| {
+                    b.iter(|| {
+                        let out = solver.solve(black_box(m));
+                        if solver.is_exact() {
+                            // The LP must solve; a failure here is a bug,
+                            // not a measurement.
+                            black_box(out.expect("exact solver solves").value)
+                        } else {
+                            // Iterative solvers may hit their caps at this
+                            // tolerance; both outcomes measure the same work.
+                            black_box(out.map(|sol| sol.value).unwrap_or(f64::NAN))
+                        }
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use poisongame_core::SolverKind;
 use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
 use poisongame_data::synth::{spambase_like, SpambaseConfig};
 use poisongame_data::Dataset;
@@ -26,6 +27,8 @@ pub fn bench_experiment_config() -> ExperimentConfig {
         budget_fraction: 0.2,
         epochs: 100,
         centroid: CentroidEstimator::CoordinateMedian,
+        solver: SolverKind::Auto,
+        warm_start: false,
     }
 }
 

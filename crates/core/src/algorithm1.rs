@@ -22,6 +22,7 @@ use crate::game_model::PoisonGame;
 use crate::ne::find_percentage;
 use crate::strategy::DefenderMixedStrategy;
 use poisongame_linalg::numeric::{projected_gradient_descent, DescentConfig};
+use poisongame_theory::SolverKind;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`Algorithm1`].
@@ -40,6 +41,18 @@ pub struct Algorithm1Config {
     pub bounds: (f64, f64),
     /// Minimum separation between adjacent support points.
     pub min_separation: f64,
+    /// Matrix-game solver used wherever the algorithm consults the
+    /// discretized game (currently the warm start; see
+    /// [`Self::warm_start`]).
+    #[serde(default)]
+    pub solver: SolverKind,
+    /// Seed the descent from the discretized game's defender NE
+    /// (solved with [`Self::solver`]) instead of an evenly spaced
+    /// support — kept only when the objective scores it no worse than
+    /// the even spread. Off by default: the even start is the paper's
+    /// `chooseInitialRadius(n)`.
+    #[serde(default)]
+    pub warm_start: bool,
 }
 
 impl Default for Algorithm1Config {
@@ -51,6 +64,8 @@ impl Default for Algorithm1Config {
             step: 0.02,
             bounds: (0.005, 0.5),
             min_separation: 2e-3,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 }
@@ -108,6 +123,38 @@ impl Algorithm1 {
             .collect()
     }
 
+    /// Initial support seeded from the discretized game's defender NE,
+    /// solved with the configured [`SolverKind`]. Falls back to `None`
+    /// (caller uses the even start) if the discretized solve fails or
+    /// cannot fill the requested support size.
+    fn warm_start_support(&self, game: &PoisonGame, lo: f64, hi: f64) -> Option<Vec<f64>> {
+        let n = self.config.n_radii;
+        let sep = self.config.min_separation;
+        let resolution = (n * 8).clamp(24, 96);
+        // Coarse budget: seeding only needs a rough equilibrium, and a
+        // bounded solve keeps a hard game from stalling every cell.
+        let sol =
+            crate::bridge::solve_discretized_coarse(game, resolution, self.config.solver).ok()?;
+        // Keep the n heaviest support points of the grid NE.
+        let mut pairs = sol.defender_strategy.support_pairs();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite mass"));
+        pairs.truncate(n);
+        let mut pts: Vec<f64> = pairs.iter().map(|&(p, _)| p.clamp(lo, hi)).collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite percentiles"));
+        pts.dedup_by(|a, b| (*a - *b).abs() < sep);
+        // Pad from the even grid if the grid NE mixes fewer points.
+        for candidate in self.initial_support(lo, hi) {
+            if pts.len() >= n {
+                break;
+            }
+            if pts.iter().all(|&p| (p - candidate).abs() >= sep) {
+                pts.push(candidate);
+            }
+        }
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite percentiles"));
+        (pts.len() == n).then_some(pts)
+    }
+
     /// Run the algorithm.
     ///
     /// # Errors
@@ -138,8 +185,7 @@ impl Algorithm1 {
             // the requested support): the defender's NE is "no filter".
             let strategy = DefenderMixedStrategy::pure(0.0)?;
             let attacker_gain = strategy.attacker_gain(game.effect());
-            let defender_loss =
-                strategy.defender_loss(game.effect(), game.cost(), game.n_points());
+            let defender_loss = strategy.defender_loss(game.effect(), game.cost(), game.n_points());
             return Ok(Algorithm1Result {
                 strategy,
                 defender_loss,
@@ -194,7 +240,25 @@ impl Algorithm1 {
             p
         };
 
-        let x0 = self.initial_support(lo, hi);
+        let x0 = if self.config.warm_start {
+            match self.warm_start_support(game, lo, hi) {
+                // Keep whichever seed the objective already prefers:
+                // on noisy estimated curves the grid NE can collapse
+                // toward a poor basin, and the even spread is the
+                // better start.
+                Some(warm) => {
+                    let even = self.initial_support(lo, hi);
+                    if objective(&warm) <= objective(&even) {
+                        warm
+                    } else {
+                        even
+                    }
+                }
+                None => self.initial_support(lo, hi),
+            }
+        } else {
+            self.initial_support(lo, hi)
+        };
         let descent = projected_gradient_descent(
             objective,
             project,
@@ -354,7 +418,10 @@ mod tests {
         let game = paper_like_game(10);
         assert!(matches!(
             Algorithm1::with_support_size(0).solve(&game).unwrap_err(),
-            CoreError::BadParameter { what: "n_radii", .. }
+            CoreError::BadParameter {
+                what: "n_radii",
+                ..
+            }
         ));
     }
 
@@ -377,6 +444,32 @@ mod tests {
                 game.effect().eval(p) > 0.0,
                 "support point {p} has E={}",
                 game.effect().eval(p)
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_even_start_quality() {
+        let game = paper_like_game(644);
+        let even = Algorithm1::with_support_size(3).solve(&game).unwrap();
+        for solver in [SolverKind::Auto, SolverKind::MultiplicativeWeights] {
+            let warm = Algorithm1::new(Algorithm1Config {
+                n_radii: 3,
+                warm_start: true,
+                solver,
+                ..Algorithm1Config::default()
+            })
+            .solve(&game)
+            .unwrap();
+            assert_eq!(warm.strategy.support().len(), 3);
+            let d = diagnose(&warm.strategy, game.effect(), 1e-6);
+            assert!(d.satisfies_ne_conditions(), "{solver:?}: {d:?}");
+            // Seeding from the grid NE must not land in a worse basin.
+            assert!(
+                warm.defender_loss <= even.defender_loss + 1e-3,
+                "{solver:?}: warm {} vs even {}",
+                warm.defender_loss,
+                even.defender_loss
             );
         }
     }

@@ -64,10 +64,17 @@ pub fn analyze(game: &PoisonGame, resolution: usize) -> BrfAnalysis {
     // pure equilibrium. Check all pairs through payoff comparisons
     // (robust to best-response ties).
     let attack_of = |candidate: Option<f64>| -> Vec<(f64, usize)> {
-        candidate.map(|p| (p, game.n_points())).into_iter().collect()
+        candidate
+            .map(|p| (p, game.n_points()))
+            .into_iter()
+            .collect()
     };
-    let candidates: Vec<Option<f64>> =
-        grid.iter().copied().map(Some).chain(std::iter::once(None)).collect();
+    let candidates: Vec<Option<f64>> = grid
+        .iter()
+        .copied()
+        .map(Some)
+        .chain(std::iter::once(None))
+        .collect();
     let mut pure_fixed_point = None;
     'outer: for &theta in &grid {
         for &candidate in &candidates {
@@ -82,9 +89,7 @@ pub fn analyze(game: &PoisonGame, resolution: usize) -> BrfAnalysis {
                 continue;
             }
             // Defender deviation: any other strength.
-            let defender_can_improve = grid
-                .iter()
-                .any(|&t2| game.payoff(&attack, t2) < u - 1e-12);
+            let defender_can_improve = grid.iter().any(|&t2| game.payoff(&attack, t2) < u - 1e-12);
             if defender_can_improve {
                 continue;
             }
@@ -115,13 +120,9 @@ mod tests {
             (0.45, -1.0e-6),
         ])
         .unwrap();
-        let cost = CostCurve::from_samples(&[
-            (0.0, 0.0),
-            (0.10, 0.009),
-            (0.20, 0.022),
-            (0.40, 0.065),
-        ])
-        .unwrap();
+        let cost =
+            CostCurve::from_samples(&[(0.0, 0.0), (0.10, 0.009), (0.20, 0.022), (0.40, 0.065)])
+                .unwrap();
         PoisonGame::new(effect, cost, 644).unwrap()
     }
 

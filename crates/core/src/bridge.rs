@@ -12,7 +12,7 @@
 use crate::error::CoreError;
 use crate::game_model::{percentile_grid, PoisonGame};
 use crate::strategy::DefenderMixedStrategy;
-use poisongame_theory::{solve_lp, MatrixGame, Solution};
+use poisongame_theory::{MatrixGame, Solution, SolverKind};
 use serde::{Deserialize, Serialize};
 
 /// A solved discretization.
@@ -20,8 +20,8 @@ use serde::{Deserialize, Serialize};
 pub struct DiscretizedSolution {
     /// Grid percentiles indexing both players' actions.
     pub grid: Vec<f64>,
-    /// The exact matrix-game solution (row = attacker; the final row
-    /// index is the abstain action).
+    /// The matrix-game solution (row = attacker; the final row index is
+    /// the abstain action).
     pub solution: Solution,
     /// The defender's equilibrium strategy collapsed onto its support.
     pub defender_strategy: DefenderMixedStrategy,
@@ -30,6 +30,9 @@ pub struct DiscretizedSolution {
     pub attacker_support: Vec<(f64, f64)>,
     /// The game value = the defender's equilibrium loss.
     pub value: f64,
+    /// Name of the solver that produced [`Self::solution`].
+    #[serde(default)]
+    pub solver: String,
 }
 
 /// Build the discretized payoff matrix.
@@ -59,6 +62,10 @@ pub fn to_matrix_game(game: &PoisonGame, grid: &[f64]) -> MatrixGame {
 
 /// Solve the discretized game exactly by LP.
 ///
+/// Shorthand for [`solve_discretized_with`] using
+/// [`SolverKind::Simplex`] — the historical behavior and the
+/// cross-check baseline.
+///
 /// # Errors
 ///
 /// Propagates LP-solver and strategy-construction failures.
@@ -66,30 +73,119 @@ pub fn solve_discretized(
     game: &PoisonGame,
     resolution: usize,
 ) -> Result<DiscretizedSolution, CoreError> {
+    solve_discretized_with(game, resolution, SolverKind::Simplex)
+}
+
+/// Fraction of the probability mass the collapsed support of an
+/// iterative (inexact) solver must cover. Averaged strategies from
+/// Hedge/fictitious play never reach exact zeros, so a fixed mass
+/// floor cannot separate their smear from real support — instead the
+/// densest grid points covering this much mass are kept.
+const ITERATIVE_COVERAGE: f64 = 0.95;
+
+/// Indices of the densest entries covering `coverage` of the total
+/// mass, returned in ascending index order. Exact solvers instead use
+/// a tiny floor (`1e-9`) so their crisp supports are kept whole.
+fn dominant_indices(probs: &[f64], coverage: f64) -> Vec<usize> {
+    let mut by_mass: Vec<usize> = (0..probs.len()).collect();
+    by_mass.sort_by(|&a, &b| {
+        probs[b]
+            .partial_cmp(&probs[a])
+            .expect("finite mass")
+            .then(a.cmp(&b))
+    });
+    let total: f64 = probs.iter().sum();
+    let mut kept = Vec::new();
+    let mut acc = 0.0;
+    for i in by_mass {
+        if acc >= coverage * total {
+            break;
+        }
+        acc += probs[i];
+        kept.push(i);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+/// Support selection shared by both players: exact solvers keep their
+/// crisp support whole (above a tiny floor), iterative solvers keep
+/// the densest points covering [`ITERATIVE_COVERAGE`] of the mass.
+fn kept_indices(probs: &[f64], exact: bool) -> Vec<usize> {
+    if exact {
+        (0..probs.len()).filter(|&i| probs[i] > 1e-9).collect()
+    } else {
+        dominant_indices(probs, ITERATIVE_COVERAGE)
+    }
+}
+
+/// Solve the discretized game with a runtime-selected solver.
+///
+/// Exact solvers produce crisp supports (kept whole, above a `1e-9`
+/// floor); for iterative solvers the grid distributions are collapsed
+/// to the densest points covering [`ITERATIVE_COVERAGE`] of the mass
+/// (their averaged strategies never reach exact zeros) and the
+/// defender's side is renormalized.
+///
+/// # Errors
+///
+/// Propagates solver and strategy-construction failures.
+pub fn solve_discretized_with(
+    game: &PoisonGame,
+    resolution: usize,
+    kind: SolverKind,
+) -> Result<DiscretizedSolution, CoreError> {
+    solve_discretized_inner(game, resolution, kind, false)
+}
+
+/// [`solve_discretized_with`] on the coarse seeding budget
+/// ([`SolverKind::instantiate_coarse`]): bounded iterative work, loose
+/// tolerance. Meant for initialization (Algorithm 1's warm start), not
+/// for reported results.
+///
+/// # Errors
+///
+/// Propagates solver and strategy-construction failures.
+pub fn solve_discretized_coarse(
+    game: &PoisonGame,
+    resolution: usize,
+    kind: SolverKind,
+) -> Result<DiscretizedSolution, CoreError> {
+    solve_discretized_inner(game, resolution, kind, true)
+}
+
+fn solve_discretized_inner(
+    game: &PoisonGame,
+    resolution: usize,
+    kind: SolverKind,
+    coarse: bool,
+) -> Result<DiscretizedSolution, CoreError> {
     let grid = percentile_grid(resolution);
     let matrix = to_matrix_game(game, &grid);
-    let solution = solve_lp(&matrix)?;
+    let solver = if coarse {
+        kind.instantiate_coarse(&matrix)
+    } else {
+        kind.instantiate(&matrix)
+    };
+    let solution = solver.solve(&matrix)?;
 
     // Collapse the defender's grid distribution onto its support.
-    let mut support = Vec::new();
-    let mut probs = Vec::new();
-    for (j, &q) in solution.column_strategy.probabilities().iter().enumerate() {
-        if q > 1e-9 {
-            support.push(grid[j]);
-            probs.push(q);
-        }
+    let column_probs = solution.column_strategy.probabilities();
+    let kept_cols = kept_indices(column_probs, solver.is_exact());
+    let support: Vec<f64> = kept_cols.iter().map(|&j| grid[j]).collect();
+    let mut probs: Vec<f64> = kept_cols.iter().map(|&j| column_probs[j]).collect();
+    let kept: f64 = probs.iter().sum();
+    for q in &mut probs {
+        *q /= kept;
     }
     let defender_strategy = DefenderMixedStrategy::new(support, probs)?;
 
-    let attacker_support: Vec<(f64, f64)> = solution
-        .row_strategy
-        .probabilities()
-        .iter()
-        .take(grid.len())
-        .enumerate()
-        .filter(|(_, &q)| q > 1e-9)
-        .map(|(i, &q)| (grid[i], q))
-        .collect();
+    // Attacker side: same rule, over the placement rows (abstain, the
+    // final row, is excluded from the reported support by definition).
+    let row_probs = &solution.row_strategy.probabilities()[..grid.len()];
+    let kept_rows = kept_indices(row_probs, solver.is_exact());
+    let attacker_support: Vec<(f64, f64)> =
+        kept_rows.iter().map(|&i| (grid[i], row_probs[i])).collect();
 
     let value = solution.value;
     Ok(DiscretizedSolution {
@@ -98,6 +194,7 @@ pub fn solve_discretized(
         defender_strategy,
         attacker_support,
         value,
+        solver: solver.name().to_string(),
     })
 }
 
@@ -187,6 +284,28 @@ mod tests {
             let pure = DefenderMixedStrategy::pure(theta).unwrap();
             let pure_loss = pure.defender_loss(game.effect(), game.cost(), game.n_points());
             assert!(sol.value <= pure_loss + 1e-9, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn iterative_solvers_approximate_the_lp_value() {
+        let game = paper_like_game();
+        let lp = solve_discretized(&game, 40).unwrap();
+        assert_eq!(lp.solver, "simplex_lp");
+        for kind in [
+            SolverKind::MultiplicativeWeights,
+            SolverKind::FictitiousPlay,
+        ] {
+            let approx = solve_discretized_with(&game, 40, kind).unwrap();
+            assert_ne!(approx.solver, "simplex_lp");
+            let scale = lp.value.abs().max(1e-3);
+            assert!(
+                (approx.value - lp.value).abs() / scale < 0.25,
+                "{}: value {} vs LP {}",
+                approx.solver,
+                approx.value,
+                lp.value
+            );
         }
     }
 

@@ -49,7 +49,10 @@ impl fmt::Display for CoreError {
                 "support point {percentile} lies where poisoning is unprofitable"
             ),
             CoreError::NoConvergence { iterations } => {
-                write!(f, "algorithm 1 made no progress after {iterations} iterations")
+                write!(
+                    f,
+                    "algorithm 1 made no progress after {iterations} iterations"
+                )
             }
             CoreError::Linalg(e) => write!(f, "numerical error: {e}"),
             CoreError::Game(e) => write!(f, "game error: {e}"),
@@ -99,7 +102,9 @@ mod tests {
         assert!(CoreError::UnprofitableSupport { percentile: 0.4 }
             .to_string()
             .contains("0.4"));
-        assert!(CoreError::NoConvergence { iterations: 3 }.to_string().contains("3"));
+        assert!(CoreError::NoConvergence { iterations: 3 }
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

@@ -119,8 +119,7 @@ mod tests {
 
     fn game() -> PoisonGame {
         let effect =
-            EffectCurve::from_samples(&[(0.0, 1.0), (0.2, 0.5), (0.4, 0.0), (0.5, -0.2)])
-                .unwrap();
+            EffectCurve::from_samples(&[(0.0, 1.0), (0.2, 0.5), (0.4, 0.0), (0.5, -0.2)]).unwrap();
         let cost = CostCurve::from_samples(&[(0.0, 0.0), (0.25, 5.0), (0.5, 20.0)]).unwrap();
         PoisonGame::new(effect, cost, 10).unwrap()
     }

@@ -99,11 +99,7 @@ pub fn paper_cost_curve() -> Result<CostCurve, CoreError> {
 ///
 /// Never fails for the built-in constants.
 pub fn paper_game() -> Result<PoisonGame, CoreError> {
-    Ok(PoisonGame::new(
-        paper_effect_curve()?,
-        paper_cost_curve()?,
-        PAPER_N_POISON,
-    )?)
+    PoisonGame::new(paper_effect_curve()?, paper_cost_curve()?, PAPER_N_POISON)
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ impl DefenderMixedStrategy {
             });
         }
         for &q in &probabilities {
-            if !(q >= 0.0) || !q.is_finite() {
+            if q < 0.0 || !q.is_finite() {
                 return Err(CoreError::BadParameter {
                     what: "probability",
                     value: q,
@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn survival_is_cdf_from_boundary() {
-        let s = DefenderMixedStrategy::new(vec![0.05, 0.15, 0.30], vec![0.2, 0.3, 0.5])
-            .unwrap();
+        let s = DefenderMixedStrategy::new(vec![0.05, 0.15, 0.30], vec![0.2, 0.3, 0.5]).unwrap();
         assert_eq!(s.survival_probability(0.01), 0.0);
         assert!((s.survival_probability(0.05) - 0.2).abs() < 1e-12);
         assert!((s.survival_probability(0.20) - 0.5).abs() < 1e-12);

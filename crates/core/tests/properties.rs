@@ -1,66 +1,85 @@
 //! Property-based tests on the game model's NE machinery: the
 //! `findPercentage` closed form always equalizes the attacker's gain,
 //! for any valid decreasing effect curve and any support inside the
-//! profitable zone.
+//! profitable zone. Randomized inputs come from the workspace's
+//! deterministic generator, so every run tests the same cases.
 
 use poisongame_core::ne::{diagnose, equalizing_strategy};
 use poisongame_core::EffectCurve;
-use proptest::prelude::*;
+use poisongame_linalg::Xoshiro256StarStar;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+const CASES: usize = 128;
 
 /// A strictly positive, decreasing effect curve on [0, 0.5].
-fn effect_curve() -> impl Strategy<Value = EffectCurve> {
-    (1e-5f64..1e-2, 0.5f64..8.0).prop_map(|(e0, decay)| {
-        let samples: Vec<(f64, f64)> = (0..=10)
-            .map(|k| {
-                let p = k as f64 * 0.05;
-                (p, e0 * (-decay * p).exp())
-            })
-            .collect();
-        EffectCurve::from_samples(&samples).expect("valid samples")
-    })
+fn effect_curve(rng: &mut Xoshiro256StarStar) -> EffectCurve {
+    let e0 = 1e-5 + rng.next_f64() * (1e-2 - 1e-5);
+    let decay = 0.5 + rng.next_f64() * 7.5;
+    let samples: Vec<(f64, f64)> = (0..=10)
+        .map(|k| {
+            let p = k as f64 * 0.05;
+            (p, e0 * (-decay * p).exp())
+        })
+        .collect();
+    EffectCurve::from_samples(&samples).expect("valid samples")
 }
 
 /// A sorted support of 2..=5 distinct percentiles in (0, 0.45).
-fn support() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::btree_set(1u32..90, 2..6).prop_map(|set| {
-        set.into_iter().map(|k| k as f64 * 0.005).collect()
-    })
+fn support(rng: &mut Xoshiro256StarStar) -> Vec<f64> {
+    let size = 2 + (rng.next_raw() as usize) % 4;
+    let mut set = BTreeSet::new();
+    while set.len() < size {
+        set.insert(1 + (rng.next_raw() as u32) % 89);
+    }
+    set.into_iter().map(|k| k as f64 * 0.005).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn equalizing_strategy_satisfies_ne_conditions(e in effect_curve(), s in support()) {
+#[test]
+fn equalizing_strategy_satisfies_ne_conditions() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xEC_0411);
+    for _ in 0..CASES {
+        let e = effect_curve(&mut rng);
+        let s = support(&mut rng);
         let strategy = equalizing_strategy(&s, &e).unwrap();
         let d = diagnose(&strategy, &e, 1e-6);
-        prop_assert!(d.mixes_two_or_more);
-        prop_assert!(d.products_equalized, "spread {}", d.product_spread);
+        assert!(d.mixes_two_or_more);
+        assert!(d.products_equalized, "spread {}", d.product_spread);
         // Probabilities are a distribution.
         let sum: f64 = strategy.probabilities().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(strategy.probabilities().iter().all(|&q| q >= -1e-12));
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(strategy.probabilities().iter().all(|&q| q >= -1e-12));
     }
+}
 
-    #[test]
-    fn attacker_gain_equals_deepest_effect(e in effect_curve(), s in support()) {
+#[test]
+fn attacker_gain_equals_deepest_effect() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x6A17);
+    for _ in 0..CASES {
+        let e = effect_curve(&mut rng);
+        let s = support(&mut rng);
         let strategy = equalizing_strategy(&s, &e).unwrap();
         let deepest = *s.last().unwrap();
         let gain = strategy.attacker_gain(&e);
-        prop_assert!((gain - e.eval(deepest)).abs() < 1e-9 * gain.max(1e-12));
+        assert!((gain - e.eval(deepest)).abs() < 1e-9 * gain.max(1e-12));
     }
+}
 
-    #[test]
-    fn survival_probability_is_monotone_cdf(e in effect_curve(), s in support()) {
+#[test]
+fn survival_probability_is_monotone_cdf() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5324);
+    for _ in 0..CASES {
+        let e = effect_curve(&mut rng);
+        let s = support(&mut rng);
         let strategy = equalizing_strategy(&s, &e).unwrap();
         let mut prev = 0.0;
         for k in 0..=50 {
             let p = k as f64 * 0.01;
             let surv = strategy.survival_probability(p);
-            prop_assert!(surv + 1e-12 >= prev);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&surv));
+            assert!(surv + 1e-12 >= prev);
+            assert!((0.0..=1.0 + 1e-9).contains(&surv));
             prev = surv;
         }
-        prop_assert!((strategy.survival_probability(0.99) - 1.0).abs() < 1e-9);
+        assert!((strategy.survival_probability(0.99) - 1.0).abs() < 1e-9);
     }
 }

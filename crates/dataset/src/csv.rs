@@ -50,11 +50,7 @@ pub fn parse_csv(text: &str) -> Result<Dataset, DataError> {
             if fields.len() - 1 != w {
                 return Err(DataError::Parse {
                     line: lineno + 1,
-                    message: format!(
-                        "expected {} feature columns, found {}",
-                        w,
-                        fields.len() - 1
-                    ),
+                    message: format!("expected {} feature columns, found {}", w, fields.len() - 1),
                 });
             }
         } else {

@@ -290,7 +290,12 @@ mod tests {
                 vec![10.0, 10.0],
                 vec![11.0, 10.0],
             ],
-            vec![Label::Negative, Label::Negative, Label::Positive, Label::Positive],
+            vec![
+                Label::Negative,
+                Label::Negative,
+                Label::Positive,
+                Label::Positive,
+            ],
         )
         .unwrap()
     }
@@ -389,8 +394,7 @@ mod tests {
     #[test]
     fn iter_yields_all_pairs() {
         let d = toy();
-        let collected: Vec<(Vec<f64>, Label)> =
-            d.iter().map(|(x, y)| (x.to_vec(), y)).collect();
+        let collected: Vec<(Vec<f64>, Label)> = d.iter().map(|(x, y)| (x.to_vec(), y)).collect();
         assert_eq!(collected.len(), 4);
         assert_eq!(collected[2].1, Label::Positive);
     }

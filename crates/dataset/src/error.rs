@@ -96,7 +96,9 @@ mod tests {
         }
         .to_string()
         .contains("line 7"));
-        assert!(DataError::DegenerateSplit.to_string().contains("empty side"));
+        assert!(DataError::DegenerateSplit
+            .to_string()
+            .contains("empty side"));
         assert!(DataError::MissingClass.to_string().contains("class"));
     }
 

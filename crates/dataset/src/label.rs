@@ -20,9 +20,12 @@ use std::fmt;
 /// assert_eq!(Label::Positive.flipped(), Label::Negative);
 /// assert_eq!(Label::from_signed(-3.0), Label::Negative);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Label {
     /// The benign class (ham).
+    #[default]
     Negative,
     /// The attacked class (spam).
     Positive,
@@ -74,12 +77,6 @@ impl Label {
     /// Both labels, in `[Negative, Positive]` order.
     pub fn both() -> [Label; 2] {
         [Label::Negative, Label::Positive]
-    }
-}
-
-impl Default for Label {
-    fn default() -> Self {
-        Label::Negative
     }
 }
 

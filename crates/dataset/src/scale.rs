@@ -168,7 +168,11 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::from_rows(
-            vec![vec![0.0, 10.0, 5.0], vec![10.0, 10.0, 15.0], vec![5.0, 10.0, 25.0]],
+            vec![
+                vec![0.0, 10.0, 5.0],
+                vec![10.0, 10.0, 15.0],
+                vec![5.0, 10.0, 25.0],
+            ],
             vec![Label::Negative, Label::Positive, Label::Negative],
         )
         .unwrap()

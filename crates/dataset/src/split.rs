@@ -132,7 +132,13 @@ mod tests {
     fn toy(n: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
         let labels: Vec<Label> = (0..n)
-            .map(|i| if i % 3 == 0 { Label::Positive } else { Label::Negative })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                }
+            })
             .collect();
         Dataset::from_rows(rows, labels).unwrap()
     }
@@ -151,11 +157,7 @@ mod tests {
         let d = toy(50);
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let (train, test) = train_test_split(&d, 0.2, &mut rng).unwrap();
-        let mut seen: Vec<f64> = train
-            .iter()
-            .chain(test.iter())
-            .map(|(x, _)| x[0])
-            .collect();
+        let mut seen: Vec<f64> = train.iter().chain(test.iter()).map(|(x, _)| x[0]).collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
         assert_eq!(seen, expect);

@@ -103,7 +103,10 @@ fn schema(separation: f64) -> Vec<FeatureKind> {
     for i in 0..20 {
         let strength = 0.16 + 0.016 * i as f64;
         features.push(FeatureKind::ZeroInflatedExp {
-            zero_prob: [0.86 - 0.01 * (i % 3) as f64, (0.74 - 0.008 * i as f64).max(0.55)],
+            zero_prob: [
+                0.86 - 0.01 * (i % 3) as f64,
+                (0.74 - 0.008 * i as f64).max(0.55),
+            ],
             mean: [0.22, (0.22 + strength * s).min(0.8)],
             cap: 20.0,
         });
@@ -192,14 +195,23 @@ fn schema(separation: f64) -> Vec<FeatureKind> {
 
 fn sample_feature(kind: &FeatureKind, class: usize, rng: &mut Xoshiro256StarStar) -> f64 {
     match *kind {
-        FeatureKind::ZeroInflatedExp { zero_prob, mean, cap } => {
+        FeatureKind::ZeroInflatedExp {
+            zero_prob,
+            mean,
+            cap,
+        } => {
             if rng.next_f64() < zero_prob[class] {
                 0.0
             } else {
                 exponential(1.0 / mean[class], rng).min(cap)
             }
         }
-        FeatureKind::LogNormal { mu, sigma, min, round } => {
+        FeatureKind::LogNormal {
+            mu,
+            sigma,
+            min,
+            round,
+        } => {
             let v = log_normal(mu[class], sigma[class], rng).max(min);
             if round {
                 v.round()
@@ -255,7 +267,11 @@ pub fn spambase_like(config: &SpambaseConfig, rng: &mut Xoshiro256StarStar) -> D
             .iter()
             .map(|kind| sample_feature(kind, class, rng))
             .collect();
-        let mut label = if class == 1 { Label::Positive } else { Label::Negative };
+        let mut label = if class == 1 {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
         // Uniform symmetric label noise: the irreducible error that
         // keeps clean accuracy near the real dataset's ~90 %. Noise is
         // independent of a row's position so that filtering far-out
@@ -307,7 +323,11 @@ pub fn gaussian_blobs(
                 .map(|_| sign * shift + sigma * poisongame_linalg::rng::standard_normal(rng))
                 .collect();
             rows.push(row);
-            labels.push(if class == 1 { Label::Positive } else { Label::Negative });
+            labels.push(if class == 1 {
+                Label::Positive
+            } else {
+                Label::Negative
+            });
         }
     }
     // Shuffle so class blocks are interleaved.
@@ -330,7 +350,10 @@ mod tests {
         assert_eq!(d.dim(), SPAMBASE_DIM);
         let frac = d.class_fraction(Label::Positive);
         // Label noise moves the fraction slightly; stay within 3 points.
-        assert!((frac - SPAMBASE_SPAM_FRACTION).abs() < 0.03, "fraction {frac}");
+        assert!(
+            (frac - SPAMBASE_SPAM_FRACTION).abs() < 0.03,
+            "fraction {frac}"
+        );
     }
 
     #[test]
@@ -356,10 +379,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let d = spambase_like(&SpambaseConfig::small(2000), &mut rng);
         let summary = d.column_summary();
-        for c in 54..57 {
-            assert!(summary[c].min >= 1.0, "column {c} min {}", summary[c].min);
+        for (c, col) in summary.iter().enumerate().take(57).skip(54) {
+            assert!(col.min >= 1.0, "column {c} min {}", col.min);
             // Heavy tail: max far above mean.
-            assert!(summary[c].max > 5.0 * summary[c].mean, "column {c} not heavy-tailed");
+            assert!(col.max > 5.0 * col.mean, "column {c} not heavy-tailed");
         }
         // Run lengths (longest/total) are integers.
         for c in 55..57 {
@@ -387,8 +410,14 @@ mod tests {
         let ham_block_spam: f64 = spam_mean[20..40].iter().sum();
         let spam_block_ham: f64 = ham_mean[..20].iter().sum();
         let ham_block: f64 = ham_mean[20..40].iter().sum();
-        assert!(spam_block > 2.0 * spam_block_ham, "{spam_block} vs {spam_block_ham}");
-        assert!(ham_block > 2.0 * ham_block_spam, "{ham_block} vs {ham_block_spam}");
+        assert!(
+            spam_block > 2.0 * spam_block_ham,
+            "{spam_block} vs {spam_block_ham}"
+        );
+        assert!(
+            ham_block > 2.0 * ham_block_spam,
+            "{ham_block} vs {ham_block_spam}"
+        );
         assert!(spam_mean[51] > 2.0 * ham_mean[51]);
     }
 

@@ -250,6 +250,9 @@ mod tests {
 
     #[test]
     fn default_is_coordinate_median() {
-        assert_eq!(CentroidEstimator::default(), CentroidEstimator::CoordinateMedian);
+        assert_eq!(
+            CentroidEstimator::default(),
+            CentroidEstimator::CoordinateMedian
+        );
     }
 }

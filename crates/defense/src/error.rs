@@ -36,7 +36,10 @@ impl fmt::Display for DefenseError {
                 write!(f, "parameter `{what}` out of range: {value}")
             }
             DefenseError::NoConvergence { iterations } => {
-                write!(f, "estimator did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "estimator did not converge after {iterations} iterations"
+                )
             }
             DefenseError::Data(e) => write!(f, "data error: {e}"),
         }

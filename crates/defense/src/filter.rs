@@ -260,7 +260,7 @@ impl RadiusFilter {
                 }
             }
             FilterStrength::AbsoluteRadius(r) => {
-                if !(r >= 0.0) || !r.is_finite() {
+                if r < 0.0 || !r.is_finite() {
                     return Err(DefenseError::BadParameter {
                         what: "radius",
                         value: r,
@@ -361,11 +361,8 @@ mod tests {
     #[test]
     fn removed_points_are_the_farthest() {
         let data = blobs(3, 80);
-        let f = RadiusFilter::new(
-            FilterStrength::RemoveFraction(0.2),
-            CentroidEstimator::Mean,
-        )
-        .with_scope(FilterScope::PerClass);
+        let f = RadiusFilter::new(FilterStrength::RemoveFraction(0.2), CentroidEstimator::Mean)
+            .with_scope(FilterScope::PerClass);
         let outcome = f.split(&data).unwrap();
         // Every removed point must be farther from its class centroid
         // than every kept point of the same class.
@@ -373,8 +370,7 @@ mod tests {
             let idx = data.class_indices(label);
             let points: Vec<&[f64]> = idx.iter().map(|&i| data.point(i)).collect();
             let center = CentroidEstimator::Mean.estimate(&points).unwrap();
-            let dist =
-                |i: usize| vector::euclidean_distance(data.point(i), &center);
+            let dist = |i: usize| vector::euclidean_distance(data.point(i), &center);
             let max_kept = outcome
                 .kept_indices
                 .iter()
@@ -428,10 +424,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_class_rejected() {
-        let f = RadiusFilter::new(
-            FilterStrength::RemoveFraction(0.1),
-            CentroidEstimator::Mean,
-        );
+        let f = RadiusFilter::new(FilterStrength::RemoveFraction(0.1), CentroidEstimator::Mean);
         assert!(matches!(
             f.split(&Dataset::empty(2)).unwrap_err(),
             DefenseError::EmptyDataset
@@ -445,7 +438,9 @@ mod tests {
         assert!(f.split(&single).is_ok());
         // Per-class scope needs both classes.
         assert!(matches!(
-            f.with_scope(FilterScope::PerClass).split(&single).unwrap_err(),
+            f.with_scope(FilterScope::PerClass)
+                .split(&single)
+                .unwrap_err(),
             DefenseError::MissingClass
         ));
     }
@@ -465,10 +460,7 @@ mod tests {
     #[test]
     fn outcome_partition_is_complete_and_disjoint() {
         let data = blobs(7, 60);
-        let f = RadiusFilter::new(
-            FilterStrength::RemoveFraction(0.3),
-            CentroidEstimator::Mean,
-        );
+        let f = RadiusFilter::new(FilterStrength::RemoveFraction(0.3), CentroidEstimator::Mean);
         let outcome = f.split(&data).unwrap();
         let mut all: Vec<usize> = outcome
             .kept_indices
@@ -483,18 +475,12 @@ mod tests {
     #[test]
     fn accounting_tracks_poison() {
         let data = blobs(8, 30);
-        let f = RadiusFilter::new(
-            FilterStrength::RemoveFraction(0.2),
-            CentroidEstimator::Mean,
-        );
+        let f = RadiusFilter::new(FilterStrength::RemoveFraction(0.2), CentroidEstimator::Mean);
         let outcome = f.split(&data).unwrap();
         // Pretend the first five indices are poison.
         let acc = outcome.account(&[0, 1, 2, 3, 4]);
         assert_eq!(acc.poison_removed + acc.poison_kept, 5);
-        assert_eq!(
-            acc.genuine_removed + acc.genuine_kept,
-            data.len() - 5
-        );
+        assert_eq!(acc.genuine_removed + acc.genuine_kept, data.len() - 5);
         assert!(acc.poison_recall() <= 1.0);
         assert!(acc.genuine_loss() <= 1.0);
     }
@@ -502,10 +488,7 @@ mod tests {
     #[test]
     fn kept_dataset_matches_indices() {
         let data = blobs(9, 30);
-        let f = RadiusFilter::new(
-            FilterStrength::RemoveFraction(0.1),
-            CentroidEstimator::Mean,
-        );
+        let f = RadiusFilter::new(FilterStrength::RemoveFraction(0.1), CentroidEstimator::Mean);
         let outcome = f.split(&data).unwrap();
         let kept = outcome.kept_dataset(&data);
         assert_eq!(kept.len(), outcome.kept_indices.len());

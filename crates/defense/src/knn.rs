@@ -78,8 +78,8 @@ impl Filter for KnnDistanceFilter {
                     dists[self.k - 1].sqrt()
                 })
                 .collect();
-            let threshold = stats::quantile(&scores, 1.0 - fraction)
-                .map_err(|_| DefenseError::EmptyDataset)?;
+            let threshold =
+                stats::quantile(&scores, 1.0 - fraction).map_err(|_| DefenseError::EmptyDataset)?;
             for (&i, &s) in idx.iter().zip(&scores) {
                 if s <= threshold {
                     kept.push(i);
@@ -122,7 +122,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(22);
         let mut data = gaussian_blobs(60, 2, 3.0, 0.4, &mut rng);
         // Ten mutually-close poison points far from the data.
-        let base = vec![30.0, 30.0];
+        let base = [30.0, 30.0];
         let mut injected = Vec::new();
         for i in 0..10 {
             let p = vec![base[0] + 0.01 * i as f64, base[1]];

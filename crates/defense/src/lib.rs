@@ -32,6 +32,8 @@ pub mod slab;
 
 pub use centroid::CentroidEstimator;
 pub use error::DefenseError;
-pub use filter::{Filter, FilterAccounting, FilterOutcome, FilterScope, FilterStrength, RadiusFilter};
+pub use filter::{
+    Filter, FilterAccounting, FilterOutcome, FilterScope, FilterStrength, RadiusFilter,
+};
 pub use knn::KnnDistanceFilter;
 pub use slab::SlabFilter;

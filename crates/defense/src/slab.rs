@@ -151,7 +151,9 @@ mod tests {
     fn validates_parameters_and_classes() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(14);
         let data = gaussian_blobs(10, 2, 3.0, 0.5, &mut rng);
-        assert!(SlabFilter::new(1.5, CentroidEstimator::Mean).split(&data).is_err());
+        assert!(SlabFilter::new(1.5, CentroidEstimator::Mean)
+            .split(&data)
+            .is_err());
         assert!(SlabFilter::new(0.1, CentroidEstimator::Mean)
             .split(&Dataset::empty(2))
             .is_err());
@@ -162,7 +164,12 @@ mod tests {
         // Same distribution for both classes ⇒ centroids nearly equal;
         // force exact coincidence with identical points.
         let data = Dataset::from_rows(
-            vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+            ],
             vec![
                 Label::Positive,
                 Label::Negative,

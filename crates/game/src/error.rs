@@ -90,7 +90,9 @@ mod tests {
         }
         .to_string()
         .contains("empty"));
-        assert!(GameError::SolverStalled { pivots: 10 }.to_string().contains("10"));
+        assert!(GameError::SolverStalled { pivots: 10 }
+            .to_string()
+            .contains("10"));
         assert!(GameError::NoConvergence {
             iterations: 5,
             exploitability: 0.5

@@ -24,7 +24,10 @@ pub struct FictitiousPlayConfig {
 impl Default for FictitiousPlayConfig {
     fn default() -> Self {
         Self {
-            max_iterations: 500_000,
+            // FP converges at O(1/√t): reaching 5e-3 exploitability on
+            // an adversarial random game can take a few million
+            // iterations (each O(m·n) flops), so the cap errs large.
+            max_iterations: 4_000_000,
             tolerance: 5e-3,
             check_every: 500,
         }
@@ -69,11 +72,11 @@ pub fn solve_fictitious_play(
         col_counts[col_action] += 1.0;
 
         // Update cumulative payoffs given the opponent's latest action.
-        for i in 0..m {
-            row_cum[i] += game.payoff(i, col_action);
+        for (i, cum) in row_cum.iter_mut().enumerate() {
+            *cum += game.payoff(i, col_action);
         }
-        for j in 0..n {
-            col_cum[j] += game.payoff(row_action, j);
+        for (j, cum) in col_cum.iter_mut().enumerate() {
+            *cum += game.payoff(row_action, j);
         }
 
         // Best responses to the empirical mixture (cumulative payoffs

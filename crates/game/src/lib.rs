@@ -40,6 +40,7 @@ pub mod linsys;
 pub mod matrix_game;
 pub mod multiplicative;
 pub mod simplex;
+pub mod solver;
 pub mod strategy;
 pub mod support_enum;
 
@@ -48,4 +49,7 @@ pub use fictitious::{solve_fictitious_play, FictitiousPlayConfig};
 pub use matrix_game::MatrixGame;
 pub use multiplicative::{solve_multiplicative_weights, MultiplicativeWeightsConfig};
 pub use simplex::solve_lp;
+pub use solver::{
+    FictitiousPlay, MultiplicativeWeights, SimplexLp, SolverKind, ZeroSumSolver, AUTO_EXACT_LIMIT,
+};
 pub use strategy::{MixedStrategy, Solution};

@@ -43,8 +43,9 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                aug[row][k] -= factor * aug[col][k];
+            let (upper, lower) = aug.split_at_mut(row);
+            for (k, cell) in lower[0].iter_mut().enumerate().take(n + 1).skip(col) {
+                *cell -= factor * upper[col][k];
             }
         }
     }

@@ -114,11 +114,7 @@ impl MatrixGame {
     /// # Errors
     ///
     /// Returns [`GameError::DimensionMismatch`] on size mismatch.
-    pub fn expected_payoff(
-        &self,
-        x: &MixedStrategy,
-        y: &MixedStrategy,
-    ) -> Result<f64, GameError> {
+    pub fn expected_payoff(&self, x: &MixedStrategy, y: &MixedStrategy) -> Result<f64, GameError> {
         self.check_row(x)?;
         self.check_col(y)?;
         let mut total = 0.0;
@@ -249,11 +245,7 @@ impl MatrixGame {
     /// # Errors
     ///
     /// Returns [`GameError::DimensionMismatch`] on size mismatch.
-    pub fn exploitability(
-        &self,
-        x: &MixedStrategy,
-        y: &MixedStrategy,
-    ) -> Result<f64, GameError> {
+    pub fn exploitability(&self, x: &MixedStrategy, y: &MixedStrategy) -> Result<f64, GameError> {
         let (_, row_br) = self.best_row_response(y)?;
         let (_, col_br) = self.best_column_response(x)?;
         // row_br >= value >= col_br at any pair; gap is the total gain

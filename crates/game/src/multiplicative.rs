@@ -75,16 +75,16 @@ pub fn solve_multiplicative_weights(
         // Row player earns A y, column player pays xᵀA.
         let row_payoffs = game.payoffs().mul_vec(&y);
         let mut col_payoffs = vec![0.0; n];
-        for i in 0..m {
-            if x[i] != 0.0 {
-                vector::axpy(x[i], game.payoffs().row(i), &mut col_payoffs);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                vector::axpy(xi, game.payoffs().row(i), &mut col_payoffs);
             }
         }
-        for i in 0..m {
-            row_log[i] += eta * row_payoffs[i];
+        for (log, payoff) in row_log.iter_mut().zip(&row_payoffs) {
+            *log += eta * payoff;
         }
-        for j in 0..n {
-            col_log[j] -= eta * col_payoffs[j];
+        for (log, payoff) in col_log.iter_mut().zip(&col_payoffs) {
+            *log -= eta * payoff;
         }
         // Keep log-weights bounded.
         let row_max = vector::norm_inf(&row_log);
@@ -175,9 +175,13 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(101);
         let g = MatrixGame::from_fn(5, 6, |_, _| rng.next_f64() * 4.0 - 2.0);
         let lp = solve_lp(&g).unwrap();
-        let mw =
-            solve_multiplicative_weights(&g, &MultiplicativeWeightsConfig::default()).unwrap();
-        assert!((lp.value - mw.value).abs() < 0.05, "lp {} mw {}", lp.value, mw.value);
+        let mw = solve_multiplicative_weights(&g, &MultiplicativeWeightsConfig::default()).unwrap();
+        assert!(
+            (lp.value - mw.value).abs() < 0.05,
+            "lp {} mw {}",
+            lp.value,
+            mw.value
+        );
     }
 
     #[test]
@@ -194,9 +198,14 @@ mod tests {
     #[test]
     fn single_action_game() {
         let g = MatrixGame::from_rows(&[vec![3.0]]).unwrap();
-        let sol =
-            solve_multiplicative_weights(&g, &MultiplicativeWeightsConfig { iterations: 10, eta: None })
-                .unwrap();
+        let sol = solve_multiplicative_weights(
+            &g,
+            &MultiplicativeWeightsConfig {
+                iterations: 10,
+                eta: None,
+            },
+        )
+        .unwrap();
         assert!((sol.value - 3.0).abs() < 1e-12);
         assert!(sol.row_strategy.is_pure());
     }

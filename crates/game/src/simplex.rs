@@ -36,11 +36,7 @@ struct SimplexResult {
 /// (slack basis is feasible).
 ///
 /// `m_rows` is given row-by-row. Returns primal, objective and duals.
-fn simplex_maximize(
-    c: &[f64],
-    m_rows: &[Vec<f64>],
-    b: &[f64],
-) -> Result<SimplexResult, GameError> {
+fn simplex_maximize(c: &[f64], m_rows: &[Vec<f64>], b: &[f64]) -> Result<SimplexResult, GameError> {
     let m = m_rows.len();
     let n = c.len();
     debug_assert!(b.iter().all(|&v| v >= 0.0), "simplex needs b >= 0");
@@ -76,9 +72,7 @@ fn simplex_maximize(
                 match leave {
                     None => leave = Some((i, ratio)),
                     Some((li, lr)) => {
-                        if ratio < lr - TOL
-                            || ((ratio - lr).abs() <= TOL && basis[i] < basis[li])
-                        {
+                        if ratio < lr - TOL || ((ratio - lr).abs() <= TOL && basis[i] < basis[li]) {
                             leave = Some((i, ratio));
                         }
                     }
@@ -219,7 +213,11 @@ mod tests {
         let ev = game
             .expected_payoff(&sol.row_strategy, &sol.column_strategy)
             .unwrap();
-        assert!((ev - sol.value).abs() < tol, "ev {ev} vs value {}", sol.value);
+        assert!(
+            (ev - sol.value).abs() < tol,
+            "ev {ev} vs value {}",
+            sol.value
+        );
     }
 
     #[test]
@@ -271,11 +269,8 @@ mod tests {
 
     #[test]
     fn rectangular_game() {
-        let g = MatrixGame::from_rows(&[
-            vec![2.0, -1.0, 4.0, 0.5],
-            vec![-3.0, 5.0, -2.0, 1.0],
-        ])
-        .unwrap();
+        let g = MatrixGame::from_rows(&[vec![2.0, -1.0, 4.0, 0.5], vec![-3.0, 5.0, -2.0, 1.0]])
+            .unwrap();
         let sol = solve_lp(&g).unwrap();
         assert_equilibrium(&g, &sol, 1e-9);
     }
@@ -315,8 +310,7 @@ mod tests {
     #[test]
     fn dominated_strategies_get_zero_probability() {
         // Row 0 strictly dominates row 1.
-        let g = MatrixGame::from_rows(&[vec![3.0, 2.0], vec![1.0, 0.0], vec![0.0, 4.0]])
-            .unwrap();
+        let g = MatrixGame::from_rows(&[vec![3.0, 2.0], vec![1.0, 0.0], vec![0.0, 4.0]]).unwrap();
         let sol = solve_lp(&g).unwrap();
         assert!(sol.row_strategy.prob(1) < 1e-9);
         assert_equilibrium(&g, &sol, 1e-9);

@@ -73,7 +73,7 @@ impl MixedStrategy {
     /// negative, non-finite, or all zero.
     pub fn from_weights(weights: Vec<f64>) -> Result<Self, GameError> {
         let sum: f64 = weights.iter().sum();
-        if !(sum > 0.0) || !sum.is_finite() {
+        if sum <= 0.0 || !sum.is_finite() {
             return Err(GameError::InvalidDistribution {
                 message: format!("weights sum to {sum}"),
             });

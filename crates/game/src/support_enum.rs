@@ -109,15 +109,15 @@ pub fn solve_support_enumeration(game: &MatrixGame) -> Result<Solution, GameErro
         for row_support in subsets(m, k) {
             for col_support in subsets(n, k) {
                 // Column mix that makes the supported rows indifferent.
-                let Some((y_probs, v1)) = indifference_mix(&row_support, &col_support, |i, j| {
-                    game.payoff(i, j)
-                }) else {
+                let Some((y_probs, v1)) =
+                    indifference_mix(&row_support, &col_support, |i, j| game.payoff(i, j))
+                else {
                     continue;
                 };
                 // Row mix that makes the supported columns indifferent.
-                let Some((x_probs, v2)) = indifference_mix(&col_support, &row_support, |j, i| {
-                    game.payoff(i, j)
-                }) else {
+                let Some((x_probs, v2)) =
+                    indifference_mix(&col_support, &row_support, |j, i| game.payoff(i, j))
+                else {
                     continue;
                 };
                 if (v1 - v2).abs() > 1e-6 {

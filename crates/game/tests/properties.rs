@@ -1,57 +1,80 @@
 //! Property-based tests on the zero-sum substrate: the LP solution of
 //! a random game is always an equilibrium, and values respect the
-//! pure-strategy bounds.
+//! pure-strategy bounds. Randomized inputs come from the workspace's
+//! deterministic generator, so every run tests the same cases.
 
+use poisongame_linalg::Xoshiro256StarStar;
 use poisongame_theory::{solve_lp, MatrixGame, MixedStrategy};
-use proptest::prelude::*;
+use rand::SeedableRng;
 
-fn random_game() -> impl Strategy<Value = MatrixGame> {
-    (1usize..7, 1usize..7).prop_flat_map(|(m, n)| {
-        prop::collection::vec(-10.0f64..10.0, m * n).prop_map(move |cells| {
-            let rows: Vec<Vec<f64>> = cells.chunks(n).map(|c| c.to_vec()).collect();
-            MatrixGame::from_rows(&rows).expect("finite payoffs")
-        })
-    })
+const CASES: usize = 64;
+
+fn random_game(rng: &mut Xoshiro256StarStar) -> MatrixGame {
+    let m = 1 + (rng.next_raw() as usize) % 6;
+    let n = 1 + (rng.next_raw() as usize) % 6;
+    MatrixGame::from_fn(m, n, |_, _| rng.next_f64() * 20.0 - 10.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lp_solution_has_zero_exploitability(game in random_game()) {
+#[test]
+fn lp_solution_has_zero_exploitability() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xE59);
+    for _ in 0..CASES {
+        let game = random_game(&mut rng);
         let sol = solve_lp(&game).unwrap();
-        let expl = game.exploitability(&sol.row_strategy, &sol.column_strategy).unwrap();
-        prop_assert!(expl.abs() < 1e-6, "exploitability {expl}");
+        let expl = game
+            .exploitability(&sol.row_strategy, &sol.column_strategy)
+            .unwrap();
+        assert!(expl.abs() < 1e-6, "exploitability {expl}");
     }
+}
 
-    #[test]
-    fn value_between_pure_bounds(game in random_game()) {
+#[test]
+fn value_between_pure_bounds() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xB0);
+    for _ in 0..CASES {
+        let game = random_game(&mut rng);
         let sol = solve_lp(&game).unwrap();
-        prop_assert!(sol.value >= game.pure_maximin() - 1e-9);
-        prop_assert!(sol.value <= game.pure_minimax() + 1e-9);
+        assert!(sol.value >= game.pure_maximin() - 1e-9);
+        assert!(sol.value <= game.pure_minimax() + 1e-9);
     }
+}
 
-    #[test]
-    fn saddle_point_when_found_matches_lp_value(game in random_game()) {
+#[test]
+fn saddle_point_when_found_matches_lp_value() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5ADD1E);
+    for _ in 0..CASES {
+        let game = random_game(&mut rng);
         if let Some((i, j)) = game.saddle_point() {
             let sol = solve_lp(&game).unwrap();
-            prop_assert!((game.payoff(i, j) - sol.value).abs() < 1e-6);
+            assert!((game.payoff(i, j) - sol.value).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn mixed_strategy_normalization(weights in prop::collection::vec(0.0f64..10.0, 1..10)) {
+#[test]
+fn mixed_strategy_normalization() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x4021);
+    for _ in 0..CASES {
+        let len = 1 + (rng.next_raw() as usize) % 9;
+        let weights: Vec<f64> = (0..len).map(|_| rng.next_f64() * 10.0).collect();
         let total: f64 = weights.iter().sum();
-        prop_assume!(total > 1e-9);
+        if total <= 1e-9 {
+            continue;
+        }
         let s = MixedStrategy::from_weights(weights).unwrap();
         let sum: f64 = s.probabilities().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn shifting_payoffs_shifts_value_linearly(game in random_game(), delta in -5.0f64..5.0) {
+#[test]
+fn shifting_payoffs_shifts_value_linearly() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5417);
+    for _ in 0..CASES {
+        let game = random_game(&mut rng);
+        let delta = rng.next_f64() * 10.0 - 5.0;
         let base = solve_lp(&game).unwrap();
         let shifted = solve_lp(&game.shifted(delta)).unwrap();
-        prop_assert!((shifted.value - base.value - delta).abs() < 1e-6);
+        assert!((shifted.value - base.value - delta).abs() < 1e-6);
     }
 }

@@ -1,0 +1,92 @@
+//! Cross-solver agreement: on a batch of random matrix games, all
+//! three `ZeroSumSolver` implementations agree on the game value
+//! within tolerance, and each returned strategy's exploitability is
+//! below its solver's advertised bound.
+
+use poisongame_linalg::Xoshiro256StarStar;
+use poisongame_theory::{
+    FictitiousPlay, FictitiousPlayConfig, MatrixGame, MultiplicativeWeights,
+    MultiplicativeWeightsConfig, SimplexLp, SolverKind, ZeroSumSolver,
+};
+use rand::SeedableRng;
+
+const GAMES: usize = 24;
+
+fn random_game(rng: &mut Xoshiro256StarStar) -> MatrixGame {
+    let m = 2 + (rng.next_raw() as usize) % 5;
+    let n = 2 + (rng.next_raw() as usize) % 5;
+    MatrixGame::from_fn(m, n, |_, _| rng.next_f64() * 8.0 - 4.0)
+}
+
+/// The roster under test, with iteration budgets generous enough that
+/// the iterative solvers converge on every sampled game.
+fn roster() -> Vec<Box<dyn ZeroSumSolver>> {
+    vec![
+        Box::new(SimplexLp),
+        Box::new(FictitiousPlay(FictitiousPlayConfig {
+            max_iterations: 8_000_000,
+            tolerance: 5e-3,
+            check_every: 2_000,
+        })),
+        Box::new(MultiplicativeWeights(MultiplicativeWeightsConfig {
+            iterations: 60_000,
+            eta: None,
+        })),
+    ]
+}
+
+#[test]
+fn all_solvers_agree_on_value_and_meet_their_bounds() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xA62EE);
+    for case in 0..GAMES {
+        let game = random_game(&mut rng);
+        let reference = SimplexLp.solve(&game).expect("LP always solves");
+
+        for solver in roster() {
+            let sol = solver
+                .solve(&game)
+                .unwrap_or_else(|e| panic!("case {case}: {} failed: {e}", solver.name()));
+
+            // 1. Exploitability below the solver's advertised bound.
+            let expl = game
+                .exploitability(&sol.row_strategy, &sol.column_strategy)
+                .unwrap();
+            let bound = solver.exploitability_bound(&game);
+            assert!(
+                expl <= bound,
+                "case {case}: {} exploitability {expl} above advertised {bound}",
+                solver.name()
+            );
+
+            // 2. Value agreement with the exact LP. An ε-equilibrium's
+            // empirical value sits within ε of the true value, so the
+            // advertised bound doubles as the agreement tolerance.
+            let tol = bound.max(1e-9) + 1e-9;
+            assert!(
+                (sol.value - reference.value).abs() <= tol,
+                "case {case}: {} value {} vs LP {} (tol {tol})",
+                solver.name(),
+                sol.value,
+                reference.value
+            );
+        }
+    }
+}
+
+#[test]
+fn solver_kinds_produce_equilibria_end_to_end() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x1D5);
+    for _ in 0..8 {
+        let game = random_game(&mut rng);
+        for kind in SolverKind::ALL {
+            // FP's default tolerance is loose enough to converge on
+            // small games; MW/LP always return.
+            let sol = kind.solve(&game).expect("solver runs");
+            let expl = game
+                .exploitability(&sol.row_strategy, &sol.column_strategy)
+                .unwrap();
+            let bound = kind.instantiate(&game).exploitability_bound(&game);
+            assert!(expl <= bound, "{kind:?}: {expl} > {bound}");
+        }
+    }
+}

@@ -371,8 +371,7 @@ mod tests {
 
     #[test]
     fn isotonic_decreasing_mirrors_increasing() {
-        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0), (3.0, 0.0)])
-            .unwrap();
+        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0), (3.0, 0.0)]).unwrap();
         let g = f.isotonic_decreasing();
         assert!(g.is_non_increasing());
         // Sum preserved within pooled blocks.

@@ -126,8 +126,14 @@ impl Matrix {
     ///
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Entry at `(r, c)`.
@@ -136,7 +142,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -146,7 +155,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 

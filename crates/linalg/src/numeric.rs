@@ -169,7 +169,10 @@ where
         return Err(LinalgError::NotFinite { what: "bounds" });
     }
     if a >= b {
-        return Err(LinalgError::DomainError { what: "a", value: a });
+        return Err(LinalgError::DomainError {
+            what: "a",
+            value: a,
+        });
     }
     let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
     let (mut lo, mut hi) = (a, b);
@@ -216,7 +219,10 @@ where
         return Ok(hi);
     }
     if flo.signum() == fhi.signum() {
-        return Err(LinalgError::DomainError { what: "bracket", value: flo });
+        return Err(LinalgError::DomainError {
+            what: "bracket",
+            value: flo,
+        });
     }
     while hi - lo > tol {
         let mid = 0.5 * (lo + hi);
@@ -292,8 +298,10 @@ mod tests {
     #[test]
     fn descent_rejects_nonfinite_start() {
         let f = |_: &[f64]| f64::NAN;
-        assert!(projected_gradient_descent(f, |x| x.to_vec(), &[0.0], &DescentConfig::default())
-            .is_err());
+        assert!(
+            projected_gradient_descent(f, |x| x.to_vec(), &[0.0], &DescentConfig::default())
+                .is_err()
+        );
     }
 
     #[test]

@@ -129,7 +129,12 @@ impl SplitMix64 {
     }
 
     /// Next 64-bit output.
+    ///
+    /// Named `next` to match the reference SplitMix64 implementation;
+    /// this is not an `Iterator` (the stream is infinite and the name
+    /// is load-bearing across the workspace).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -154,11 +159,7 @@ pub fn shuffled_indices(n: usize, rng: &mut Xoshiro256StarStar) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if `k > n`.
-pub fn sample_without_replacement(
-    n: usize,
-    k: usize,
-    rng: &mut Xoshiro256StarStar,
-) -> Vec<usize> {
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut Xoshiro256StarStar) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} items from {n}");
     let mut idx = shuffled_indices(n, rng);
     idx.truncate(k);
@@ -183,7 +184,10 @@ pub fn standard_normal(rng: &mut Xoshiro256StarStar) -> f64 {
 ///
 /// Panics if `rate <= 0` or is not finite.
 pub fn exponential(rate: f64, rng: &mut Xoshiro256StarStar) -> f64 {
-    assert!(rate > 0.0 && rate.is_finite(), "exponential: bad rate {rate}");
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exponential: bad rate {rate}"
+    );
     // 1 - U is in (0, 1], so ln is finite.
     -(1.0 - rng.next_f64()).ln() / rate
 }

@@ -92,7 +92,10 @@ pub fn quantile(x: &[f64], q: f64) -> Result<f64, LinalgError> {
         return Err(LinalgError::EmptyInput);
     }
     if !(0.0..=1.0).contains(&q) || q.is_nan() {
-        return Err(LinalgError::DomainError { what: "q", value: q });
+        return Err(LinalgError::DomainError {
+            what: "q",
+            value: q,
+        });
     }
     let mut v: Vec<f64> = x.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
@@ -117,7 +120,10 @@ pub fn quantiles(x: &[f64], qs: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut out = Vec::with_capacity(qs.len());
     for &q in qs {
         if !(0.0..=1.0).contains(&q) || q.is_nan() {
-            return Err(LinalgError::DomainError { what: "q", value: q });
+            return Err(LinalgError::DomainError {
+                what: "q",
+                value: q,
+            });
         }
         let h = q * (v.len() - 1) as f64;
         let lo = h.floor() as usize;
@@ -271,8 +277,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;

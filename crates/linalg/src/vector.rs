@@ -302,7 +302,10 @@ mod tests {
         let a = [0.0, 0.0];
         let b = [1.0, 1.0];
         let c = [2.0, 0.0];
-        assert!(euclidean_distance(&a, &c) <= euclidean_distance(&a, &b) + euclidean_distance(&b, &c) + 1e-12);
+        assert!(
+            euclidean_distance(&a, &c)
+                <= euclidean_distance(&a, &b) + euclidean_distance(&b, &c) + 1e-12
+        );
     }
 
     #[test]

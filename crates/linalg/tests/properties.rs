@@ -1,91 +1,140 @@
-//! Property-based tests on the numerical substrate.
+//! Property-based tests on the numerical substrate, driven by the
+//! workspace's own deterministic generator (randomized inputs, fixed
+//! seeds — reproducible without external property-testing crates).
 
 use poisongame_linalg::rng::{sample_without_replacement, shuffled_indices};
-use poisongame_linalg::{curve::isotonic_non_decreasing, stats, vector, PiecewiseLinear, Xoshiro256StarStar};
-use proptest::prelude::*;
+use poisongame_linalg::{
+    curve::isotonic_non_decreasing, stats, vector, PiecewiseLinear, Xoshiro256StarStar,
+};
 use rand::SeedableRng;
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, len)
+const CASES: usize = 128;
+
+fn finite_vec(rng: &mut Xoshiro256StarStar, lo: usize, hi: usize) -> Vec<f64> {
+    let len = lo + (rng.next_raw() as usize) % (hi - lo);
+    (0..len).map(|_| rng.next_f64() * 2e6 - 1e6).collect()
 }
 
-proptest! {
-    #[test]
-    fn dot_is_symmetric(a in finite_vec(1..20), b in finite_vec(1..20)) {
+#[test]
+fn dot_is_symmetric() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xD07);
+    for _ in 0..CASES {
+        let a = finite_vec(&mut rng, 1, 20);
+        let b = finite_vec(&mut rng, 1, 20);
         let n = a.len().min(b.len());
         let (a, b) = (&a[..n], &b[..n]);
         let d1 = vector::dot(a, b);
         let d2 = vector::dot(b, a);
-        prop_assert!((d1 - d2).abs() <= 1e-9 * d1.abs().max(1.0));
+        assert!((d1 - d2).abs() <= 1e-9 * d1.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn triangle_inequality(a in finite_vec(2..8), b in finite_vec(2..8), c in finite_vec(2..8)) {
+#[test]
+fn triangle_inequality() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7214);
+    for _ in 0..CASES {
+        let a = finite_vec(&mut rng, 2, 8);
+        let b = finite_vec(&mut rng, 2, 8);
+        let c = finite_vec(&mut rng, 2, 8);
         let n = a.len().min(b.len()).min(c.len());
         let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
         let ac = vector::euclidean_distance(a, c);
         let ab = vector::euclidean_distance(a, b);
         let bc = vector::euclidean_distance(b, c);
-        prop_assert!(ac <= ab + bc + 1e-6 * (ab + bc + 1.0));
+        assert!(ac <= ab + bc + 1e-6 * (ab + bc + 1.0));
     }
+}
 
-    #[test]
-    fn quantile_is_monotone_and_bounded(xs in finite_vec(1..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+#[test]
+fn quantile_is_monotone_and_bounded() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9_0441);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 1, 50);
+        let q1 = rng.next_f64();
+        let q2 = rng.next_f64();
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let vlo = stats::quantile(&xs, lo).unwrap();
         let vhi = stats::quantile(&xs, hi).unwrap();
-        prop_assert!(vlo <= vhi + 1e-12);
+        assert!(vlo <= vhi + 1e-12);
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
+        assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
     }
+}
 
-    #[test]
-    fn running_stats_matches_batch(xs in finite_vec(2..60)) {
+#[test]
+fn running_stats_matches_batch() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x57A75);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 2, 60);
         let mut s = stats::RunningStats::new();
         xs.iter().for_each(|&v| s.push(v));
-        prop_assert!((s.mean() - stats::mean(&xs)).abs() < 1e-6 * stats::mean(&xs).abs().max(1.0));
-        prop_assert!((s.sample_variance() - stats::variance(&xs)).abs()
-            < 1e-5 * stats::variance(&xs).abs().max(1.0));
+        assert!((s.mean() - stats::mean(&xs)).abs() < 1e-6 * stats::mean(&xs).abs().max(1.0));
+        assert!(
+            (s.sample_variance() - stats::variance(&xs)).abs()
+                < 1e-5 * stats::variance(&xs).abs().max(1.0)
+        );
     }
+}
 
-    #[test]
-    fn pava_output_is_monotone_and_mean_preserving(ys in finite_vec(1..40)) {
+#[test]
+fn pava_output_is_monotone_and_mean_preserving() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9A7A);
+    for _ in 0..CASES {
+        let ys = finite_vec(&mut rng, 1, 40);
         let fit = isotonic_non_decreasing(&ys);
-        prop_assert_eq!(fit.len(), ys.len());
-        prop_assert!(fit.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        assert_eq!(fit.len(), ys.len());
+        assert!(fit.windows(2).all(|w| w[0] <= w[1] + 1e-9));
         let sum_in: f64 = ys.iter().sum();
         let sum_out: f64 = fit.iter().sum();
-        prop_assert!((sum_in - sum_out).abs() < 1e-6 * sum_in.abs().max(1.0));
+        assert!((sum_in - sum_out).abs() < 1e-6 * sum_in.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn piecewise_eval_within_knot_value_range(
-        knots in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..12),
-        x in -200.0f64..200.0,
-    ) {
+#[test]
+fn piecewise_eval_within_knot_value_range() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9137);
+    for _ in 0..CASES {
+        let n_knots = 1 + (rng.next_raw() as usize) % 11;
+        let knots: Vec<(f64, f64)> = (0..n_knots)
+            .map(|_| {
+                (
+                    rng.next_f64() * 200.0 - 100.0,
+                    rng.next_f64() * 200.0 - 100.0,
+                )
+            })
+            .collect();
+        let x = rng.next_f64() * 400.0 - 200.0;
         let curve = PiecewiseLinear::new(knots).unwrap();
         let y = curve.eval(x);
         let ymin = curve.ys().iter().copied().fold(f64::INFINITY, f64::min);
         let ymax = curve.ys().iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(y >= ymin - 1e-9 && y <= ymax + 1e-9);
+        assert!(y >= ymin - 1e-9 && y <= ymax + 1e-9);
     }
+}
 
-    #[test]
-    fn shuffle_is_permutation(n in 1usize..200, seed in any::<u64>()) {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+#[test]
+fn shuffle_is_permutation() {
+    let mut seeds = Xoshiro256StarStar::seed_from_u64(0x5EED);
+    for _ in 0..CASES {
+        let n = 1 + (seeds.next_raw() as usize) % 199;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seeds.next_raw());
         let mut idx = shuffled_indices(n, &mut rng);
         idx.sort_unstable();
-        prop_assert_eq!(idx, (0..n).collect::<Vec<_>>());
+        assert_eq!(idx, (0..n).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn sampling_without_replacement_is_distinct(n in 1usize..100, seed in any::<u64>()) {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+#[test]
+fn sampling_without_replacement_is_distinct() {
+    let mut seeds = Xoshiro256StarStar::seed_from_u64(0x5A3);
+    for _ in 0..CASES {
+        let n = 1 + (seeds.next_raw() as usize) % 99;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seeds.next_raw());
         let k = n / 2;
         let mut s = sample_without_replacement(n, k, &mut rng);
         s.sort_unstable();
         s.dedup();
-        prop_assert_eq!(s.len(), k);
+        assert_eq!(s.len(), k);
     }
 }

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn unfitted_errors() {
         let m = LogisticRegression::with_defaults();
-        assert!(matches!(m.predict_proba(&[1.0]).unwrap_err(), MlError::NotFitted));
+        assert!(matches!(
+            m.predict_proba(&[1.0]).unwrap_err(),
+            MlError::NotFitted
+        ));
     }
 
     #[test]

@@ -117,8 +117,8 @@ mod tests {
 
     #[test]
     fn logistic_matches_naive_in_safe_range() {
-        for m in [-3.0, -1.0, 0.0, 0.5, 2.0] {
-            let naive = (1.0 + (-m as f64).exp()).ln();
+        for m in [-3.0f64, -1.0, 0.0, 0.5, 2.0] {
+            let naive = (1.0 + (-m).exp()).ln();
             assert!((logistic(m) - naive).abs() < 1e-12, "margin {m}");
         }
     }

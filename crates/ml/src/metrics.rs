@@ -102,8 +102,16 @@ impl ConfusionMatrix {
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "            pred + | pred -")?;
-        writeln!(f, "  truth + {:>8} | {:>6}", self.true_positives, self.false_negatives)?;
-        write!(f, "  truth - {:>8} | {:>6}", self.false_positives, self.true_negatives)
+        writeln!(
+            f,
+            "  truth + {:>8} | {:>6}",
+            self.true_positives, self.false_negatives
+        )?;
+        write!(
+            f,
+            "  truth - {:>8} | {:>6}",
+            self.false_positives, self.true_negatives
+        )
     }
 }
 

@@ -160,14 +160,20 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_bad_fields() {
-        let mut c = TrainConfig::default();
-        c.epochs = 0;
+        let c = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TrainConfig::default();
-        c.lambda = -1.0;
+        let c = TrainConfig {
+            lambda: -1.0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TrainConfig::default();
-        c.schedule = Schedule::Constant { eta0: -0.5 };
+        let c = TrainConfig {
+            schedule: Schedule::Constant { eta0: -0.5 },
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -99,7 +99,11 @@ impl Classifier for AveragedPerceptron {
         let total = (self.config.epochs * n) as f64;
         vector::scale(1.0 / total, &mut w_sum);
         self.weights = Some(w_sum);
-        self.bias = if self.config.fit_bias { b_sum / total } else { 0.0 };
+        self.bias = if self.config.fit_bias {
+            b_sum / total
+        } else {
+            0.0
+        };
         Ok(())
     }
 

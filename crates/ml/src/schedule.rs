@@ -59,7 +59,10 @@ impl Default for Schedule {
     /// small `lambda` used here it decays too slowly to converge in a
     /// few thousand epochs.
     fn default() -> Self {
-        Schedule::InverseScaling { eta0: 0.5, power: 0.6 }
+        Schedule::InverseScaling {
+            eta0: 0.5,
+            power: 0.6,
+        }
     }
 }
 
@@ -76,7 +79,10 @@ mod tests {
 
     #[test]
     fn inverse_scaling_decays() {
-        let s = Schedule::InverseScaling { eta0: 1.0, power: 0.5 };
+        let s = Schedule::InverseScaling {
+            eta0: 1.0,
+            power: 0.5,
+        };
         assert_eq!(s.rate(1), 1.0);
         assert!((s.rate(4) - 0.5).abs() < 1e-12);
         assert!(s.rate(100) < s.rate(10));
@@ -100,6 +106,10 @@ mod tests {
         assert!(Schedule::default().is_valid());
         assert!(!Schedule::Constant { eta0: 0.0 }.is_valid());
         assert!(!Schedule::Pegasos { lambda: -1.0 }.is_valid());
-        assert!(!Schedule::InverseScaling { eta0: 1.0, power: f64::NAN }.is_valid());
+        assert!(!Schedule::InverseScaling {
+            eta0: 1.0,
+            power: f64::NAN
+        }
+        .is_valid());
     }
 }

@@ -171,7 +171,11 @@ mod tests {
         let data = blobs(1);
         let mut svm = LinearSvm::new(quick_config());
         svm.fit(&data).unwrap();
-        assert!(svm.accuracy_on(&data) > 0.97, "accuracy {}", svm.accuracy_on(&data));
+        assert!(
+            svm.accuracy_on(&data) > 0.97,
+            "accuracy {}",
+            svm.accuracy_on(&data)
+        );
     }
 
     #[test]
@@ -181,7 +185,10 @@ mod tests {
             svm.decision_function(&[1.0]).unwrap_err(),
             MlError::NotFitted
         ));
-        assert!(matches!(svm.predict(&[1.0]).unwrap_err(), MlError::NotFitted));
+        assert!(matches!(
+            svm.predict(&[1.0]).unwrap_err(),
+            MlError::NotFitted
+        ));
     }
 
     #[test]
@@ -191,7 +198,10 @@ mod tests {
         svm.fit(&data).unwrap();
         assert!(matches!(
             svm.decision_function(&[1.0]).unwrap_err(),
-            MlError::DimensionMismatch { expected: 4, found: 1 }
+            MlError::DimensionMismatch {
+                expected: 4,
+                found: 1
+            }
         ));
     }
 
@@ -232,7 +242,10 @@ mod tests {
             vec![Label::Positive, Label::Positive],
         )
         .unwrap();
-        assert!(matches!(svm.fit(&single).unwrap_err(), MlError::SingleClass));
+        assert!(matches!(
+            svm.fit(&single).unwrap_err(),
+            MlError::SingleClass
+        ));
     }
 
     #[test]

@@ -108,8 +108,7 @@ pub fn estimate_curves(
                 value: p,
             });
         }
-        let mut rng =
-            Xoshiro256StarStar::seed_from_u64(config.seed ^ p.to_bits().rotate_left(29));
+        let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed ^ p.to_bits().rotate_left(29));
         let attacked = attack_filter_train_eval(
             &prepared,
             p,
@@ -166,6 +165,7 @@ pub fn default_strengths() -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::pipeline::DataSource;
+    use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
 
     fn quick_config() -> ExperimentConfig {
@@ -176,17 +176,14 @@ mod tests {
             budget_fraction: 0.2,
             epochs: 40,
             centroid: CentroidEstimator::CoordinateMedian,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 
     #[test]
     fn curves_have_expected_shape() {
-        let est = estimate_curves(
-            &quick_config(),
-            &[0.02, 0.15, 0.35],
-            &[0.0, 0.1, 0.3],
-        )
-        .unwrap();
+        let est = estimate_curves(&quick_config(), &[0.02, 0.15, 0.35], &[0.0, 0.1, 0.3]).unwrap();
         // Effect: boundary placement damages at least as much as deep.
         assert!(est.effect.eval(0.02) >= est.effect.eval(0.35));
         // Boundary placement on separable blobs must do real damage.
@@ -203,8 +200,7 @@ mod tests {
 
     #[test]
     fn game_assembles() {
-        let est =
-            estimate_curves(&quick_config(), &[0.05, 0.2], &[0.0, 0.2]).unwrap();
+        let est = estimate_curves(&quick_config(), &[0.05, 0.2], &[0.0, 0.2]).unwrap();
         let game = est.game().unwrap();
         assert_eq!(game.n_points(), est.n_poison);
     }

@@ -1,0 +1,227 @@
+//! Parallel experiment execution.
+//!
+//! Every sweep in this crate is a grid of independent cells (sweep
+//! points, support sizes, Monte-Carlo replicates) whose randomness is
+//! derived per-cell from the master seed, never from a shared stream.
+//! That makes fan-out safe *and* exactly reproducible: this module's
+//! [`parallel_map`] assigns cells to a scoped worker pool and writes
+//! results back by cell index, so the output is **bit-identical to the
+//! sequential path at any thread count** — the schedule decides only
+//! wall-clock time, never results.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_sim::exec::{parallel_map, ExecPolicy};
+//!
+//! let squares = parallel_map(&ExecPolicy::with_threads(4), &[1, 2, 3], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a sweep is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker threads; `0` means one per available hardware thread.
+    pub threads: usize,
+}
+
+impl Default for ExecPolicy {
+    /// One worker per hardware thread.
+    fn default() -> Self {
+        Self { threads: 0 }
+    }
+}
+
+impl ExecPolicy {
+    /// Single-threaded execution (the historical code path).
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Exactly `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The worker count actually used for `n_items` cells.
+    pub fn effective_threads(&self, n_items: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.min(n_items).max(1)
+    }
+}
+
+/// Map `f` over `items` on a scoped worker pool, returning results in
+/// item order.
+///
+/// `f` receives `(index, &item)`; cells are claimed from a shared
+/// atomic counter, and each result is written to its own slot, so the
+/// output `Vec` is independent of scheduling. A panicking cell panics
+/// the whole map (as the sequential loop would).
+pub fn parallel_map<T, R, F>(policy: &ExecPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = policy.effective_threads(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell computed")
+        })
+        .collect()
+}
+
+/// Fallible [`parallel_map`]: the error of the **lowest-indexed**
+/// failing cell is returned — the same error the sequential loop would
+/// surface first, regardless of which worker hit it when. Once a cell
+/// fails, workers stop claiming cells above the failing index, so an
+/// early failure does not pay for the rest of the grid.
+///
+/// # Errors
+///
+/// The first (by cell index) error any cell produced.
+pub fn try_parallel_map<T, R, E, F>(policy: &ExecPolicy, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let threads = policy.effective_threads(items.len());
+    if threads <= 1 {
+        // Sequential fast path aborts at the first error, exactly like
+        // the loops this replaces.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Lowest failing cell index seen so far; cells above it are skipped.
+    let lowest_err = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || i > lowest_err.load(Ordering::Relaxed) {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                if result.is_err() {
+                    lowest_err.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    // Cells below the final lowest failing index are always computed
+    // (the skip bound only ever decreases), so an in-order scan hits
+    // that error before any skipped slot.
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("slot below the lowest error is always computed"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map(&ExecPolicy::with_threads(threads), &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // Float-heavy per-cell work with per-cell seeds: the parallel
+        // result must be bit-identical to the sequential one.
+        let cells: Vec<u64> = (0..64).collect();
+        let work = |_: usize, &seed: &u64| -> f64 {
+            let mut acc = 0.0f64;
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            for _ in 0..1000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                acc += (state >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            }
+            acc
+        };
+        let sequential = parallel_map(&ExecPolicy::sequential(), &cells, work);
+        for threads in [2, 4, 8] {
+            let parallel = parallel_map(&ExecPolicy::with_threads(threads), &cells, work);
+            let seq_bits: Vec<u64> = sequential.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..32).collect();
+        let out: Result<Vec<usize>, usize> =
+            try_parallel_map(&ExecPolicy::with_threads(8), &items, |_, &x| {
+                if x % 10 == 7 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(out.unwrap_err(), 7);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(&ExecPolicy::default(), &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(ExecPolicy::with_threads(8).effective_threads(3), 3);
+        assert_eq!(ExecPolicy::with_threads(2).effective_threads(100), 2);
+        assert_eq!(ExecPolicy::sequential().effective_threads(100), 1);
+        assert!(ExecPolicy::default().effective_threads(1000) >= 1);
+    }
+}

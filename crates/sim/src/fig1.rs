@@ -7,6 +7,7 @@
 //! series of the paper's Figure 1.
 
 use crate::error::SimError;
+use crate::exec::{try_parallel_map, ExecPolicy};
 use crate::pipeline::{attack_filter_train_eval, filter_train_eval, prepare, ExperimentConfig};
 use poisongame_defense::FilterStrength;
 use poisongame_linalg::Xoshiro256StarStar;
@@ -77,13 +78,31 @@ impl Fig1Results {
     }
 }
 
-/// Run the Figure 1 sweep.
+/// Run the Figure 1 sweep on the default (fully parallel) execution
+/// policy.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::BadParameter`] for an empty or out-of-range
 /// strength grid and propagates pipeline failures.
 pub fn run_fig1(config: &ExperimentConfig, sweep: &Fig1Config) -> Result<Fig1Results, SimError> {
+    run_fig1_with(config, sweep, &ExecPolicy::default())
+}
+
+/// Run the Figure 1 sweep with an explicit execution policy.
+///
+/// Every sweep point derives its attack RNG from the master seed
+/// alone, so the results are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for an empty or out-of-range
+/// strength grid and propagates pipeline failures.
+pub fn run_fig1_with(
+    config: &ExperimentConfig,
+    sweep: &Fig1Config,
+    policy: &ExecPolicy,
+) -> Result<Fig1Results, SimError> {
     if sweep.strengths.is_empty() {
         return Err(SimError::BadParameter {
             what: "strengths",
@@ -108,35 +127,39 @@ pub fn run_fig1(config: &ExperimentConfig, sweep: &Fig1Config) -> Result<Fig1Res
         config,
     )?;
 
-    let mut rows = Vec::with_capacity(sweep.strengths.len());
-    for &theta in &sweep.strengths {
-        // Fresh attack RNG per point, derived from the master seed, so
-        // individual sweep points are reproducible in isolation.
-        let mut rng =
-            Xoshiro256StarStar::seed_from_u64(config.seed ^ (theta.to_bits().rotate_left(17)));
-        let placement =
-            crate::pipeline::hugging_placement(&prepared, theta, sweep.placement_slack);
-        let attacked = attack_filter_train_eval(
-            &prepared,
-            placement,
-            FilterStrength::RemoveFraction(theta),
-            config,
-            &mut rng,
-        )?;
-        let clean = filter_train_eval(
-            &prepared.train,
-            &[],
-            &prepared.test,
-            FilterStrength::RemoveFraction(theta),
-            config,
-        )?;
-        rows.push(Fig1Row {
-            removed_fraction: theta,
-            accuracy_under_attack: attacked.accuracy,
-            accuracy_clean: clean.accuracy,
-            poison_recall: attacked.accounting.poison_recall(),
-        });
-    }
+    let rows = try_parallel_map(
+        policy,
+        &sweep.strengths,
+        |_, &theta| -> Result<Fig1Row, SimError> {
+            // Fresh attack RNG per point, derived from the master seed, so
+            // individual sweep points are reproducible in isolation (and
+            // independent of which worker runs them).
+            let mut rng =
+                Xoshiro256StarStar::seed_from_u64(config.seed ^ (theta.to_bits().rotate_left(17)));
+            let placement =
+                crate::pipeline::hugging_placement(&prepared, theta, sweep.placement_slack);
+            let attacked = attack_filter_train_eval(
+                &prepared,
+                placement,
+                FilterStrength::RemoveFraction(theta),
+                config,
+                &mut rng,
+            )?;
+            let clean = filter_train_eval(
+                &prepared.train,
+                &[],
+                &prepared.test,
+                FilterStrength::RemoveFraction(theta),
+                config,
+            )?;
+            Ok(Fig1Row {
+                removed_fraction: theta,
+                accuracy_under_attack: attacked.accuracy,
+                accuracy_clean: clean.accuracy,
+                poison_recall: attacked.accounting.poison_recall(),
+            })
+        },
+    )?;
 
     Ok(Fig1Results {
         rows,
@@ -149,6 +172,7 @@ pub fn run_fig1(config: &ExperimentConfig, sweep: &Fig1Config) -> Result<Fig1Res
 mod tests {
     use super::*;
     use crate::pipeline::DataSource;
+    use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
 
     fn quick_config() -> ExperimentConfig {
@@ -159,6 +183,8 @@ mod tests {
             budget_fraction: 0.2,
             epochs: 40,
             centroid: CentroidEstimator::CoordinateMedian,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 

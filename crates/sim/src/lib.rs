@@ -14,6 +14,8 @@
 //!   while solve time grows.
 //! * [`monte_carlo`] — repeated-game simulation validating the
 //!   equilibrium indifference property empirically.
+//! * [`exec`] — the parallel sweep engine: scoped worker pool with
+//!   per-cell seeds, bit-identical to sequential at any thread count.
 //! * [`report`] — ASCII tables and CSV output.
 //!
 //! # Example
@@ -36,6 +38,7 @@
 
 pub mod error;
 pub mod estimate;
+pub mod exec;
 pub mod fig1;
 pub mod monte_carlo;
 pub mod pipeline;
@@ -44,4 +47,5 @@ pub mod scaling;
 pub mod table1;
 
 pub use error::SimError;
+pub use exec::ExecPolicy;
 pub use pipeline::{DataSource, ExperimentConfig, Prepared};

@@ -8,8 +8,11 @@
 //! the stochastic game it is meant to secure.
 
 use crate::error::SimError;
+use crate::exec::{parallel_map, ExecPolicy};
 use poisongame_core::{DefenderMixedStrategy, PoisonGame};
+use poisongame_linalg::rng::SplitMix64;
 use poisongame_linalg::Xoshiro256StarStar;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Result of a repeated-game simulation.
@@ -45,6 +48,24 @@ pub fn simulate_repeated_game(
         });
     }
     let candidates: Vec<f64> = strategy.support().to_vec();
+    let partial = play_rounds(game, strategy, &candidates, rounds, rng);
+    finish(&candidates, partial, rounds)
+}
+
+/// Per-candidate payoff sums and the defender-loss sum over a block of
+/// rounds — the mergeable unit of the Monte-Carlo simulation.
+struct Partial {
+    sums: Vec<f64>,
+    loss_sum: f64,
+}
+
+fn play_rounds(
+    game: &PoisonGame,
+    strategy: &DefenderMixedStrategy,
+    candidates: &[f64],
+    rounds: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Partial {
     let n = game.n_points() as f64;
     let mut sums = vec![0.0; candidates.len()];
     let mut loss_sum = 0.0;
@@ -54,17 +75,28 @@ pub fn simulate_repeated_game(
         let mut best_payoff: f64 = 0.0;
         for (k, &p) in candidates.iter().enumerate() {
             let survives = theta <= p + 1e-12;
-            let payoff = if survives { n * game.effect().eval(p) } else { 0.0 };
+            let payoff = if survives {
+                n * game.effect().eval(p)
+            } else {
+                0.0
+            };
             sums[k] += payoff;
             best_payoff = best_payoff.max(payoff);
         }
         // Defender pays the best response damage plus the filter cost.
         loss_sum += best_payoff + game.cost().eval(theta);
     }
+    Partial { sums, loss_sum }
+}
 
+fn finish(
+    candidates: &[f64],
+    partial: Partial,
+    rounds: usize,
+) -> Result<MonteCarloResults, SimError> {
     let candidate_payoffs: Vec<(f64, f64)> = candidates
         .iter()
-        .zip(&sums)
+        .zip(&partial.sums)
         .map(|(&p, &s)| (p, s / rounds as f64))
         .collect();
     let max = candidate_payoffs
@@ -84,9 +116,66 @@ pub fn simulate_repeated_game(
     Ok(MonteCarloResults {
         candidate_payoffs,
         payoff_spread,
-        mean_defender_loss: loss_sum / rounds as f64,
+        mean_defender_loss: partial.loss_sum / rounds as f64,
         rounds,
     })
+}
+
+/// Parallel repeated-game simulation: `replicates` independent blocks
+/// of `rounds_per_replicate` rounds, each with its own RNG derived
+/// from `master_seed` via SplitMix64, fanned out across the worker
+/// pool and merged in replicate order. Bit-identical at any thread
+/// count (including [`ExecPolicy::sequential`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `rounds_per_replicate` or
+/// `replicates` is zero.
+pub fn simulate_repeated_game_parallel(
+    game: &PoisonGame,
+    strategy: &DefenderMixedStrategy,
+    rounds_per_replicate: usize,
+    replicates: usize,
+    master_seed: u64,
+    policy: &ExecPolicy,
+) -> Result<MonteCarloResults, SimError> {
+    if rounds_per_replicate == 0 {
+        return Err(SimError::BadParameter {
+            what: "rounds_per_replicate",
+            value: 0.0,
+        });
+    }
+    if replicates == 0 {
+        return Err(SimError::BadParameter {
+            what: "replicates",
+            value: 0.0,
+        });
+    }
+    let candidates: Vec<f64> = strategy.support().to_vec();
+
+    // Pre-derive one seed per replicate from the master seed, so a
+    // replicate's stream depends only on its index.
+    let mut mix = SplitMix64::new(master_seed);
+    let seeds: Vec<u64> = (0..replicates).map(|_| mix.next()).collect();
+
+    let partials = parallel_map(policy, &seeds, |_, &seed| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        play_rounds(game, strategy, &candidates, rounds_per_replicate, &mut rng)
+    });
+
+    // Merge in replicate order: float accumulation order is fixed, so
+    // the totals are independent of scheduling.
+    let mut merged = Partial {
+        sums: vec![0.0; candidates.len()],
+        loss_sum: 0.0,
+    };
+    for partial in partials {
+        for (total, s) in merged.sums.iter_mut().zip(&partial.sums) {
+            *total += s;
+        }
+        merged.loss_sum += partial.loss_sum;
+    }
+    finish(&candidates, merged, rounds_per_replicate * replicates)
 }
 
 #[cfg(test)]
@@ -104,8 +193,7 @@ mod tests {
             (0.40, 2.0e-6),
         ])
         .unwrap();
-        let cost =
-            CostCurve::from_samples(&[(0.0, 0.0), (0.20, 0.022), (0.40, 0.065)]).unwrap();
+        let cost = CostCurve::from_samples(&[(0.0, 0.0), (0.20, 0.022), (0.40, 0.065)]).unwrap();
         PoisonGame::new(effect, cost, 644).unwrap()
     }
 
@@ -127,8 +215,7 @@ mod tests {
     fn non_equalizing_strategy_shows_spread() {
         let g = game();
         // Uniform probabilities are not equalizing for this curve.
-        let strategy =
-            DefenderMixedStrategy::new(vec![0.05, 0.30], vec![0.5, 0.5]).unwrap();
+        let strategy = DefenderMixedStrategy::new(vec![0.05, 0.30], vec![0.5, 0.5]).unwrap();
         let mut rng = Xoshiro256StarStar::seed_from_u64(32);
         let mc = simulate_repeated_game(&g, &strategy, 100_000, &mut rng).unwrap();
         assert!(
@@ -151,6 +238,39 @@ mod tests {
                 "placement {p}: empirical {emp} vs analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_replicates_are_thread_count_invariant() {
+        let g = game();
+        let strategy = equalizing_strategy(&[0.05, 0.15, 0.30], g.effect()).unwrap();
+        let reference =
+            simulate_repeated_game_parallel(&g, &strategy, 5_000, 8, 91, &ExecPolicy::sequential())
+                .unwrap();
+        for threads in [2, 8] {
+            let parallel = simulate_repeated_game_parallel(
+                &g,
+                &strategy,
+                5_000,
+                8,
+                91,
+                &ExecPolicy::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+        // And the statistics still make sense.
+        assert!(reference.payoff_spread < 0.05);
+        assert_eq!(reference.rounds, 40_000);
+    }
+
+    #[test]
+    fn parallel_rejects_zero_blocks() {
+        let g = game();
+        let strategy = DefenderMixedStrategy::pure(0.1).unwrap();
+        let policy = ExecPolicy::default();
+        assert!(simulate_repeated_game_parallel(&g, &strategy, 0, 4, 1, &policy).is_err());
+        assert!(simulate_repeated_game_parallel(&g, &strategy, 10, 0, 1, &policy).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::error::SimError;
 use poisongame_attack::{AttackStrategy, BoundaryAttack, RadiusSpec, ThreatModel};
+use poisongame_core::{Algorithm1Config, SolverKind};
 use poisongame_data::scale::StandardScaler;
 use poisongame_data::split::train_test_split;
 use poisongame_data::synth::{gaussian_blobs, spambase_like, SpambaseConfig};
@@ -10,9 +11,9 @@ use poisongame_data::Dataset;
 use poisongame_defense::{
     CentroidEstimator, Filter, FilterAccounting, FilterStrength, RadiusFilter,
 };
+use poisongame_linalg::Xoshiro256StarStar;
 use poisongame_ml::svm::LinearSvm;
 use poisongame_ml::{Classifier, TrainConfig};
-use poisongame_linalg::Xoshiro256StarStar;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,21 @@ pub struct ExperimentConfig {
     pub epochs: usize,
     /// Centroid estimator anchoring the defense filter.
     pub centroid: CentroidEstimator,
+    /// Matrix-game solver for the discretized-game solves an
+    /// experiment opts into (`Auto`: exact LP for small games, Hedge
+    /// beyond the size limit). With the default
+    /// [`Self::warm_start`]` = false` the paper's pipeline solves no
+    /// matrix games, so this field has no effect until `warm_start`
+    /// (or a direct [`poisongame_core::bridge`] cross-check) uses it.
+    #[serde(default)]
+    pub solver: SolverKind,
+    /// Warm-start Algorithm 1 from the discretized game's NE (solved
+    /// with [`Self::solver`] on a bounded seeding budget) instead of
+    /// the paper's even `chooseInitialRadius(n)` spread. Off by
+    /// default: the paper's behavior is preserved exactly unless
+    /// opted in.
+    #[serde(default)]
+    pub warm_start: bool,
 }
 
 impl ExperimentConfig {
@@ -77,6 +93,8 @@ impl ExperimentConfig {
             budget_fraction: 0.2,
             epochs: 5000,
             centroid: CentroidEstimator::CoordinateMedian,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 
@@ -85,7 +103,9 @@ impl ExperimentConfig {
     pub fn quick(mut self) -> Self {
         self.epochs = 150;
         if let DataSource::SyntheticSpambase { rows } = self.source {
-            self.source = DataSource::SyntheticSpambase { rows: rows.min(1500) };
+            self.source = DataSource::SyntheticSpambase {
+                rows: rows.min(1500),
+            };
         }
         self
     }
@@ -96,6 +116,18 @@ impl ExperimentConfig {
             epochs: self.epochs,
             seed: self.seed ^ 0x7261_696e, // "rain" — decorrelate from data seed
             ..TrainConfig::default()
+        }
+    }
+
+    /// Algorithm 1 configuration implied by this experiment — the one
+    /// place the solver / warm-start knobs translate into an
+    /// [`Algorithm1Config`].
+    pub fn algorithm1_config(&self, n_radii: usize) -> Algorithm1Config {
+        Algorithm1Config {
+            n_radii,
+            solver: self.solver,
+            warm_start: self.warm_start,
+            ..Algorithm1Config::default()
         }
     }
 
@@ -252,6 +284,8 @@ mod tests {
             budget_fraction: 0.2,
             epochs: 40,
             centroid: CentroidEstimator::CoordinateMedian,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 
@@ -265,6 +299,8 @@ mod tests {
             budget_fraction: 0.2,
             epochs: 40,
             centroid: CentroidEstimator::CoordinateMedian,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 
@@ -409,6 +445,8 @@ mod tests {
             budget_fraction: 0.1,
             epochs: 20,
             centroid: CentroidEstimator::Mean,
+            solver: SolverKind::Auto,
+            warm_start: false,
         };
         let p = prepare(&config).unwrap();
         assert_eq!(p.train.len() + p.test.len(), 60);

@@ -97,7 +97,12 @@ pub fn fig1_csv(results: &Fig1Results) -> String {
         })
         .collect();
     render_csv(
-        &["removed_fraction", "accuracy_under_attack", "accuracy_clean", "poison_recall"],
+        &[
+            "removed_fraction",
+            "accuracy_under_attack",
+            "accuracy_clean",
+            "poison_recall",
+        ],
         &rows,
     )
 }
@@ -156,7 +161,13 @@ pub fn scaling_table(results: &ScalingResults) -> String {
         .collect();
     let mut out = String::from("Scaling — Algorithm 1 vs support size n\n");
     out.push_str(&render_table(
-        &["n", "defender loss", "predicted acc", "iterations", "solve time"],
+        &[
+            "n",
+            "defender loss",
+            "predicted acc",
+            "iterations",
+            "solve time",
+        ],
         &rows,
     ));
     out
@@ -186,7 +197,10 @@ mod tests {
     fn generic_table_aligns_columns() {
         let out = render_table(
             &["a", "long header"],
-            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide cell".into(), "z".into()],
+            ],
         );
         assert!(out.contains("| a         | long header |"));
         assert!(out.lines().count() >= 6);

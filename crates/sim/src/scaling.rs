@@ -3,6 +3,7 @@
 
 use crate::error::SimError;
 use crate::estimate::CurveEstimate;
+use crate::exec::{try_parallel_map, ExecPolicy};
 use poisongame_core::{Algorithm1, Algorithm1Config};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -49,6 +50,11 @@ impl ScalingResults {
 
 /// Solve Algorithm 1 for each support size and record quality + cost.
 ///
+/// Runs sequentially: this experiment's point is the per-cell
+/// `solve_micros` wall-clock, and concurrent cells would contend for
+/// cores and distort it. Use [`run_scaling_with`] to trade timing
+/// fidelity for throughput.
+///
 /// # Errors
 ///
 /// Returns [`SimError::BadParameter`] for an empty size list and
@@ -57,6 +63,35 @@ pub fn run_scaling(
     curves: &CurveEstimate,
     support_sizes: &[usize],
 ) -> Result<ScalingResults, SimError> {
+    run_scaling_with(
+        curves,
+        support_sizes,
+        &Algorithm1Config::default(),
+        &ExecPolicy::sequential(),
+    )
+}
+
+/// [`run_scaling`] with an explicit Algorithm 1 template (its
+/// `n_radii` is overridden per cell — pass
+/// `ExperimentConfig::algorithm1_config(0)` to inherit an
+/// experiment's solver / warm-start knobs) and execution policy.
+/// Support sizes fan out across the worker pool; all fields except
+/// the wall-clock `solve_micros` are bit-identical at any thread
+/// count (timing is inherently nondeterministic, sequential or not —
+/// but under a parallel policy it additionally includes cross-cell
+/// CPU contention, so use [`ExecPolicy::sequential`] when the
+/// timings are the measurement).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for an empty size list and
+/// propagates solver failures.
+pub fn run_scaling_with(
+    curves: &CurveEstimate,
+    support_sizes: &[usize],
+    base: &Algorithm1Config,
+    policy: &ExecPolicy,
+) -> Result<ScalingResults, SimError> {
     if support_sizes.is_empty() {
         return Err(SimError::BadParameter {
             what: "support_sizes",
@@ -64,24 +99,27 @@ pub fn run_scaling(
         });
     }
     let game = curves.game()?;
-    let mut rows = Vec::with_capacity(support_sizes.len());
-    for &n in support_sizes {
-        let solver = Algorithm1::new(Algorithm1Config {
-            n_radii: n,
-            ..Algorithm1Config::default()
-        });
-        let start = Instant::now();
-        let result = solver.solve(&game)?;
-        let elapsed = start.elapsed().as_micros();
-        rows.push(ScalingRow {
-            n_radii: n,
-            defender_loss: result.defender_loss,
-            predicted_accuracy: (curves.baseline_accuracy - result.defender_loss)
-                .clamp(0.0, 1.0),
-            iterations: result.iterations,
-            solve_micros: elapsed,
-        });
-    }
+    let rows = try_parallel_map(
+        policy,
+        support_sizes,
+        |_, &n| -> Result<ScalingRow, SimError> {
+            let solver = Algorithm1::new(Algorithm1Config {
+                n_radii: n,
+                ..base.clone()
+            });
+            let start = Instant::now();
+            let result = solver.solve(&game)?;
+            let elapsed = start.elapsed().as_micros();
+            Ok(ScalingRow {
+                n_radii: n,
+                defender_loss: result.defender_loss,
+                predicted_accuracy: (curves.baseline_accuracy - result.defender_loss)
+                    .clamp(0.0, 1.0),
+                iterations: result.iterations,
+                solve_micros: elapsed,
+            })
+        },
+    )?;
     Ok(ScalingResults { rows })
 }
 

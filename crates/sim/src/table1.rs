@@ -9,8 +9,9 @@
 
 use crate::error::SimError;
 use crate::estimate::CurveEstimate;
-use crate::pipeline::{attack_filter_train_eval, prepare, ExperimentConfig};
-use poisongame_core::{Algorithm1, Algorithm1Config, DefenderMixedStrategy};
+use crate::exec::{try_parallel_map, ExecPolicy};
+use crate::pipeline::{attack_filter_train_eval, prepare, ExperimentConfig, Prepared};
+use poisongame_core::{Algorithm1, DefenderMixedStrategy};
 use poisongame_defense::FilterStrength;
 use poisongame_linalg::Xoshiro256StarStar;
 use rand::SeedableRng;
@@ -61,28 +62,71 @@ pub fn evaluate_mixed_defense(
     strategy: &DefenderMixedStrategy,
     placement_slack: f64,
 ) -> Result<(f64, f64), SimError> {
+    evaluate_mixed_defense_with(config, strategy, placement_slack, &ExecPolicy::default())
+}
+
+/// [`evaluate_mixed_defense`] with an explicit execution policy: the
+/// candidate placements fan out across the worker pool. Per-candidate
+/// RNGs derive from the master seed alone, and the worst candidate is
+/// chosen by an ordered scan, so the result is bit-identical to the
+/// sequential path.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_mixed_defense_with(
+    config: &ExperimentConfig,
+    strategy: &DefenderMixedStrategy,
+    placement_slack: f64,
+    policy: &ExecPolicy,
+) -> Result<(f64, f64), SimError> {
     let prepared = prepare(config)?;
-    let mut worst = (f64::INFINITY, 0.0);
-    for &candidate in strategy.support() {
-        let placement =
-            crate::pipeline::hugging_placement(&prepared, candidate, placement_slack);
-        let mut expected = 0.0;
-        for (&theta, &q) in strategy.support().iter().zip(strategy.probabilities()) {
-            if q == 0.0 {
-                continue;
+    evaluate_mixed_defense_prepared(&prepared, config, strategy, placement_slack, policy)
+}
+
+/// [`evaluate_mixed_defense_with`] against an already-prepared
+/// dataset — lets callers evaluating many strategies under one config
+/// (Table 1) pay for [`prepare`] once.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn evaluate_mixed_defense_prepared(
+    prepared: &Prepared,
+    config: &ExperimentConfig,
+    strategy: &DefenderMixedStrategy,
+    placement_slack: f64,
+    policy: &ExecPolicy,
+) -> Result<(f64, f64), SimError> {
+    let expected_per_candidate = try_parallel_map(
+        policy,
+        strategy.support(),
+        |_, &candidate| -> Result<f64, SimError> {
+            let placement =
+                crate::pipeline::hugging_placement(prepared, candidate, placement_slack);
+            let mut expected = 0.0;
+            for (&theta, &q) in strategy.support().iter().zip(strategy.probabilities()) {
+                if q == 0.0 {
+                    continue;
+                }
+                let mut rng = Xoshiro256StarStar::seed_from_u64(
+                    config.seed ^ candidate.to_bits() ^ theta.to_bits().rotate_left(13),
+                );
+                let out = attack_filter_train_eval(
+                    prepared,
+                    placement,
+                    FilterStrength::RemoveFraction(theta),
+                    config,
+                    &mut rng,
+                )?;
+                expected += q * out.accuracy;
             }
-            let mut rng = Xoshiro256StarStar::seed_from_u64(
-                config.seed ^ candidate.to_bits() ^ theta.to_bits().rotate_left(13),
-            );
-            let out = attack_filter_train_eval(
-                &prepared,
-                placement,
-                FilterStrength::RemoveFraction(theta),
-                config,
-                &mut rng,
-            )?;
-            expected += q * out.accuracy;
-        }
+            Ok(expected)
+        },
+    )?;
+
+    let mut worst = (f64::INFINITY, 0.0);
+    for (&candidate, &expected) in strategy.support().iter().zip(&expected_per_candidate) {
         if expected < worst.0 {
             worst = (expected, candidate);
         }
@@ -105,6 +149,32 @@ pub fn run_table1(
     support_sizes: &[usize],
     best_pure_accuracy: f64,
 ) -> Result<Table1Results, SimError> {
+    run_table1_with(
+        config,
+        curves,
+        support_sizes,
+        best_pure_accuracy,
+        &ExecPolicy::default(),
+    )
+}
+
+/// [`run_table1`] with an explicit execution policy. Each support size
+/// is an independent cell (Algorithm 1 solve + empirical best-response
+/// evaluation), fanned out across the worker pool; the empirical
+/// evaluation inside each cell runs sequentially to keep the pool
+/// simple. Results are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for an empty size list and
+/// propagates solver/pipeline failures.
+pub fn run_table1_with(
+    config: &ExperimentConfig,
+    curves: &CurveEstimate,
+    support_sizes: &[usize],
+    best_pure_accuracy: f64,
+    policy: &ExecPolicy,
+) -> Result<Table1Results, SimError> {
     if support_sizes.is_empty() {
         return Err(SimError::BadParameter {
             what: "support_sizes",
@@ -112,25 +182,35 @@ pub fn run_table1(
         });
     }
     let game = curves.game()?;
-    let mut rows = Vec::with_capacity(support_sizes.len());
-    for &n in support_sizes {
-        let solver = Algorithm1::new(Algorithm1Config {
-            n_radii: n,
-            ..Algorithm1Config::default()
-        });
-        let result = solver.solve(&game)?;
-        let predicted = (curves.baseline_accuracy - result.defender_loss).clamp(0.0, 1.0);
-        let (empirical, placement) =
-            evaluate_mixed_defense(config, &result.strategy, 0.01)?;
-        rows.push(Table1Row {
-            n_radii: n,
-            support: result.strategy.support().to_vec(),
-            probabilities: result.strategy.probabilities().to_vec(),
-            predicted_accuracy: predicted,
-            empirical_accuracy: empirical,
-            attacker_placement: placement,
-        });
-    }
+    // One dataset preparation shared by every cell: `prepare` is a pure
+    // function of the config, so hoisting it cannot change results.
+    let prepared = prepare(config)?;
+    let rows = try_parallel_map(
+        policy,
+        support_sizes,
+        |_, &n| -> Result<Table1Row, SimError> {
+            // The experiment's solver / warm-start knobs take effect
+            // here (see `ExperimentConfig::algorithm1_config`).
+            let solver = Algorithm1::new(config.algorithm1_config(n));
+            let result = solver.solve(&game)?;
+            let predicted = (curves.baseline_accuracy - result.defender_loss).clamp(0.0, 1.0);
+            let (empirical, placement) = evaluate_mixed_defense_prepared(
+                &prepared,
+                config,
+                &result.strategy,
+                0.01,
+                &ExecPolicy::sequential(),
+            )?;
+            Ok(Table1Row {
+                n_radii: n,
+                support: result.strategy.support().to_vec(),
+                probabilities: result.strategy.probabilities().to_vec(),
+                predicted_accuracy: predicted,
+                empirical_accuracy: empirical,
+                attacker_placement: placement,
+            })
+        },
+    )?;
     Ok(Table1Results {
         rows,
         best_pure_accuracy,
@@ -143,6 +223,7 @@ mod tests {
     use super::*;
     use crate::estimate::estimate_curves;
     use crate::pipeline::DataSource;
+    use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
 
     fn quick_config() -> ExperimentConfig {
@@ -153,18 +234,16 @@ mod tests {
             budget_fraction: 0.2,
             epochs: 40,
             centroid: CentroidEstimator::CoordinateMedian,
+            solver: SolverKind::Auto,
+            warm_start: false,
         }
     }
 
     #[test]
     fn table1_rows_have_valid_strategies() {
         let config = quick_config();
-        let curves = estimate_curves(
-            &config,
-            &[0.02, 0.1, 0.25, 0.4],
-            &[0.0, 0.05, 0.15, 0.3],
-        )
-        .unwrap();
+        let curves =
+            estimate_curves(&config, &[0.02, 0.1, 0.25, 0.4], &[0.0, 0.05, 0.15, 0.3]).unwrap();
         let t = run_table1(&config, &curves, &[2], 0.8).unwrap();
         assert_eq!(t.rows.len(), 1);
         let row = &t.rows[0];
@@ -178,8 +257,7 @@ mod tests {
     #[test]
     fn empty_sizes_rejected() {
         let config = quick_config();
-        let curves =
-            estimate_curves(&config, &[0.05, 0.2], &[0.0, 0.2]).unwrap();
+        let curves = estimate_curves(&config, &[0.05, 0.2], &[0.0, 0.2]).unwrap();
         assert!(run_table1(&config, &curves, &[], 0.8).is_err());
     }
 }

@@ -1,0 +1,126 @@
+//! Determinism regression: the parallel engine at 1, 2 and 8 threads
+//! produces byte-identical serialized reports for the same master
+//! seed. This is the contract that makes fan-out safe to enable by
+//! default — the schedule may only change wall-clock time, never
+//! results.
+
+use poisongame_core::ne::equalizing_strategy;
+use poisongame_core::{CostCurve, EffectCurve, PoisonGame, SolverKind};
+use poisongame_defense::CentroidEstimator;
+use poisongame_sim::estimate::estimate_curves;
+use poisongame_sim::exec::ExecPolicy;
+use poisongame_sim::fig1::{run_fig1_with, Fig1Config};
+use poisongame_sim::monte_carlo::simulate_repeated_game_parallel;
+use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
+use poisongame_sim::report::{fig1_csv, fig1_table, table1_table};
+use poisongame_sim::table1::run_table1_with;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 0xD37E_2214,
+        source: DataSource::SyntheticSpambase { rows: 400 },
+        test_fraction: 0.3,
+        budget_fraction: 0.2,
+        epochs: 25,
+        centroid: CentroidEstimator::CoordinateMedian,
+        solver: SolverKind::Auto,
+        warm_start: false,
+    }
+}
+
+#[test]
+fn fig1_reports_are_byte_identical_across_thread_counts() {
+    let config = tiny_config();
+    let sweep = Fig1Config {
+        strengths: vec![0.0, 0.08, 0.20],
+        placement_slack: 0.01,
+    };
+    let reports: Vec<(String, String)> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let r = run_fig1_with(&config, &sweep, &ExecPolicy::with_threads(threads))
+                .expect("sweep runs");
+            (fig1_csv(&r), fig1_table(&r))
+        })
+        .collect();
+    for (threads, (csv, table)) in THREAD_COUNTS.iter().zip(&reports).skip(1) {
+        assert_eq!(
+            csv.as_bytes(),
+            reports[0].0.as_bytes(),
+            "fig1 CSV diverged at {threads} threads"
+        );
+        assert_eq!(
+            table.as_bytes(),
+            reports[0].1.as_bytes(),
+            "fig1 table diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn table1_reports_are_byte_identical_across_thread_counts() {
+    let config = tiny_config();
+    let curves = estimate_curves(&config, &[0.02, 0.20], &[0.0, 0.15]).expect("curves estimate");
+    let reports: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let t = run_table1_with(
+                &config,
+                &curves,
+                &[2],
+                0.8,
+                &ExecPolicy::with_threads(threads),
+            )
+            .expect("table1 runs");
+            table1_table(&t)
+        })
+        .collect();
+    for (threads, report) in THREAD_COUNTS.iter().zip(&reports).skip(1) {
+        assert_eq!(
+            report.as_bytes(),
+            reports[0].as_bytes(),
+            "table1 report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_results_are_byte_identical_across_thread_counts() {
+    let effect = EffectCurve::from_samples(&[
+        (0.0, 2.0e-4),
+        (0.10, 9.0e-5),
+        (0.20, 4.0e-5),
+        (0.40, 2.0e-6),
+    ])
+    .unwrap();
+    let cost = CostCurve::from_samples(&[(0.0, 0.0), (0.20, 0.022), (0.40, 0.065)]).unwrap();
+    let game = PoisonGame::new(effect, cost, 644).unwrap();
+    let strategy = equalizing_strategy(&[0.05, 0.15, 0.30], game.effect()).unwrap();
+
+    let reports: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let mc = simulate_repeated_game_parallel(
+                &game,
+                &strategy,
+                10_000,
+                16,
+                0xCAFE,
+                &ExecPolicy::with_threads(threads),
+            )
+            .expect("simulation runs");
+            // Debug formatting prints full float precision — any bit
+            // difference in any field shows up here.
+            format!("{mc:?}")
+        })
+        .collect();
+    for (threads, report) in THREAD_COUNTS.iter().zip(&reports).skip(1) {
+        assert_eq!(
+            report.as_bytes(),
+            reports[0].as_bytes(),
+            "monte carlo diverged at {threads} threads"
+        );
+    }
+}

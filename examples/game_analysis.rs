@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "profit threshold T_a (percentile form): {:?}",
         analysis.profit_threshold
     );
-    println!("pure fixed point on 61-point grid: {:?}", analysis.pure_fixed_point);
+    println!(
+        "pure fixed point on 61-point grid: {:?}",
+        analysis.pure_fixed_point
+    );
     println!("pure NE absent: {}", analysis.pure_ne_absent());
     println!("attacker BR hugs the filter (first 5 grid strengths):");
     for (theta, placement) in analysis.attacker_best.iter().take(5) {
@@ -44,28 +47,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Discretized matrix game ==");
     let grid = percentile_grid(60);
     let matrix = to_matrix_game(&game, &grid);
-    println!("payoff matrix: {}x{} (attacker x defender)", matrix.rows(), matrix.cols());
-    println!("saddle point: {:?} (Proposition 1, discrete form)", matrix.saddle_point());
+    println!(
+        "payoff matrix: {}x{} (attacker x defender)",
+        matrix.rows(),
+        matrix.cols()
+    );
+    println!(
+        "saddle point: {:?} (Proposition 1, discrete form)",
+        matrix.saddle_point()
+    );
 
     let lp = solve_discretized(&game, 60)?;
     println!("\nLP (exact) solution:");
     println!("  game value (defender loss): {:.5}", lp.value);
     println!("  defender support: {:?}", lp.defender_strategy.support());
-    println!("  defender probabilities: {:?}", lp.defender_strategy.probabilities());
+    println!(
+        "  defender probabilities: {:?}",
+        lp.defender_strategy.probabilities()
+    );
     println!("  attacker support: {:?}", lp.attacker_support);
 
     println!("\n== Iterative solvers on the same matrix ==");
     match solve_fictitious_play(&matrix, &FictitiousPlayConfig::default()) {
-        Ok(fp) => println!("  fictitious play: value {:.5} ({} iterations)", fp.value, fp.iterations),
+        Ok(fp) => println!(
+            "  fictitious play: value {:.5} ({} iterations)",
+            fp.value, fp.iterations
+        ),
         Err(e) => println!("  fictitious play: {e}"),
     }
     let mw = solve_multiplicative_weights(&matrix, &MultiplicativeWeightsConfig::default())?;
-    println!("  multiplicative weights: value {:.5} ({} iterations)", mw.value, mw.iterations);
+    println!(
+        "  multiplicative weights: value {:.5} ({} iterations)",
+        mw.value, mw.iterations
+    );
 
     println!("\n== Algorithm 1 vs the exact LP ==");
     for n in [2, 3, 4] {
-        let result = Algorithm1::new(Algorithm1Config { n_radii: n, ..Default::default() })
-            .solve(&game)?;
+        let result = Algorithm1::new(Algorithm1Config {
+            n_radii: n,
+            ..Default::default()
+        })
+        .solve(&game)?;
         println!(
             "  n = {n}: strategy {}, defender loss {:.5} (LP floor {:.5})",
             result.strategy, result.defender_loss, lp.value

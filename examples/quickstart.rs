@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("estimating E(p) and Γ(p) from attack/filter sweeps...");
     let curves = estimate_curves(&config, &default_placements(), &default_strengths())?;
-    println!("  baseline accuracy (no attack, no filter): {:.4}", curves.baseline_accuracy);
+    println!(
+        "  baseline accuracy (no attack, no filter): {:.4}",
+        curves.baseline_accuracy
+    );
     println!("  poison budget N = {}", curves.n_poison);
     for &(p, e) in &curves.effect_samples {
         println!("  E({:>4.0}%) = {:+.3e} per point", p * 100.0, e);
@@ -40,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .solve(&game)?;
 
     println!("  defender NE strategy: {}", result.strategy);
-    println!("  converged: {} after {} iterations", result.converged, result.iterations);
-    println!("  attacker's per-point equilibrium gain: {:.3e}", result.attacker_gain);
+    println!(
+        "  converged: {} after {} iterations",
+        result.converged, result.iterations
+    );
+    println!(
+        "  attacker's per-point equilibrium gain: {:.3e}",
+        result.attacker_gain
+    );
     println!("  defender loss: {:.4}", result.defender_loss);
     println!(
         "  predicted accuracy under optimal attack: {:.4}",

@@ -26,8 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             gain
         );
     }
-    let t3 = results.rows.iter().find(|r| r.n_radii == 3).map(|r| r.solve_micros);
-    let t5 = results.rows.iter().find(|r| r.n_radii == 5).map(|r| r.solve_micros);
+    let t3 = results
+        .rows
+        .iter()
+        .find(|r| r.n_radii == 3)
+        .map(|r| r.solve_micros);
+    let t5 = results
+        .rows
+        .iter()
+        .find(|r| r.n_radii == 5)
+        .map(|r| r.solve_micros);
     if let (Some(t3), Some(t5)) = (t3, t5) {
         println!(
             "solve time n=3 → n=5: {:.1} ms → {:.1} ms ({:.1}× growth)",

@@ -52,8 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FilterStrength::RemoveFraction(0.0),
         &config,
     )?;
-    println!("clean accuracy (no attack):            {:.4}", clean.accuracy);
-    println!("1. no sanitization, attacked:          {:.4}", no_defense.accuracy);
+    println!(
+        "clean accuracy (no attack):            {:.4}",
+        clean.accuracy
+    );
+    println!(
+        "1. no sanitization, attacked:          {:.4}",
+        no_defense.accuracy
+    );
 
     // Posture 2 — fixed filter, attacker reads the runbook and hugs it.
     let theta = 0.15;
@@ -89,8 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Posture 4 — the equilibrium mixed defense.
     println!("\nderiving the mixed-strategy equilibrium defense...");
     let curves = estimate_curves(&config, &default_placements(), &default_strengths())?;
-    let result = Algorithm1::new(Algorithm1Config { n_radii: 3, ..Default::default() })
-        .solve(&curves.game()?)?;
+    let result = Algorithm1::new(Algorithm1Config {
+        n_radii: 3,
+        ..Default::default()
+    })
+    .solve(&curves.game()?)?;
     let (mixed_acc, placement) = evaluate_mixed_defense(&config, &result.strategy, 0.01)?;
     println!("   strategy: {}", result.strategy);
     println!(

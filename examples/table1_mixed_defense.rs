@@ -83,8 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "below best pure — see EXPERIMENTS.md discussion"
         };
-        println!("n = {}: mixed {:.4} vs best pure {:.4}  [{verdict}]",
-            row.n_radii, row.empirical_accuracy, table1.best_pure_accuracy);
+        println!(
+            "n = {}: mixed {:.4} vs best pure {:.4}  [{verdict}]",
+            row.n_radii, row.empirical_accuracy, table1.best_pure_accuracy
+        );
     }
     Ok(())
 }

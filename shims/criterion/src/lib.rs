@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`: the same macro/builder surface,
+//! backed by a simple wall-clock harness.
+//!
+//! Each benchmark runs a short warm-up, then a fixed number of timed
+//! samples, and prints `name ... time: [median]` in a Criterion-like
+//! format. No statistics beyond min/median/max are computed — the
+//! point is that `cargo bench` compiles, runs, and produces a usable
+//! relative signal without registry access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            group_name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    group_name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.group_name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.group_name, id.id);
+        run_one(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter` (mirrors
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Identifier from a displayed parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing handle passed to benchmark closures (mirrors
+/// `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, repeating it `sample_size` times after one
+    /// warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().expect("non-empty");
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions under one callable (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        // one warm-up + sample_size timed calls
+        assert_eq!(ran, 11);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| {
+            b.iter(|| {
+                ran += x;
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 7 * 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("solve", 60);
+        assert_eq!(id.id, "solve/60");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains("s"));
+    }
+}

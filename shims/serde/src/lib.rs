@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde`.
+//!
+//! All result serialization in this workspace goes through
+//! `poisongame_sim::report` (deterministic ASCII/CSV renderers), so
+//! `Serialize` / `Deserialize` only need to exist as marker traits to
+//! keep the `#[derive(...)]` annotation surface source-compatible with
+//! the real crate. The derive macros (re-exported from the
+//! `serde_derive` shim) emit marker impls, so `T: Serialize` bounds
+//! work as expected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the `::serde::...` paths emitted by the derive shim resolve
+// inside this crate's own tests (the same trick real serde uses).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose serialization is handled by the workspace's
+/// own renderers (`poisongame_sim::report`).
+pub trait Serialize {}
+
+/// Marker for types whose deserialization is handled by the
+/// workspace's own parsers (`poisongame_data::csv`).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Plain {
+        _x: f64,
+    }
+
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct WithAttrs {
+        #[serde(default)]
+        _y: f64,
+    }
+
+    #[derive(crate::Serialize, crate::Deserialize)]
+    enum Tagged {
+        _A,
+        _B { _y: usize },
+    }
+
+    fn assert_serialize<T: crate::Serialize>() {}
+    fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_emit_marker_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Tagged>();
+        assert_deserialize::<Tagged>();
+        assert_serialize::<WithAttrs>();
+        assert_deserialize::<WithAttrs>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Derive macros for the `serde` shim: emit marker-trait impls.
+//!
+//! Implemented with the bare `proc_macro` API (no `syn`/`quote`, which
+//! are unavailable offline). The parser extracts the type name and
+//! ignores the body; generic types fall back to emitting nothing,
+//! which is fine for a marker trait nobody bounds generically here.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct` / `enum` keyword.
+/// Returns `None` for generic types (the shim does not model them).
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    // A `<` right after the name means generics.
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Derive the `serde::Serialize` marker impl. Registers the `serde`
+/// helper attribute (`#[serde(default)]` etc.) so annotations written
+/// for the real crate compile; the shim ignores them.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl block"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derive the `serde::Deserialize` marker impl. Registers the `serde`
+/// helper attribute so annotations written for the real crate compile.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl block"),
+        None => TokenStream::new(),
+    }
+}

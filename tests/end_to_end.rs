@@ -2,6 +2,7 @@
 //! data through attack, defense, curve estimation and Algorithm 1.
 
 use poisongame::core::ne::diagnose;
+use poisongame::core::SolverKind;
 use poisongame::core::{Algorithm1, Algorithm1Config, DefenderMixedStrategy};
 use poisongame::defense::CentroidEstimator;
 use poisongame::sim::estimate::estimate_curves;
@@ -17,6 +18,8 @@ fn quick_config(seed: u64) -> ExperimentConfig {
         budget_fraction: 0.2,
         epochs: 60,
         centroid: CentroidEstimator::CoordinateMedian,
+        solver: SolverKind::Auto,
+        warm_start: false,
     }
 }
 
@@ -51,12 +54,8 @@ fn fig1_reproduces_paper_shape() {
 #[test]
 fn curves_feed_algorithm1_and_satisfy_ne_conditions() {
     let config = quick_config(23);
-    let curves = estimate_curves(
-        &config,
-        &[0.02, 0.10, 0.20, 0.35],
-        &[0.0, 0.05, 0.15, 0.30],
-    )
-    .unwrap();
+    let curves =
+        estimate_curves(&config, &[0.02, 0.10, 0.20, 0.35], &[0.0, 0.05, 0.15, 0.30]).unwrap();
     let game = curves.game().unwrap();
     let result = Algorithm1::with_support_size(2).solve(&game).unwrap();
 
@@ -81,6 +80,48 @@ fn curves_feed_algorithm1_and_satisfy_ne_conditions() {
 }
 
 #[test]
+fn solver_is_swappable_via_experiment_config() {
+    // The acceptance bar for the solver refactor: every solver is
+    // selectable purely through configuration, and the experiment
+    // output stays a valid mixed defense regardless of the choice.
+    let mut config = quick_config(53);
+    config.epochs = 30;
+    config.source = DataSource::SyntheticSpambase { rows: 500 };
+    // Opt into the warm start so the solver choice reaches Algorithm 1.
+    config.warm_start = true;
+    let curves = estimate_curves(&config, &[0.02, 0.15, 0.35], &[0.0, 0.1, 0.3]).unwrap();
+    let game = curves.game().unwrap();
+
+    for solver in [
+        SolverKind::Auto,
+        SolverKind::Simplex,
+        SolverKind::FictitiousPlay,
+        SolverKind::MultiplicativeWeights,
+    ] {
+        config.solver = solver;
+        let t = run_table1(&config, &curves, &[2], 0.8).unwrap();
+        let row = &t.rows[0];
+        assert_eq!(row.support.len(), 2, "{solver:?}");
+        assert!(
+            (row.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "{solver:?}"
+        );
+        assert!((0.0..=1.0).contains(&row.empirical_accuracy), "{solver:?}");
+
+        // The same choice drives Algorithm 1's warm start directly.
+        let warm = Algorithm1::new(Algorithm1Config {
+            n_radii: 2,
+            solver,
+            warm_start: true,
+            ..Algorithm1Config::default()
+        })
+        .solve(&game)
+        .unwrap();
+        assert_eq!(warm.strategy.support().len(), 2, "{solver:?}");
+    }
+}
+
+#[test]
 fn table1_mixed_defense_close_to_or_above_best_pure() {
     let config = quick_config(37);
     let sweep = Fig1Config {
@@ -88,12 +129,8 @@ fn table1_mixed_defense_close_to_or_above_best_pure() {
         placement_slack: 0.01,
     };
     let fig1 = run_fig1(&config, &sweep).unwrap();
-    let curves = estimate_curves(
-        &config,
-        &[0.02, 0.10, 0.20, 0.35],
-        &[0.0, 0.05, 0.15, 0.30],
-    )
-    .unwrap();
+    let curves =
+        estimate_curves(&config, &[0.02, 0.10, 0.20, 0.35], &[0.0, 0.05, 0.15, 0.30]).unwrap();
     let t = run_table1(
         &config,
         &curves,
