@@ -19,4 +19,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The scenario-spec API is the front door for every new workload; run
+# its example end-to-end (quick 4×3×2 grid) so the surface can't rot
+# while unit tests stay green.
+echo "==> cargo run --release --example scenario_matrix"
+cargo run --release --example scenario_matrix
+
 echo "CI green."

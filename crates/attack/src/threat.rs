@@ -39,21 +39,56 @@ impl ThreatModel {
         }
     }
 
+    /// A validated threat model: the budget fraction is checked once
+    /// here instead of on every budget query (the historical
+    /// [`ThreatModel::poison_count`] re-validated per call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadParameter`] for a fraction outside
+    /// `[0, 1]` (or NaN).
+    pub fn new(budget_fraction: f64, knowledge: Knowledge) -> Result<Self, AttackError> {
+        if !(0.0..=1.0).contains(&budget_fraction) || budget_fraction.is_nan() {
+            return Err(AttackError::BadParameter {
+                what: "budget_fraction",
+                value: budget_fraction,
+            });
+        }
+        Ok(Self {
+            budget_fraction,
+            knowledge,
+        })
+    }
+
     /// Number of poison points for a clean training set of `clean_len`
-    /// points.
+    /// points (nearest rounding).
+    ///
+    /// Assumes a valid budget fraction — construct via
+    /// [`ThreatModel::new`] to guarantee it. A fraction tampered with
+    /// after construction (the fields are public) is clamped to
+    /// `[0, 1]` rather than trusted.
+    pub fn budget_points(&self, clean_len: usize) -> usize {
+        let fraction = if self.budget_fraction.is_nan() {
+            0.0
+        } else {
+            self.budget_fraction.clamp(0.0, 1.0)
+        };
+        (clean_len as f64 * fraction).round() as usize
+    }
+
+    /// Number of poison points, re-validating the fraction on every
+    /// call.
     ///
     /// # Errors
     ///
     /// Returns [`AttackError::BadParameter`] for a fraction outside
     /// `[0, 1]`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "validate once via `ThreatModel::new` and use `budget_points`"
+    )]
     pub fn poison_count(&self, clean_len: usize) -> Result<usize, AttackError> {
-        if !(0.0..=1.0).contains(&self.budget_fraction) || self.budget_fraction.is_nan() {
-            return Err(AttackError::BadParameter {
-                what: "budget_fraction",
-                value: self.budget_fraction,
-            });
-        }
-        Ok((clean_len as f64 * self.budget_fraction).round() as usize)
+        Self::new(self.budget_fraction, self.knowledge).map(|t| t.budget_points(clean_len))
     }
 }
 
@@ -71,35 +106,44 @@ mod tests {
     fn paper_threat_model() {
         let t = ThreatModel::paper();
         assert_eq!(t.budget_fraction, 0.2);
-        assert_eq!(t.poison_count(3220).unwrap(), 644);
+        assert_eq!(t.budget_points(3220), 644);
     }
 
     #[test]
     fn zero_budget_allows_nothing() {
-        let t = ThreatModel {
-            budget_fraction: 0.0,
-            knowledge: Knowledge::Oblivious,
-        };
-        assert_eq!(t.poison_count(1000).unwrap(), 0);
+        let t = ThreatModel::new(0.0, Knowledge::Oblivious).unwrap();
+        assert_eq!(t.budget_points(1000), 0);
     }
 
     #[test]
-    fn invalid_fraction_rejected() {
+    fn construction_rejects_invalid_fractions() {
         for bad in [-0.1, 1.5, f64::NAN] {
-            let t = ThreatModel {
-                budget_fraction: bad,
-                knowledge: Knowledge::Full,
-            };
-            assert!(t.poison_count(10).is_err(), "{bad} accepted");
+            assert!(
+                ThreatModel::new(bad, Knowledge::Full).is_err(),
+                "{bad} accepted"
+            );
         }
+        assert!(ThreatModel::new(0.0, Knowledge::Full).is_ok());
+        assert!(ThreatModel::new(1.0, Knowledge::Full).is_ok());
     }
 
     #[test]
     fn rounding_is_nearest() {
-        let t = ThreatModel {
-            budget_fraction: 0.1,
+        let t = ThreatModel::new(0.1, Knowledge::Full).unwrap();
+        assert_eq!(t.budget_points(15), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_per_call_path_still_works() {
+        // The old fallible API keeps its contract: same counts on
+        // valid fractions, same error on invalid ones.
+        let t = ThreatModel::paper();
+        assert_eq!(t.poison_count(3220).unwrap(), 644);
+        let bad = ThreatModel {
+            budget_fraction: 1.5,
             knowledge: Knowledge::Full,
         };
-        assert_eq!(t.poison_count(15).unwrap(), 2); // 1.5 rounds to 2
+        assert!(bad.poison_count(10).is_err());
     }
 }

@@ -1,0 +1,96 @@
+//! Does the scenario redesign cost anything? The spec path dispatches
+//! every cell through boxed `AttackStrategy` / `Filter` / `Classifier`
+//! trait objects where the old pipeline called monomorphized concrete
+//! types. This bench runs the same small grid both ways: the boxed
+//! calls happen once per *cell* while training runs `epochs × n`
+//! SGD steps, so the dispatch overhead is noise next to training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poisongame_attack::{AttackStrategy, BoundaryAttack, RadiusSpec};
+use poisongame_defense::{Filter, FilterStrength, RadiusFilter};
+use poisongame_linalg::Xoshiro256StarStar;
+use poisongame_ml::svm::LinearSvm;
+use poisongame_ml::Classifier;
+use poisongame_sim::pipeline::{
+    hugging_placement, prepare, run_cell, DataSource, ExperimentConfig, Prepared,
+};
+use poisongame_sim::scenario::Scenario;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const STRENGTHS: [f64; 3] = [0.05, 0.15, 0.30];
+
+fn grid_config() -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 0xD15B,
+        source: DataSource::SyntheticSpambase { rows: 500 },
+        epochs: 40,
+        ..ExperimentConfig::paper()
+    }
+}
+
+/// One grid pass through the spec path (boxed trait objects).
+fn boxed_grid(prepared: &Prepared, config: &ExperimentConfig) -> f64 {
+    let scenario = Scenario::default();
+    let mut total = 0.0;
+    for (i, &theta) in STRENGTHS.iter().enumerate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed ^ i as u64);
+        let placement = hugging_placement(prepared, theta, 0.01);
+        let out = run_cell(
+            prepared,
+            &scenario,
+            placement,
+            FilterStrength::RemoveFraction(theta),
+            config,
+            &mut rng,
+        )
+        .expect("cell runs");
+        total += out.accuracy;
+    }
+    total
+}
+
+/// The same grid with the pre-redesign concrete types, no boxing.
+fn monomorphized_grid(prepared: &Prepared, config: &ExperimentConfig) -> f64 {
+    let mut total = 0.0;
+    for (i, &theta) in STRENGTHS.iter().enumerate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed ^ i as u64);
+        let placement = hugging_placement(prepared, theta, 0.01);
+        let attack = BoundaryAttack::new(RadiusSpec::Percentile(placement));
+        let (poisoned, _injected) = attack
+            .poison(&prepared.train, prepared.n_poison, &mut rng)
+            .expect("attack runs");
+        let filter = RadiusFilter::new(FilterStrength::RemoveFraction(theta), config.centroid);
+        let kept = filter.apply(&poisoned).expect("filter runs");
+        let mut svm = LinearSvm::new(config.train_config());
+        svm.fit(&kept).expect("svm trains");
+        total += svm.accuracy_on(&prepared.test);
+    }
+    total
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let config = grid_config();
+    let prepared = prepare(&config).expect("dataset prepares");
+
+    // Identical outputs first: the comparison is only meaningful if
+    // both paths compute the same grid.
+    assert_eq!(
+        boxed_grid(&prepared, &config).to_bits(),
+        monomorphized_grid(&prepared, &config).to_bits(),
+        "dispatch paths diverged"
+    );
+
+    let mut group = c.benchmark_group("scenario_dispatch");
+    group.sample_size(10);
+    group.bench_function("boxed_run_cell", |b| {
+        b.iter(|| black_box(boxed_grid(&prepared, &config)))
+    });
+    group.bench_function("monomorphized", |b| {
+        b.iter(|| black_box(monomorphized_grid(&prepared, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -15,6 +15,7 @@ use poisongame_data::Dataset;
 use poisongame_defense::CentroidEstimator;
 use poisongame_linalg::Xoshiro256StarStar;
 use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
+use poisongame_sim::scenario::Scenario;
 use rand::SeedableRng;
 
 /// Bench-scale experiment configuration: real schema, reduced rows and
@@ -29,6 +30,7 @@ pub fn bench_experiment_config() -> ExperimentConfig {
         centroid: CentroidEstimator::CoordinateMedian,
         solver: SolverKind::Auto,
         warm_start: false,
+        scenario: Scenario::default(),
     }
 }
 

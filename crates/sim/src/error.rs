@@ -24,6 +24,9 @@ pub enum SimError {
         /// Offending value.
         value: f64,
     },
+    /// A serialized scenario/config spec could not be understood
+    /// (JSON syntax, unknown type tag, wrongly-typed field).
+    Spec(String),
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +40,7 @@ impl fmt::Display for SimError {
             SimError::BadParameter { what, value } => {
                 write!(f, "parameter `{what}` out of range: {value}")
             }
+            SimError::Spec(message) => write!(f, "spec: {message}"),
         }
     }
 }
@@ -49,7 +53,7 @@ impl Error for SimError {
             SimError::Attack(e) => Some(e),
             SimError::Defense(e) => Some(e),
             SimError::Core(e) => Some(e),
-            SimError::BadParameter { .. } => None,
+            SimError::BadParameter { .. } | SimError::Spec(_) => None,
         }
     }
 }
@@ -98,6 +102,9 @@ mod tests {
             value: 2.0,
         };
         assert!(e.to_string().contains("strength"));
+        assert!(e.source().is_none());
+        let e = SimError::Spec("unknown attack type `x`".into());
+        assert!(e.to_string().contains("unknown attack type"));
         assert!(e.source().is_none());
     }
 

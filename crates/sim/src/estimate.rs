@@ -165,6 +165,7 @@ pub fn default_strengths() -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::pipeline::DataSource;
+    use crate::scenario::Scenario;
     use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
 
@@ -178,6 +179,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::default(),
         }
     }
 

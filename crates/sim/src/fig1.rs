@@ -172,6 +172,7 @@ pub fn run_fig1_with(
 mod tests {
     use super::*;
     use crate::pipeline::DataSource;
+    use crate::scenario::Scenario;
     use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
 
@@ -185,6 +186,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::default(),
         }
     }
 

@@ -1,0 +1,522 @@
+//! Minimal JSON reader/writer backing the serializable scenario API.
+//!
+//! The workspace builds offline, so `serde_json` is unavailable and the
+//! `serde` dependency is a marker-trait shim (see `shims/README.md`).
+//! Scenario specs still need a real wire format — experiment grids are
+//! authored as JSON strings and shipped between tools — so this module
+//! provides the small value model those specs serialize through:
+//! [`Json::parse`] (strict recursive descent) and [`Json::render`]
+//! (deterministic output, object keys in insertion order).
+//!
+//! Numbers are carried as `f64`; integers round-trip exactly up to
+//! 2^53, which covers every seed and count the experiment configs use.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_sim::jsonio::Json;
+//!
+//! let v = Json::parse(r#"{"type": "boundary", "weights": [0.5, 0.5]}"#).unwrap();
+//! assert_eq!(v.get("type").and_then(Json::as_str), Some("boundary"));
+//! assert_eq!(Json::parse(&v.render()).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved (insertion order on build,
+    /// source order on parse).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON syntax error with the byte offset where parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with the offending byte offset on any
+    /// syntax error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Render to a compact JSON string. Output is deterministic and
+    /// re-parses to an equal value — except non-finite numbers, which
+    /// JSON cannot represent and which render as `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(*x, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Look up a key in an object; `None` for other variants or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if this is a
+    /// number with an exact integral value in `[0, 2^53]`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= (1u64 << 53) as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Build an object from key/value pairs (insertion order kept).
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Build a string value.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Build an array of numbers.
+    pub fn nums(values: &[f64]) -> Json {
+        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+    }
+}
+
+fn err(offset: usize, message: &str) -> JsonError {
+    JsonError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected `{}`", byte as char)))
+    }
+}
+
+/// Containers may nest this deep before the parser refuses — the
+/// recursion otherwise tracks input size, and a pathological document
+/// (`"[[[[…"`) would overflow the stack instead of returning an error.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, "nesting deeper than 128 levels"));
+    }
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(err(*pos, &format!("unexpected byte `{}`", *c as char))),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected `{word}`")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    let value: f64 = text
+        .parse()
+        .map_err(|_| err(start, &format!("invalid number `{text}`")))?;
+    if !value.is_finite() {
+        return Err(err(start, "number out of range"));
+    }
+    Ok(Json::Num(value))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogates are rejected rather than paired: the
+                        // scenario schema never emits them.
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| err(*pos, "surrogate \\u escape unsupported"))?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through verbatim).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let ch = rest.chars().next().expect("non-empty rest");
+                if (ch as u32) < 0x20 {
+                    return Err(err(*pos, "unescaped control character"));
+                }
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key_offset = *pos;
+        let key = parse_string(bytes, pos)?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(err(key_offset, &format!("duplicate key `{key}`")));
+        }
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+fn write_number(x: f64, out: &mut String) {
+    // JSON has no NaN/Infinity tokens; emit `null` (the JavaScript
+    // convention) so the document stays parseable and a typed reader
+    // fails with a clear "must be a number" instead of a syntax error.
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Integral values print without a fraction so seeds and counts stay
+    // readable; Rust's shortest-round-trip float formatting covers the
+    // rest.
+    if x.fract() == 0.0 && x.abs() <= (1u64 << 53) as f64 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-3.5", "1e-4", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.render()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let text = r#"{"a": [1, 2.5, {"b": "x\ny"}], "c": null, "d": true}"#;
+        let v = Json::parse(text).unwrap();
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+        // Compact output: no spaces.
+        assert!(!rendered.contains(' '));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"k": 5, "s": "t", "a": [1], "b": false}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(5));
+        assert_eq!(v.get("k").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(Json::Num(1.5).as_u64().is_none());
+        assert!(Json::Num(-1.0).as_u64().is_none());
+    }
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(!e.message.is_empty(), "{bad}");
+            assert!(e.to_string().contains("byte"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // Would previously crash the process with a stack overflow.
+        let deep = "[".repeat(200_000);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // Nesting at the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(Json::parse(r#"{"a": 1, "a": 2}"#).is_err());
+    }
+
+    #[test]
+    fn escapes_decode_and_encode() {
+        let v = Json::parse(r#""a\"b\\c\n\tA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\n\tA"));
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn control_characters_must_be_escaped() {
+        assert!(Json::parse("\"a\nb\"").is_err());
+        assert_eq!(Json::Str("a\u{1}b".into()).render(), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(20190607.0).render(), "20190607");
+        assert_eq!(Json::Num(0.15).render(), "0.15");
+        let seed = 0xD37E_2214u64;
+        assert_eq!(
+            Json::parse(&Json::Num(seed as f64).render())
+                .unwrap()
+                .as_u64(),
+            Some(seed)
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::obj(vec![("w", Json::Num(x))]).render();
+            assert_eq!(doc, r#"{"w":null}"#);
+            // Still valid JSON; a typed reader sees Null, not a number.
+            assert_eq!(Json::parse(&doc).unwrap().get("w"), Some(&Json::Null));
+        }
+    }
+
+    #[test]
+    fn builders_compose() {
+        let v = Json::obj(vec![
+            ("type", Json::str("boundary")),
+            ("weights", Json::nums(&[0.5, 0.5])),
+        ]);
+        assert_eq!(v.render(), r#"{"type":"boundary","weights":[0.5,0.5]}"#);
+    }
+}

@@ -1,8 +1,18 @@
-//! End-to-end experiment pipeline reproducing the paper's evaluation.
+//! End-to-end experiment pipeline reproducing the paper's evaluation —
+//! and generalizing it: every experiment cell dispatches through a
+//! serializable [`scenario::Scenario`] (attack × defense × learner),
+//! which is the primary entry point for new workloads. The default
+//! scenario is the paper's triple (boundary attack, radius filter,
+//! linear SVM), so the reproduction is the zero-config path; swapping
+//! any axis — or fanning out a whole [`scenario::ScenarioMatrix`]
+//! cross-product — is a data change, not a code change.
 //!
+//! * [`scenario`] — the spec API: `AttackSpec` / `DefenseSpec` /
+//!   `LearnerSpec`, the `Scenario` triple, `ScenarioBuilder`, and the
+//!   `ScenarioMatrix` cross-product runner.
 //! * [`pipeline`] — dataset preparation (generate → split → scale) and
 //!   the attack → filter → train → evaluate loop shared by every
-//!   experiment.
+//!   experiment ([`pipeline::run_cell`] is the dispatch point).
 //! * [`fig1`] — Figure 1: accuracy vs filter strength under the
 //!   optimal pure-strategy attack, and on clean data.
 //! * [`estimate`] — fits the `E(p)` / `Γ(p)` curves from sweep
@@ -16,9 +26,33 @@
 //!   equilibrium indifference property empirically.
 //! * [`exec`] — the parallel sweep engine: scoped worker pool with
 //!   per-cell seeds, bit-identical to sequential at any thread count.
+//! * [`jsonio`] — the minimal JSON reader/writer scenario specs
+//!   serialize through (the `serde` dependency is an offline shim).
 //! * [`report`] — ASCII tables and CSV output.
 //!
 //! # Example
+//!
+//! A scenario matrix from a JSON spec — the front door for
+//! multi-scenario workloads:
+//!
+//! ```no_run
+//! use poisongame_sim::pipeline::ExperimentConfig;
+//! use poisongame_sim::scenario::{run_matrix, ScenarioMatrix};
+//!
+//! let config = ExperimentConfig::paper().quick();
+//! let matrix = ScenarioMatrix::from_json_str(
+//!     r#"{"attacks":  [{"type": "boundary"}, {"type": "label_flip"}],
+//!         "defenses": [{"type": "radius"}, {"type": "knn", "k": 5}],
+//!         "learners": [{"type": "svm"}]}"#,
+//! ).unwrap();
+//! let results = run_matrix(&config, &matrix).unwrap();
+//! for cell in results.ranked() {
+//!     println!("{}: {:.4}", cell.scenario.label(), cell.outcome.accuracy);
+//! }
+//! ```
+//!
+//! The paper's Figure 1 sweep is the same machinery at the default
+//! scenario:
 //!
 //! ```no_run
 //! use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
@@ -40,12 +74,17 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod fig1;
+pub mod jsonio;
 pub mod monte_carlo;
 pub mod pipeline;
 pub mod report;
 pub mod scaling;
+pub mod scenario;
 pub mod table1;
 
 pub use error::SimError;
 pub use exec::ExecPolicy;
 pub use pipeline::{DataSource, ExperimentConfig, Prepared};
+pub use scenario::{
+    AttackSpec, DefenseSpec, LearnerSpec, MatrixResults, Scenario, ScenarioBuilder, ScenarioMatrix,
+};

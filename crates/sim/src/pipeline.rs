@@ -1,19 +1,23 @@
 //! Dataset preparation and the shared attack → filter → train →
 //! evaluate loop.
+//!
+//! Every experiment cell dispatches through the configured
+//! [`Scenario`] ([`run_cell`] is the single dispatch point), so the
+//! attack, sanitizer and victim model are all pluggable; the default
+//! scenario reproduces the paper's hardcoded triple bit-for-bit.
 
 use crate::error::SimError;
-use poisongame_attack::{AttackStrategy, BoundaryAttack, RadiusSpec, ThreatModel};
+use crate::jsonio::Json;
+use crate::scenario::Scenario;
+use poisongame_attack::ThreatModel;
 use poisongame_core::{Algorithm1Config, SolverKind};
 use poisongame_data::scale::StandardScaler;
 use poisongame_data::split::train_test_split;
 use poisongame_data::synth::{gaussian_blobs, spambase_like, SpambaseConfig};
 use poisongame_data::Dataset;
-use poisongame_defense::{
-    CentroidEstimator, Filter, FilterAccounting, FilterStrength, RadiusFilter,
-};
+use poisongame_defense::{CentroidEstimator, FilterAccounting, FilterStrength};
 use poisongame_linalg::Xoshiro256StarStar;
-use poisongame_ml::svm::LinearSvm;
-use poisongame_ml::{Classifier, TrainConfig};
+use poisongame_ml::TrainConfig;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +84,13 @@ pub struct ExperimentConfig {
     /// opted in.
     #[serde(default)]
     pub warm_start: bool,
+    /// Which attack × defense × learner triple every cell of this
+    /// experiment dispatches through. Defaults to the paper's triple
+    /// (boundary attack, radius filter, linear SVM), so configs that
+    /// never mention a scenario — including serialized ones with the
+    /// field absent — reproduce the paper's pipeline bit-for-bit.
+    #[serde(default)]
+    pub scenario: Scenario,
 }
 
 impl ExperimentConfig {
@@ -95,6 +106,7 @@ impl ExperimentConfig {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::paper(),
         }
     }
 
@@ -146,6 +158,260 @@ impl Default for ExperimentConfig {
     }
 }
 
+impl ExperimentConfig {
+    /// JSON form of the full config (all fields explicit). Seeds
+    /// beyond 2^53 are emitted as decimal strings — a JSON `f64`
+    /// number cannot carry them exactly — and
+    /// [`ExperimentConfig::from_json`] accepts both forms.
+    pub fn to_json(&self) -> Json {
+        let seed = if self.seed <= (1u64 << 53) {
+            Json::Num(self.seed as f64)
+        } else {
+            Json::Str(self.seed.to_string())
+        };
+        Json::obj(vec![
+            ("seed", seed),
+            ("source", source_to_json(&self.source)),
+            ("test_fraction", Json::Num(self.test_fraction)),
+            ("budget_fraction", Json::Num(self.budget_fraction)),
+            ("epochs", Json::Num(self.epochs as f64)),
+            ("centroid", centroid_to_json(self.centroid)),
+            ("solver", Json::str(solver_name(self.solver))),
+            ("warm_start", Json::Bool(self.warm_start)),
+            ("scenario", self.scenario.to_json()),
+        ])
+    }
+
+    /// Render as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse from a JSON string. Every field is optional and defaults
+    /// to [`ExperimentConfig::paper`] — in particular a config with no
+    /// `scenario` field deserializes to the paper triple, so configs
+    /// written before the scenario API existed keep working. Unknown
+    /// keys are rejected (they are almost always typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on syntax errors, unknown keys or
+    /// wrongly-typed fields.
+    pub fn from_json_str(text: &str) -> Result<Self, SimError> {
+        let value = Json::parse(text).map_err(|e| SimError::Spec(e.to_string()))?;
+        Self::from_json(&value)
+    }
+
+    /// Parse from a JSON value (see [`ExperimentConfig::from_json_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on unknown keys or wrongly-typed
+    /// fields.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
+        if !matches!(value, Json::Obj(_)) {
+            return Err(SimError::Spec("config must be a JSON object".into()));
+        }
+        crate::scenario::check_spec_keys(
+            value,
+            "config",
+            &[
+                "seed",
+                "source",
+                "test_fraction",
+                "budget_fraction",
+                "epochs",
+                "centroid",
+                "solver",
+                "warm_start",
+                "scenario",
+            ],
+        )?;
+        let mut config = Self::paper();
+        if let Some(v) = value.get("seed") {
+            // Numbers up to 2^53 are exact; larger seeds arrive as
+            // decimal strings (see `to_json`).
+            config.seed = v
+                .as_u64()
+                .or_else(|| v.as_str().and_then(|s| s.parse().ok()))
+                .ok_or_else(|| {
+                    SimError::Spec(
+                        "`seed` must be a non-negative integer (string form for > 2^53)".into(),
+                    )
+                })?;
+        }
+        if let Some(v) = value.get("source") {
+            config.source = source_from_json(v)?;
+        }
+        if let Some(v) = value.get("test_fraction") {
+            config.test_fraction = require_num(v, "test_fraction")?;
+        }
+        if let Some(v) = value.get("budget_fraction") {
+            config.budget_fraction = require_num(v, "budget_fraction")?;
+        }
+        if let Some(v) = value.get("epochs") {
+            config.epochs = v
+                .as_u64()
+                .ok_or_else(|| SimError::Spec("`epochs` must be a non-negative integer".into()))?
+                as usize;
+        }
+        if let Some(v) = value.get("centroid") {
+            config.centroid = centroid_from_json(v)?;
+        }
+        if let Some(v) = value.get("solver") {
+            config.solver = solver_from_json(v)?;
+        }
+        if let Some(v) = value.get("warm_start") {
+            config.warm_start = v
+                .as_bool()
+                .ok_or_else(|| SimError::Spec("`warm_start` must be a boolean".into()))?;
+        }
+        if let Some(v) = value.get("scenario") {
+            config.scenario = Scenario::from_json(v)?;
+        }
+        Ok(config)
+    }
+}
+
+fn require_num(value: &Json, what: &str) -> Result<f64, SimError> {
+    value
+        .as_f64()
+        .ok_or_else(|| SimError::Spec(format!("`{what}` must be a number")))
+}
+
+fn source_to_json(source: &DataSource) -> Json {
+    match source {
+        DataSource::SyntheticSpambase { rows } => Json::obj(vec![
+            ("type", Json::str("synthetic_spambase")),
+            ("rows", Json::Num(*rows as f64)),
+        ]),
+        DataSource::Blobs {
+            per_class,
+            dim,
+            offset,
+            sigma,
+        } => Json::obj(vec![
+            ("type", Json::str("blobs")),
+            ("per_class", Json::Num(*per_class as f64)),
+            ("dim", Json::Num(*dim as f64)),
+            ("offset", Json::Num(*offset)),
+            ("sigma", Json::Num(*sigma)),
+        ]),
+        DataSource::CsvText { text } => Json::obj(vec![
+            ("type", Json::str("csv_text")),
+            ("text", Json::str(text)),
+        ]),
+    }
+}
+
+fn source_from_json(value: &Json) -> Result<DataSource, SimError> {
+    let kind = value
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SimError::Spec("source needs a string `type` field".into()))?;
+    let allowed: &[&str] = match kind {
+        "synthetic_spambase" => &["type", "rows"],
+        "blobs" => &["type", "per_class", "dim", "offset", "sigma"],
+        _ => &["type", "text"],
+    };
+    crate::scenario::check_spec_keys(value, "source", allowed)?;
+    let uint = |key: &str| -> Result<usize, SimError> {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| SimError::Spec(format!("source needs integer `{key}`")))
+    };
+    match kind {
+        "synthetic_spambase" => Ok(DataSource::SyntheticSpambase {
+            rows: uint("rows")?,
+        }),
+        "blobs" => Ok(DataSource::Blobs {
+            per_class: uint("per_class")?,
+            dim: uint("dim")?,
+            offset: require_num(
+                value
+                    .get("offset")
+                    .ok_or_else(|| SimError::Spec("blobs source needs `offset`".into()))?,
+                "offset",
+            )?,
+            sigma: require_num(
+                value
+                    .get("sigma")
+                    .ok_or_else(|| SimError::Spec("blobs source needs `sigma`".into()))?,
+                "sigma",
+            )?,
+        }),
+        "csv_text" => Ok(DataSource::CsvText {
+            text: value
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or_else(|| SimError::Spec("csv_text source needs string `text`".into()))?
+                .to_string(),
+        }),
+        other => Err(SimError::Spec(format!("unknown source type `{other}`"))),
+    }
+}
+
+fn centroid_to_json(centroid: CentroidEstimator) -> Json {
+    match centroid {
+        CentroidEstimator::Mean => Json::str("mean"),
+        CentroidEstimator::CoordinateMedian => Json::str("coordinate_median"),
+        CentroidEstimator::GeometricMedian => Json::str("geometric_median"),
+        CentroidEstimator::TrimmedMean { trim } => Json::obj(vec![
+            ("type", Json::str("trimmed_mean")),
+            ("trim", Json::Num(trim)),
+        ]),
+    }
+}
+
+fn centroid_from_json(value: &Json) -> Result<CentroidEstimator, SimError> {
+    let kind = value
+        .as_str()
+        .or_else(|| value.get("type").and_then(Json::as_str))
+        .ok_or_else(|| SimError::Spec("centroid must be a string or tagged object".into()))?;
+    let allowed: &[&str] = if kind == "trimmed_mean" {
+        &["type", "trim"]
+    } else {
+        &["type"]
+    };
+    crate::scenario::check_spec_keys(value, "centroid", allowed)?;
+    match kind {
+        "mean" => Ok(CentroidEstimator::Mean),
+        "coordinate_median" => Ok(CentroidEstimator::CoordinateMedian),
+        "geometric_median" => Ok(CentroidEstimator::GeometricMedian),
+        "trimmed_mean" => Ok(CentroidEstimator::TrimmedMean {
+            trim: require_num(
+                value
+                    .get("trim")
+                    .ok_or_else(|| SimError::Spec("trimmed_mean centroid needs `trim`".into()))?,
+                "trim",
+            )?,
+        }),
+        other => Err(SimError::Spec(format!("unknown centroid `{other}`"))),
+    }
+}
+
+fn solver_name(solver: SolverKind) -> &'static str {
+    match solver {
+        SolverKind::Auto => "auto",
+        SolverKind::Simplex => "simplex",
+        SolverKind::FictitiousPlay => "fictitious_play",
+        SolverKind::MultiplicativeWeights => "multiplicative_weights",
+    }
+}
+
+fn solver_from_json(value: &Json) -> Result<SolverKind, SimError> {
+    match value.as_str() {
+        Some("auto") => Ok(SolverKind::Auto),
+        Some("simplex") => Ok(SolverKind::Simplex),
+        Some("fictitious_play") => Ok(SolverKind::FictitiousPlay),
+        Some("multiplicative_weights") => Ok(SolverKind::MultiplicativeWeights),
+        Some(other) => Err(SimError::Spec(format!("unknown solver `{other}`"))),
+        None => Err(SimError::Spec("solver must be a string".into())),
+    }
+}
+
 /// A prepared experiment: scaled train/test splits plus bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prepared {
@@ -188,7 +454,11 @@ pub fn prepare(config: &ExperimentConfig) -> Result<Prepared, SimError> {
     // distance geometry the radius filter and the game model live on.
     let (train, scaler) = StandardScaler::fit_transform(&train_raw)?;
     let test = scaler.transform(&test_raw)?;
-    let n_poison = config.threat_model().poison_count(train.len())?;
+    // Validate the budget once at construction; the per-call check in
+    // the deprecated `ThreatModel::poison_count` is no longer paid.
+    let threat = config.threat_model();
+    let n_poison =
+        ThreatModel::new(threat.budget_fraction, threat.knowledge)?.budget_points(train.len());
     Ok(Prepared {
         train,
         test,
@@ -208,15 +478,17 @@ pub struct EvalOutcome {
     pub removed_fraction: f64,
 }
 
-/// Filter a (possibly poisoned) training set, train the SVM on the
-/// survivors and evaluate on the held-out split.
+/// Filter a (possibly poisoned) training set, train the configured
+/// learner on the survivors and evaluate on the held-out split — all
+/// dispatched through the scenario on `config` (the paper's radius
+/// filter + linear SVM by default).
 ///
 /// `poison_indices` is the experiment's ground truth for accounting;
 /// pass `&[]` for clean runs.
 ///
 /// # Errors
 ///
-/// Propagates filtering and training failures.
+/// Propagates spec-building, filtering and training failures.
 pub fn filter_train_eval(
     train: &Dataset,
     poison_indices: &[usize],
@@ -224,13 +496,37 @@ pub fn filter_train_eval(
     strength: FilterStrength,
     config: &ExperimentConfig,
 ) -> Result<EvalOutcome, SimError> {
-    let filter = RadiusFilter::new(strength, config.centroid);
+    filter_train_eval_scenario(
+        train,
+        poison_indices,
+        test,
+        strength,
+        &config.scenario,
+        config,
+    )
+}
+
+/// [`filter_train_eval`] against an explicit scenario (matrix cells
+/// carry their own triple, independent of `config.scenario`).
+///
+/// # Errors
+///
+/// Propagates spec-building, filtering and training failures.
+pub fn filter_train_eval_scenario(
+    train: &Dataset,
+    poison_indices: &[usize],
+    test: &Dataset,
+    strength: FilterStrength,
+    scenario: &Scenario,
+    config: &ExperimentConfig,
+) -> Result<EvalOutcome, SimError> {
+    let filter = scenario.defense.build(strength, config.centroid)?;
     let outcome = filter.split(train)?;
     let kept = outcome.kept_dataset(train);
-    let mut svm = LinearSvm::new(config.train_config());
-    svm.fit(&kept)?;
+    let mut model = scenario.learner.build(config.train_config());
+    model.fit(&kept)?;
     Ok(EvalOutcome {
-        accuracy: svm.accuracy_on(test),
+        accuracy: model.accuracy_on(test),
         accounting: outcome.account(poison_indices),
         removed_fraction: outcome.removed_fraction(train),
     })
@@ -249,8 +545,10 @@ pub fn hugging_placement(prepared: &Prepared, theta: f64, slack: f64) -> f64 {
     (theta * (n + m) / n + slack).min(0.95)
 }
 
-/// Poison the clean training set with the optimal boundary attack at
-/// `placement` (removal-percentile axis), then filter/train/evaluate.
+/// Poison the clean training set with the configured attack at
+/// `placement` (removal-percentile axis), then filter/train/evaluate —
+/// dispatched through the scenario on `config` (the paper's boundary
+/// attack by default).
 ///
 /// # Errors
 ///
@@ -262,9 +560,35 @@ pub fn attack_filter_train_eval(
     config: &ExperimentConfig,
     rng: &mut Xoshiro256StarStar,
 ) -> Result<EvalOutcome, SimError> {
-    let attack = BoundaryAttack::new(RadiusSpec::Percentile(placement));
+    run_cell(prepared, &config.scenario, placement, strength, config, rng)
+}
+
+/// The single dispatch point every experiment cell goes through:
+/// build the scenario's attack at `placement`, poison the training
+/// set, then sanitize / train / evaluate with the scenario's defense
+/// and learner.
+///
+/// # Errors
+///
+/// Propagates spec-building, attack, filtering and training failures.
+pub fn run_cell(
+    prepared: &Prepared,
+    scenario: &Scenario,
+    placement: f64,
+    strength: FilterStrength,
+    config: &ExperimentConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<EvalOutcome, SimError> {
+    let attack = scenario.attack.build(placement, prepared.n_poison)?;
     let (poisoned, injected) = attack.poison(&prepared.train, prepared.n_poison, rng)?;
-    filter_train_eval(&poisoned, &injected, &prepared.test, strength, config)
+    filter_train_eval_scenario(
+        &poisoned,
+        &injected,
+        &prepared.test,
+        strength,
+        scenario,
+        config,
+    )
 }
 
 #[cfg(test)]
@@ -286,6 +610,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::default(),
         }
     }
 
@@ -301,6 +626,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::default(),
         }
     }
 
@@ -447,6 +773,7 @@ mod tests {
             centroid: CentroidEstimator::Mean,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::default(),
         };
         let p = prepare(&config).unwrap();
         assert_eq!(p.train.len() + p.test.len(), 60);

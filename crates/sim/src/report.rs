@@ -3,6 +3,7 @@
 
 use crate::fig1::Fig1Results;
 use crate::scaling::ScalingResults;
+use crate::scenario::MatrixResults;
 use crate::table1::Table1Results;
 
 /// Render a generic ASCII table with a header row.
@@ -144,6 +145,82 @@ pub fn table1_table(results: &Table1Results) -> String {
     out
 }
 
+/// A scenario matrix as a ranked ASCII table: one row per
+/// attack × defense × learner cell, best accuracy first.
+pub fn matrix_table(results: &MatrixResults) -> String {
+    let rows: Vec<Vec<String>> = results
+        .ranked()
+        .iter()
+        .enumerate()
+        .map(|(rank, cell)| {
+            vec![
+                (rank + 1).to_string(),
+                cell.scenario.attack.name().to_string(),
+                cell.scenario.defense.label(),
+                cell.scenario.learner.name().to_string(),
+                format!("{:.4}", cell.outcome.accuracy),
+                format!("{:.0}%", cell.outcome.accounting.poison_recall() * 100.0),
+                format!("{:.1}%", cell.outcome.removed_fraction * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Scenario matrix — {} cells at {:.0}% filter strength\n\
+         (clean baseline {:.4}, N = {} poison points)\n",
+        results.cells.len(),
+        results.strength * 100.0,
+        results.baseline_accuracy,
+        results.n_poison
+    );
+    out.push_str(&render_table(
+        &[
+            "#",
+            "attack",
+            "defense",
+            "learner",
+            "accuracy",
+            "poison caught",
+            "removed",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// A scenario matrix as long-format CSV in grid order (one row per
+/// cell, including the cell seed for isolated reproduction).
+pub fn matrix_csv(results: &MatrixResults) -> String {
+    let rows: Vec<Vec<String>> = results
+        .cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.scenario.attack.name().to_string(),
+                cell.scenario.defense.label(),
+                cell.scenario.learner.name().to_string(),
+                format!("{}", results.strength),
+                format!("{}", cell.outcome.accuracy),
+                format!("{}", cell.outcome.accounting.poison_recall()),
+                format!("{}", cell.outcome.removed_fraction),
+                cell.cell_seed.to_string(),
+            ]
+        })
+        .collect();
+    render_csv(
+        &[
+            "attack",
+            "defense",
+            "learner",
+            "strength",
+            "accuracy",
+            "poison_recall",
+            "removed_fraction",
+            "cell_seed",
+        ],
+        &rows,
+    )
+}
+
 /// Scaling results as an ASCII table.
 pub fn scaling_table(results: &ScalingResults) -> String {
     let rows: Vec<Vec<String>> = results
@@ -245,6 +322,54 @@ mod tests {
         assert!(t.contains("# radius = 2"));
         assert!(t.contains("5.8%"));
         assert!(t.contains("51.2%"));
+    }
+
+    #[test]
+    fn matrix_renderings_rank_and_list_cells() {
+        use crate::pipeline::EvalOutcome;
+        use crate::scenario::{AttackSpec, DefenseSpec, LearnerSpec, MatrixCell, Scenario};
+        use poisongame_defense::FilterAccounting;
+
+        let cell = |attack, accuracy| MatrixCell {
+            scenario: Scenario {
+                attack,
+                defense: DefenseSpec::Knn { k: 5 },
+                learner: LearnerSpec::LogReg,
+            },
+            cell_seed: 42,
+            outcome: EvalOutcome {
+                accuracy,
+                accounting: FilterAccounting {
+                    poison_removed: 3,
+                    poison_kept: 1,
+                    genuine_removed: 2,
+                    genuine_kept: 10,
+                },
+                removed_fraction: 0.3125,
+            },
+        };
+        let results = MatrixResults {
+            cells: vec![
+                cell(AttackSpec::LabelFlip, 0.71),
+                cell(AttackSpec::Boundary, 0.88),
+            ],
+            baseline_accuracy: 0.92,
+            n_poison: 64,
+            strength: 0.15,
+        };
+        let t = matrix_table(&results);
+        // Ranked: boundary (0.88) first despite grid order.
+        let boundary_at = t.find("boundary").unwrap();
+        let flip_at = t.find("label_flip").unwrap();
+        assert!(boundary_at < flip_at, "{t}");
+        assert!(t.contains("knn(k=5)"));
+        assert!(t.contains("0.8800"));
+        let c = matrix_csv(&results);
+        assert!(c.starts_with("attack,defense,learner"));
+        // CSV keeps grid order.
+        let flip_line = c.lines().nth(1).unwrap();
+        assert!(flip_line.starts_with("label_flip"));
+        assert!(flip_line.ends_with(",42"));
     }
 
     #[test]

@@ -223,6 +223,7 @@ mod tests {
     use super::*;
     use crate::estimate::estimate_curves;
     use crate::pipeline::DataSource;
+    use crate::scenario::Scenario;
     use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
 
@@ -236,6 +237,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            scenario: Scenario::default(),
         }
     }
 

@@ -17,6 +17,7 @@ fn probe() {
         centroid: CentroidEstimator::CoordinateMedian,
         solver: SolverKind::Auto,
         warm_start: false,
+        scenario: Default::default(),
     };
     let p = prepare(&config).unwrap();
     let clean = filter_train_eval(

@@ -13,6 +13,7 @@ use poisongame_sim::fig1::{run_fig1_with, Fig1Config};
 use poisongame_sim::monte_carlo::simulate_repeated_game_parallel;
 use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
 use poisongame_sim::report::{fig1_csv, fig1_table, table1_table};
+use poisongame_sim::scenario::Scenario;
 use poisongame_sim::table1::run_table1_with;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -27,6 +28,7 @@ fn tiny_config() -> ExperimentConfig {
         centroid: CentroidEstimator::CoordinateMedian,
         solver: SolverKind::Auto,
         warm_start: false,
+        scenario: Scenario::default(),
     }
 }
 

@@ -8,6 +8,7 @@ use poisongame::defense::CentroidEstimator;
 use poisongame::sim::estimate::estimate_curves;
 use poisongame::sim::fig1::{run_fig1, Fig1Config};
 use poisongame::sim::pipeline::{DataSource, ExperimentConfig};
+use poisongame::sim::scenario::Scenario;
 use poisongame::sim::table1::run_table1;
 
 fn quick_config(seed: u64) -> ExperimentConfig {
@@ -20,6 +21,7 @@ fn quick_config(seed: u64) -> ExperimentConfig {
         centroid: CentroidEstimator::CoordinateMedian,
         solver: SolverKind::Auto,
         warm_start: false,
+        scenario: Scenario::default(),
     }
 }
 
