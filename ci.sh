@@ -25,4 +25,11 @@ cargo test -q
 echo "==> cargo run --release --example scenario_matrix"
 cargo run --release --example scenario_matrix
 
+# Bench binaries in --test smoke mode (one sample per bench): keeps
+# every bench compiling AND running without paying for statistics.
+# Scoped to the bench package so the arg reaches only the harness=false
+# bench binaries, not every crate's libtest harness.
+echo "==> cargo bench -p poisongame-bench -- --test (smoke)"
+cargo bench -p poisongame-bench -- --test
+
 echo "CI green."

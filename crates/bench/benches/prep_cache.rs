@@ -1,0 +1,139 @@
+//! Does the shared-preparation engine pay off? A 24-cell scenario
+//! grid (4 attacks × 2 defenses × 3 learners) evaluated two ways:
+//!
+//! * **prepare_per_cell** — every cell run as its own experiment, the
+//!   way scenario studies ran before the matrix/engine existed: each
+//!   cell re-generates, re-splits and re-scales the dataset before
+//!   evaluating (24 preparations);
+//! * **shared_store** — one [`EvalEngine`]: the first cell misses, the
+//!   other 23 share the cached `Arc` (1 preparation).
+//!
+//! Cell seeds and evaluation order are identical in both arms, so the
+//! delta is exactly the redundant preparation work the store removes.
+//! A `prepare_only` group isolates the per-lookup cost (miss vs hit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poisongame_defense::FilterStrength;
+use poisongame_linalg::rng::SplitMix64;
+use poisongame_linalg::Xoshiro256StarStar;
+use poisongame_sim::engine::EvalEngine;
+use poisongame_sim::pipeline::{
+    hugging_placement, prepare, run_cell, DataSource, ExperimentConfig, Prepared,
+};
+use poisongame_sim::scenario::ScenarioMatrix;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// 4 attacks × 2 defenses × 3 learners = 24 cells, all on O(n·d)
+/// defense paths so preparation is a visible share of a cell.
+const SPEC: &str = r#"{
+    "attacks": [
+        {"type": "boundary"},
+        {"type": "mixed_radius", "offsets": [0.0, 0.1], "weights": [0.6, 0.4]},
+        {"type": "label_flip"},
+        {"type": "random_noise"}
+    ],
+    "defenses": [
+        {"type": "radius"},
+        {"type": "slab"}
+    ],
+    "learners": [
+        {"type": "svm"},
+        {"type": "logreg"},
+        {"type": "perceptron"}
+    ],
+    "strength": 0.15,
+    "placement_slack": 0.01
+}"#;
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 0xCAC4E,
+        source: DataSource::SyntheticSpambase { rows: 1200 },
+        epochs: 10,
+        ..ExperimentConfig::paper()
+    }
+}
+
+/// Evaluate every cell of the grid sequentially against `prep_of`'s
+/// preparation — the two arms differ only in what `prep_of` returns.
+fn run_grid(
+    config: &ExperimentConfig,
+    matrix: &ScenarioMatrix,
+    mut prep_of: impl FnMut() -> Prepared,
+) -> f64 {
+    let mut mix = SplitMix64::new(config.seed ^ 0x5cea_a710);
+    let mut total = 0.0;
+    for scenario in matrix.scenarios() {
+        let cell_seed = mix.next();
+        let prepared = prep_of();
+        let placement = hugging_placement(&prepared, matrix.strength, matrix.placement_slack);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(cell_seed);
+        let out = run_cell(
+            &prepared,
+            &scenario,
+            placement,
+            FilterStrength::RemoveFraction(matrix.strength),
+            config,
+            &mut rng,
+        )
+        .expect("cell runs");
+        total += out.accuracy;
+    }
+    total
+}
+
+fn bench_prep_cache(c: &mut Criterion) {
+    let config = bench_config();
+    let matrix = ScenarioMatrix::from_json_str(SPEC).expect("spec parses");
+    assert_eq!(matrix.len(), 24);
+
+    let engine = EvalEngine::new();
+    // Sanity: identical seeds ⇒ both arms compute the same grid.
+    let cold_total = run_grid(&config, &matrix, || prepare(&config).expect("prepares"));
+    let cached_total = run_grid(&config, &matrix, || {
+        engine.prepare(&config).expect("prepares")
+    });
+    assert_eq!(cold_total.to_bits(), cached_total.to_bits());
+    assert_eq!(
+        engine.cache_stats().misses,
+        1,
+        "one preparation for 24 cells"
+    );
+
+    let mut group = c.benchmark_group("prep_cache/matrix24");
+    group.sample_size(10);
+    group.bench_function("prepare_per_cell", |b| {
+        b.iter(|| {
+            black_box(run_grid(&config, &matrix, || {
+                prepare(&config).expect("prepares")
+            }))
+        })
+    });
+    group.bench_function("shared_store", |b| {
+        b.iter(|| {
+            black_box(run_grid(&config, &matrix, || {
+                engine.prepare(&config).expect("prepares")
+            }))
+        })
+    });
+    group.finish();
+
+    // The per-lookup cost in isolation: a miss pays generate + split +
+    // scale, a hit clones an Arc.
+    let mut group = c.benchmark_group("prep_cache/prepare_only");
+    group.sample_size(10);
+    group.bench_function("miss", |b| {
+        b.iter(|| {
+            let fresh = EvalEngine::new();
+            black_box(fresh.prepare(&config).expect("prepares"))
+        })
+    });
+    group.bench_function("hit", |b| {
+        b.iter(|| black_box(engine.prepare(&config).expect("prepares")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prep_cache);
+criterion_main!(benches);

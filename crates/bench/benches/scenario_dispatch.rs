@@ -58,13 +58,13 @@ fn monomorphized_grid(prepared: &Prepared, config: &ExperimentConfig) -> f64 {
         let placement = hugging_placement(prepared, theta, 0.01);
         let attack = BoundaryAttack::new(RadiusSpec::Percentile(placement));
         let (poisoned, _injected) = attack
-            .poison(&prepared.train, prepared.n_poison, &mut rng)
+            .poison(prepared.train(), prepared.n_poison, &mut rng)
             .expect("attack runs");
         let filter = RadiusFilter::new(FilterStrength::RemoveFraction(theta), config.centroid);
         let kept = filter.apply(&poisoned).expect("filter runs");
         let mut svm = LinearSvm::new(config.train_config());
         svm.fit(&kept).expect("svm trains");
-        total += svm.accuracy_on(&prepared.test);
+        total += svm.accuracy_on(prepared.test());
     }
     total
 }

@@ -1,0 +1,299 @@
+//! A keyed store for shared, immutable preparation products.
+//!
+//! Sweeps over an experiment grid prepare the *same* dataset
+//! (generate → split → scale) for every cell that shares a source;
+//! [`PrepCache`] memoizes that work behind a content-hash key so each
+//! distinct preparation runs exactly once and every consumer shares
+//! one `Arc` of the result. Values are immutable once inserted —
+//! caching can only remove redundant identical computation, never
+//! change a result.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_data::cache::PrepCache;
+//!
+//! let cache: PrepCache<u64, Vec<f64>> = PrepCache::new();
+//! let a = cache
+//!     .get_or_try_insert_with::<(), _>(42, || Ok(vec![1.0, 2.0]))
+//!     .unwrap();
+//! let b = cache
+//!     .get_or_try_insert_with::<(), _>(42, || unreachable!("cache hit"))
+//!     .unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of a [`PrepCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the value.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent keyed map of `Arc`-shared immutable values.
+///
+/// Keys are compared by full `Eq`, never by hash alone — callers may
+/// use a content-hash *inside* their key's `Hash` impl for speed, but
+/// a hash collision can only cost a rebuild, not serve the wrong
+/// value.
+///
+/// The builder closure runs *outside* the map lock, so distinct keys
+/// prepare in parallel. Two threads racing the same key may both build
+/// it (first insert wins, the loser's value is dropped); callers that
+/// fan out over a grid should deduplicate keys first — see the
+/// simulation crate's two-phase engine — and the race is then
+/// impossible. Because values are deterministic functions of their
+/// key, a duplicated build never changes what consumers observe.
+#[derive(Debug)]
+pub struct PrepCache<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Manual impl: a derived `Default` would demand `K: Default` and
+// `V: Default`, but an empty cache needs no values at all.
+impl<K: Eq + Hash, V> Default for PrepCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V> PrepCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The value under `key`, building and inserting it with `build`
+    /// on a miss. Counts a hit when the value was already present, a
+    /// miss when `build` ran (even if another thread's insert won the
+    /// race).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error; nothing is inserted on failure.
+    pub fn get_or_try_insert_with<E, F>(&self, key: K, build: F) -> Result<Arc<V>, E>
+    where
+        F: FnOnce() -> Result<V, E>,
+    {
+        if let Some(found) = self.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        let built = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache map poisoned");
+        // First insert wins so every consumer of the key shares one Arc.
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+
+    /// The value under `key`, if present (does not touch the counters).
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.map
+            .lock()
+            .expect("cache map poisoned")
+            .get(key)
+            .map(Arc::clone)
+    }
+
+    /// Number of cached values.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache map poisoned").len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached value (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache map poisoned").clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Incremental FNV-1a content hasher for building cache keys out of
+/// heterogeneous fields (enum tags, integers, float bit patterns, raw
+/// text). Stable across platforms and runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentHash(u64);
+
+impl Default for ContentHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentHash {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Fold raw bytes into the hash.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Fold a `u64` (little-endian bytes) into the hash.
+    pub fn u64(self, value: u64) -> Self {
+        self.bytes(&value.to_le_bytes())
+    }
+
+    /// Fold an `f64` by exact bit pattern into the hash.
+    pub fn f64(self, value: f64) -> Self {
+        self.u64(value.to_bits())
+    }
+
+    /// Fold a UTF-8 string into the hash.
+    pub fn str(self, value: &str) -> Self {
+        self.bytes(value.as_bytes())
+    }
+
+    /// The accumulated 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_shares_one_arc() {
+        let cache: PrepCache<u64, String> = PrepCache::new();
+        let a = cache
+            .get_or_try_insert_with::<(), _>(1, || Ok("built".to_string()))
+            .unwrap();
+        let b = cache
+            .get_or_try_insert_with::<(), _>(1, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let cache: PrepCache<u64, u32> = PrepCache::new();
+        for key in 0..5 {
+            let v = cache
+                .get_or_try_insert_with::<(), _>(key, || Ok(key as u32 * 10))
+                .unwrap();
+            assert_eq!(*v, key as u32 * 10);
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn build_failure_inserts_nothing() {
+        let cache: PrepCache<u64, u32> = PrepCache::new();
+        let out: Result<_, &str> = cache.get_or_try_insert_with(9, || Err("boom"));
+        assert_eq!(out.unwrap_err(), "boom");
+        assert!(cache.get(&9).is_none());
+        // A later successful build fills the slot.
+        let v = cache
+            .get_or_try_insert_with::<&str, _>(9, || Ok(7))
+            .unwrap();
+        assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: PrepCache<u64, u32> = PrepCache::new();
+        cache.get_or_try_insert_with::<(), _>(1, || Ok(1)).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_converges_to_one_value() {
+        let cache: Arc<PrepCache<u64, u64>> = Arc::new(PrepCache::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                *cache
+                    .get_or_try_insert_with::<(), _>(5, || Ok(123))
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 123);
+        }
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let base = ContentHash::new().str("blobs").u64(7).f64(0.3).finish();
+        let same = ContentHash::new().str("blobs").u64(7).f64(0.3).finish();
+        assert_eq!(base, same);
+        assert_ne!(
+            base,
+            ContentHash::new().str("blobs").u64(8).f64(0.3).finish()
+        );
+        assert_ne!(
+            base,
+            ContentHash::new().str("spam").u64(7).f64(0.3).finish()
+        );
+        assert_ne!(
+            base,
+            ContentHash::new().str("blobs").u64(7).f64(0.30001).finish()
+        );
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -33,7 +34,10 @@ pub mod label;
 pub mod scale;
 pub mod split;
 pub mod synth;
+pub mod view;
 
+pub use cache::{CacheStats, ContentHash, PrepCache};
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use label::Label;
+pub use view::{DataView, PoisonedView};

@@ -1,0 +1,284 @@
+//! Read-only sample views: one trait over owned datasets and
+//! copy-on-write poisoned extensions.
+//!
+//! Filters and learners only ever *read* their training data, so they
+//! dispatch through [`DataView`] instead of demanding an owned
+//! [`Dataset`]. That lets an experiment cell hand them a
+//! [`PoisonedView`] — the shared clean base borrowed, only the injected
+//! poison rows owned — instead of cloning the whole training set per
+//! cell.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_data::{DataView, Dataset, Label, PoisonedView};
+//!
+//! let clean = Dataset::from_rows(
+//!     vec![vec![0.0, 0.0], vec![1.0, 1.0]],
+//!     vec![Label::Negative, Label::Positive],
+//! ).unwrap();
+//! let poison = Dataset::from_rows(vec![vec![9.0, 9.0]], vec![Label::Negative]).unwrap();
+//! let view = PoisonedView::new(&clean, poison).unwrap();
+//! assert_eq!(view.len(), 3);
+//! assert_eq!(view.point(2), &[9.0, 9.0]);
+//! assert_eq!(view.appended_indices(), 2..3);
+//! ```
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::label::Label;
+use poisongame_linalg::view::MatrixView;
+use poisongame_linalg::Matrix;
+
+/// Object-safe read access to labelled samples.
+///
+/// The accessor names mirror [`Dataset`]'s inherent methods, so code
+/// written against `&Dataset` ports to `&dyn DataView` without
+/// call-site changes. Iteration is by index (an `iter()` returning
+/// `impl Iterator` would not be object-safe).
+pub trait DataView {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Feature dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Feature row of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn point(&self, i: usize) -> &[f64];
+
+    /// Label of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn label(&self, i: usize) -> Label;
+
+    /// True if there are no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of points carrying `label`.
+    fn class_count(&self, label: Label) -> usize {
+        (0..self.len()).filter(|&i| self.label(i) == label).count()
+    }
+
+    /// Indices of the points carrying `label`, ascending.
+    fn class_indices(&self, label: Label) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.label(i) == label)
+            .collect()
+    }
+
+    /// Materialize the selected indices into an owned dataset (order
+    /// preserved, duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    fn select(&self, indices: &[usize]) -> Dataset {
+        let mut data = Vec::with_capacity(indices.len() * self.dim());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.point(i));
+            labels.push(self.label(i));
+        }
+        let features = Matrix::from_vec(indices.len(), self.dim(), data)
+            .expect("selected rows share the view's width");
+        Dataset::new(features, labels).expect("one label per selected row")
+    }
+
+    /// Materialize the whole view into an owned dataset.
+    fn to_dataset(&self) -> Dataset {
+        let all: Vec<usize> = (0..self.len()).collect();
+        self.select(&all)
+    }
+}
+
+impl DataView for Dataset {
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        Dataset::dim(self)
+    }
+
+    fn point(&self, i: usize) -> &[f64] {
+        Dataset::point(self, i)
+    }
+
+    fn label(&self, i: usize) -> Label {
+        Dataset::label(self, i)
+    }
+
+    fn class_count(&self, label: Label) -> usize {
+        Dataset::class_count(self, label)
+    }
+
+    fn class_indices(&self, label: Label) -> Vec<usize> {
+        Dataset::class_indices(self, label)
+    }
+
+    fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset::select(self, indices)
+    }
+
+    fn to_dataset(&self) -> Dataset {
+        self.clone()
+    }
+}
+
+/// A clean base dataset (borrowed) with poison rows appended (owned):
+/// the copy-on-write training set an attacked experiment cell reads.
+///
+/// Equivalent, point for point, to cloning the base and extending it —
+/// but the base buffer is shared, so a full scenario matrix holds one
+/// copy of the clean data no matter how many cells poison it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoisonedView<'a> {
+    features: MatrixView<'a>,
+    base_labels: &'a [Label],
+    tail_labels: Vec<Label>,
+}
+
+impl<'a> PoisonedView<'a> {
+    /// View `base` with `poison` appended below it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped dimension error if the poison's feature width
+    /// differs from the base's.
+    pub fn new(base: &'a Dataset, poison: Dataset) -> Result<Self, DataError> {
+        let (tail_features, tail_labels) = poison.into_parts();
+        let features = MatrixView::with_tail(base.features(), tail_features)?;
+        Ok(Self {
+            features,
+            base_labels: base.labels(),
+            tail_labels,
+        })
+    }
+
+    /// Number of borrowed (clean) points.
+    pub fn base_len(&self) -> usize {
+        self.base_labels.len()
+    }
+
+    /// Indices of the appended poison rows within the view — the
+    /// ground truth an experiment feeds to filter accounting.
+    pub fn appended_indices(&self) -> std::ops::Range<usize> {
+        self.base_len()..DataView::len(self)
+    }
+}
+
+impl DataView for PoisonedView<'_> {
+    fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    fn point(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    fn label(&self, i: usize) -> Label {
+        if i < self.base_labels.len() {
+            self.base_labels[i]
+        } else {
+            self.tail_labels[i - self.base_labels.len()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![10.0, 10.0]],
+            vec![Label::Negative, Label::Negative, Label::Positive],
+        )
+        .unwrap()
+    }
+
+    fn poison() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![5.0, 5.0], vec![6.0, 6.0]],
+            vec![Label::Positive, Label::Negative],
+        )
+        .unwrap()
+    }
+
+    /// The materialized equivalent the view must match point for point.
+    fn concatenated() -> Dataset {
+        let mut all = clean();
+        all.extend_from(&poison()).unwrap();
+        all
+    }
+
+    #[test]
+    fn view_matches_materialized_concatenation() {
+        let base = clean();
+        let view = PoisonedView::new(&base, poison()).unwrap();
+        let concat = concatenated();
+        assert_eq!(DataView::len(&view), concat.len());
+        assert_eq!(DataView::dim(&view), concat.dim());
+        for i in 0..concat.len() {
+            assert_eq!(DataView::point(&view, i), concat.point(i), "point {i}");
+            assert_eq!(DataView::label(&view, i), concat.label(i), "label {i}");
+        }
+        assert_eq!(view.to_dataset(), concat);
+    }
+
+    #[test]
+    fn appended_indices_cover_the_tail() {
+        let base = clean();
+        let view = PoisonedView::new(&base, poison()).unwrap();
+        assert_eq!(view.base_len(), 3);
+        assert_eq!(view.appended_indices(), 3..5);
+    }
+
+    #[test]
+    fn class_queries_agree_with_dataset() {
+        let base = clean();
+        let view = PoisonedView::new(&base, poison()).unwrap();
+        let concat = concatenated();
+        for label in [Label::Positive, Label::Negative] {
+            assert_eq!(view.class_count(label), concat.class_count(label));
+            assert_eq!(view.class_indices(label), concat.class_indices(label));
+        }
+    }
+
+    #[test]
+    fn select_through_view_matches_dataset_select() {
+        let base = clean();
+        let view = PoisonedView::new(&base, poison()).unwrap();
+        let concat = concatenated();
+        let picks = [4usize, 0, 3, 0];
+        assert_eq!(DataView::select(&view, &picks), concat.select(&picks));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let base = clean();
+        let skinny = Dataset::from_rows(vec![vec![1.0]], vec![Label::Positive]).unwrap();
+        assert!(PoisonedView::new(&base, skinny).is_err());
+    }
+
+    #[test]
+    fn dataset_implements_view_via_inherent_paths() {
+        let d = clean();
+        let v: &dyn DataView = &d;
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.class_count(Label::Negative), 2);
+        assert_eq!(v.to_dataset(), d);
+    }
+}

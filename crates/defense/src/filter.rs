@@ -3,7 +3,7 @@
 
 use crate::centroid::CentroidEstimator;
 use crate::error::DefenseError;
-use poisongame_data::{Dataset, Label};
+use poisongame_data::{DataView, Dataset, Label};
 use poisongame_linalg::vector;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +20,11 @@ pub enum FilterStrength {
 }
 
 /// A training-data sanitizer: decides which points to keep.
+///
+/// Filters read their input through [`DataView`], so an owned
+/// [`Dataset`] and a copy-on-write
+/// [`poisongame_data::PoisonedView`] (shared clean base + owned
+/// poison tail) are interchangeable.
 pub trait Filter {
     /// Partition `data` into kept and removed indices.
     ///
@@ -27,7 +32,7 @@ pub trait Filter {
     ///
     /// Implementations reject empty datasets, missing classes and
     /// out-of-range parameters.
-    fn split(&self, data: &Dataset) -> Result<FilterOutcome, DefenseError>;
+    fn split(&self, data: &dyn DataView) -> Result<FilterOutcome, DefenseError>;
 
     /// Convenience: apply [`Filter::split`] and materialize the kept
     /// dataset.
@@ -35,7 +40,7 @@ pub trait Filter {
     /// # Errors
     ///
     /// Propagates [`Filter::split`] errors.
-    fn apply(&self, data: &Dataset) -> Result<Dataset, DefenseError> {
+    fn apply(&self, data: &dyn DataView) -> Result<Dataset, DefenseError> {
         Ok(self.split(data)?.kept_dataset(data))
     }
 }
@@ -55,12 +60,12 @@ pub struct FilterOutcome {
 
 impl FilterOutcome {
     /// Materialize the surviving dataset.
-    pub fn kept_dataset(&self, data: &Dataset) -> Dataset {
+    pub fn kept_dataset(&self, data: &dyn DataView) -> Dataset {
         data.select(&self.kept_indices)
     }
 
     /// Fraction of the original points removed.
-    pub fn removed_fraction(&self, data: &Dataset) -> f64 {
+    pub fn removed_fraction(&self, data: &dyn DataView) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
@@ -273,7 +278,7 @@ impl RadiusFilter {
 }
 
 impl Filter for RadiusFilter {
-    fn split(&self, data: &Dataset) -> Result<FilterOutcome, DefenseError> {
+    fn split(&self, data: &dyn DataView) -> Result<FilterOutcome, DefenseError> {
         self.validate()?;
         if data.is_empty() {
             return Err(DefenseError::EmptyDataset);

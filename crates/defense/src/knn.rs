@@ -7,7 +7,7 @@
 
 use crate::error::DefenseError;
 use crate::filter::{Filter, FilterOutcome};
-use poisongame_data::{Dataset, Label};
+use poisongame_data::{DataView, Label};
 use poisongame_linalg::{stats, vector};
 use serde::{Deserialize, Serialize};
 
@@ -46,7 +46,7 @@ impl KnnDistanceFilter {
 }
 
 impl Filter for KnnDistanceFilter {
-    fn split(&self, data: &Dataset) -> Result<FilterOutcome, DefenseError> {
+    fn split(&self, data: &dyn DataView) -> Result<FilterOutcome, DefenseError> {
         if data.is_empty() {
             return Err(DefenseError::EmptyDataset);
         }
@@ -102,6 +102,7 @@ impl Filter for KnnDistanceFilter {
 mod tests {
     use super::*;
     use poisongame_data::synth::gaussian_blobs;
+    use poisongame_data::Dataset;
     use poisongame_linalg::Xoshiro256StarStar;
     use rand::SeedableRng;
 

@@ -10,7 +10,7 @@
 use crate::centroid::CentroidEstimator;
 use crate::error::DefenseError;
 use crate::filter::{Filter, FilterOutcome};
-use poisongame_data::{Dataset, Label};
+use poisongame_data::{DataView, Label};
 use poisongame_linalg::{stats, vector};
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +38,7 @@ impl SlabFilter {
 }
 
 impl Filter for SlabFilter {
-    fn split(&self, data: &Dataset) -> Result<FilterOutcome, DefenseError> {
+    fn split(&self, data: &dyn DataView) -> Result<FilterOutcome, DefenseError> {
         if !(0.0..1.0).contains(&self.remove_fraction) || self.remove_fraction.is_nan() {
             return Err(DefenseError::BadParameter {
                 what: "remove_fraction",
@@ -107,6 +107,7 @@ impl Filter for SlabFilter {
 mod tests {
     use super::*;
     use poisongame_data::synth::gaussian_blobs;
+    use poisongame_data::Dataset;
     use poisongame_linalg::Xoshiro256StarStar;
     use rand::SeedableRng;
 

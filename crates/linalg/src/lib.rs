@@ -30,8 +30,10 @@ pub mod numeric;
 pub mod rng;
 pub mod stats;
 pub mod vector;
+pub mod view;
 
 pub use curve::PiecewiseLinear;
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use rng::Xoshiro256StarStar;
+pub use view::MatrixView;

@@ -1,0 +1,200 @@
+//! Copy-on-write row views over a [`Matrix`].
+//!
+//! Experiment cells that extend a shared base matrix (poisoning
+//! attacks appending rows to the clean training set) previously paid a
+//! full `clone()` of the base per cell. [`MatrixView`] borrows the
+//! base rows and owns only the appended tail, so a thousand cells can
+//! share one base buffer while each carries its own handful of extra
+//! rows.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_linalg::{Matrix, MatrixView};
+//!
+//! let base = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+//! let tail = Matrix::from_rows(&[vec![5.0, 6.0]]).unwrap();
+//! let view = MatrixView::with_tail(&base, tail).unwrap();
+//! assert_eq!(view.rows(), 3);
+//! assert_eq!(view.row(2), &[5.0, 6.0]);
+//! assert_eq!(view.to_matrix().row(1), base.row(1));
+//! ```
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A borrowed base matrix plus an owned appended tail — rows
+/// `0..base.rows()` read through the borrow, rows beyond it from the
+/// tail. Appending never touches (or copies) the base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixView<'a> {
+    base: &'a Matrix,
+    tail: Matrix,
+}
+
+impl<'a> MatrixView<'a> {
+    /// A view over `base` with no appended rows.
+    pub fn new(base: &'a Matrix) -> Self {
+        Self {
+            base,
+            tail: Matrix::zeros(0, base.cols()),
+        }
+    }
+
+    /// A view over `base` with `tail` appended below it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if a non-empty tail's
+    /// width differs from the base's.
+    pub fn with_tail(base: &'a Matrix, tail: Matrix) -> Result<Self, LinalgError> {
+        if tail.rows() > 0 && tail.cols() != base.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                left: base.cols(),
+                right: tail.cols(),
+            });
+        }
+        Ok(Self { base, tail })
+    }
+
+    /// Total rows (base + tail).
+    pub fn rows(&self) -> usize {
+        self.base.rows() + self.tail.rows()
+    }
+
+    /// Rows belonging to the borrowed base.
+    pub fn base_rows(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.base.cols()
+    }
+
+    /// True if the view has no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// Row `r`, reading through the base borrow for `r <
+    /// base_rows()` and the owned tail beyond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        if r < self.base.rows() {
+            self.base.row(r)
+        } else {
+            self.tail.row(r - self.base.rows())
+        }
+    }
+
+    /// Append one row to the owned tail (the base is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on width mismatch.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), LinalgError> {
+        if row.len() != self.base.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.base.cols(),
+                right: row.len(),
+            });
+        }
+        self.tail.push_row(row)
+    }
+
+    /// Iterate all rows, base first then tail.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.base.iter_rows().chain(self.tail.iter_rows())
+    }
+
+    /// Materialize into one contiguous matrix (base rows copied once,
+    /// here, rather than per view construction).
+    pub fn to_matrix(&self) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows() * self.cols());
+        data.extend_from_slice(self.base.as_slice());
+        data.extend_from_slice(self.tail.as_slice());
+        Matrix::from_vec(self.rows(), self.cols(), data).expect("view dimensions are consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn plain_view_mirrors_base() {
+        let m = base();
+        let v = MatrixView::new(&m);
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 2);
+        assert_eq!(v.base_rows(), 3);
+        for r in 0..3 {
+            assert_eq!(v.row(r), m.row(r));
+        }
+        assert_eq!(v.to_matrix(), m);
+    }
+
+    #[test]
+    fn tail_rows_are_appended() {
+        let m = base();
+        let tail = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0]]).unwrap();
+        let v = MatrixView::with_tail(&m, tail).unwrap();
+        assert_eq!(v.rows(), 5);
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        assert_eq!(v.row(3), &[7.0, 8.0]);
+        let collected: Vec<&[f64]> = v.iter_rows().collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[4], &[9.0, 10.0]);
+    }
+
+    #[test]
+    fn materialization_matches_concatenation() {
+        let m = base();
+        let tail = Matrix::from_rows(&[vec![7.0, 8.0]]).unwrap();
+        let v = MatrixView::with_tail(&m, tail.clone()).unwrap();
+        let mut concat = m.clone();
+        for row in tail.iter_rows() {
+            concat.push_row(row).unwrap();
+        }
+        assert_eq!(v.to_matrix(), concat);
+    }
+
+    #[test]
+    fn push_row_grows_tail_only() {
+        let m = base();
+        let mut v = MatrixView::new(&m);
+        v.push_row(&[7.0, 8.0]).unwrap();
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.base_rows(), 3);
+        assert_eq!(v.row(3), &[7.0, 8.0]);
+        assert!(v.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn ragged_tail_rejected() {
+        let m = base();
+        let tail = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            MatrixView::with_tail(&m, tail).unwrap_err(),
+            LinalgError::DimensionMismatch { .. }
+        ));
+        // An empty tail of any width is fine — there is nothing to read.
+        assert!(MatrixView::with_tail(&m, Matrix::zeros(0, 7)).is_ok());
+    }
+
+    #[test]
+    fn empty_base_empty_tail() {
+        let m = Matrix::zeros(0, 2);
+        let v = MatrixView::new(&m);
+        assert!(v.is_empty());
+        assert_eq!(v.rows(), 0);
+    }
+}

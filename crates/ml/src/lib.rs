@@ -35,4 +35,4 @@ pub mod svm;
 pub mod validate;
 
 pub use error::MlError;
-pub use model::{Classifier, TrainConfig};
+pub use model::{Classifier, LinearState, TrainConfig};

@@ -6,8 +6,8 @@
 
 use crate::error::MlError;
 use crate::loss;
-use crate::model::{check_trainable, Classifier, TrainConfig};
-use poisongame_data::Dataset;
+use crate::model::{check_trainable, check_warm_start, Classifier, LinearState, TrainConfig};
+use poisongame_data::DataView;
 use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
 use poisongame_linalg::vector;
 use rand::SeedableRng;
@@ -69,23 +69,23 @@ impl LogisticRegression {
     pub fn predict_proba(&self, x: &[f64]) -> Result<f64, MlError> {
         Ok(loss::sigmoid(self.decision_function(x)?))
     }
-}
 
-impl Default for LogisticRegression {
-    fn default() -> Self {
-        Self::with_defaults()
-    }
-}
-
-impl Classifier for LogisticRegression {
-    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+    /// The shared SGD loop: cold starts pass `init = None` (weights at
+    /// the origin — the historical path, bit for bit), warm starts the
+    /// neighbouring cell's state.
+    fn fit_impl(&mut self, data: &dyn DataView, init: Option<&LinearState>) -> Result<(), MlError> {
         self.config.validate()?;
         check_trainable(data)?;
 
         let dim = data.dim();
         let n = data.len();
-        let mut w = vec![0.0; dim];
-        let mut b = 0.0;
+        let (mut w, mut b) = match init {
+            Some(state) => {
+                check_warm_start(state, dim)?;
+                (state.weights.clone(), state.bias)
+            }
+            None => (vec![0.0; dim], 0.0),
+        };
         let mut rng = Xoshiro256StarStar::seed_from_u64(self.config.seed);
         let mut t: u64 = 0;
 
@@ -117,6 +117,29 @@ impl Classifier for LogisticRegression {
         self.bias = if self.config.fit_bias { b } else { 0.0 };
         Ok(())
     }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &dyn DataView) -> Result<(), MlError> {
+        self.fit_impl(data, None)
+    }
+
+    fn fit_from(&mut self, data: &dyn DataView, init: &LinearState) -> Result<(), MlError> {
+        self.fit_impl(data, Some(init))
+    }
+
+    fn linear_state(&self) -> Option<LinearState> {
+        self.weights.as_ref().map(|w| LinearState {
+            weights: w.clone(),
+            bias: self.bias,
+        })
+    }
 
     fn decision_function(&self, x: &[f64]) -> Result<f64, MlError> {
         let w = self.weights.as_ref().ok_or(MlError::NotFitted)?;
@@ -134,6 +157,7 @@ impl Classifier for LogisticRegression {
 mod tests {
     use super::*;
     use poisongame_data::synth::gaussian_blobs;
+    use poisongame_data::Dataset;
 
     fn blobs(seed: u64) -> Dataset {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);

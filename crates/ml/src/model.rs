@@ -2,7 +2,7 @@
 
 use crate::error::MlError;
 use crate::schedule::Schedule;
-use poisongame_data::{Dataset, Label};
+use poisongame_data::{DataView, Label};
 use serde::{Deserialize, Serialize};
 
 /// Shared configuration for the SGD-trained linear models.
@@ -71,19 +71,57 @@ impl TrainConfig {
     }
 }
 
+/// The linear state `(w, b)` of a fitted linear model — the unit of
+/// warm-start transfer between neighbouring sweep cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearState {
+    /// Weight vector.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
 /// A binary classifier over dense feature vectors.
+///
+/// Training reads its data through [`DataView`], so an owned
+/// [`poisongame_data::Dataset`] and a copy-on-write
+/// [`poisongame_data::PoisonedView`] are interchangeable inputs.
 ///
 /// Implementations must be deterministic given their configuration
 /// (including the training seed).
 pub trait Classifier {
-    /// Fit on a labelled dataset, replacing any previous fit.
+    /// Fit on labelled data, replacing any previous fit.
     ///
     /// # Errors
     ///
     /// Implementations return [`MlError::EmptyTrainingSet`],
     /// [`MlError::SingleClass`], [`MlError::BadHyperparameter`] or
     /// [`MlError::Diverged`] as applicable.
-    fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
+    fn fit(&mut self, data: &dyn DataView) -> Result<(), MlError>;
+
+    /// Fit continuing from `init` instead of the cold-start origin —
+    /// the warm-start hook monotone sweeps use to seed a cell from its
+    /// neighbour's solution. The result is *not* required to equal a
+    /// cold [`Classifier::fit`]; callers opt in explicitly.
+    ///
+    /// The default implementation ignores `init` and fits cold, so
+    /// models without a meaningful linear state stay correct.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::fit`], plus
+    /// [`MlError::DimensionMismatch`] when `init`'s width differs from
+    /// the data's.
+    fn fit_from(&mut self, data: &dyn DataView, init: &LinearState) -> Result<(), MlError> {
+        let _ = init;
+        self.fit(data)
+    }
+
+    /// The fitted linear state, if this model exposes one (`None` for
+    /// unfitted or non-linear models).
+    fn linear_state(&self) -> Option<LinearState> {
+        None
+    }
 
     /// Signed decision value for one point (positive ⇒ positive class).
     ///
@@ -109,9 +147,12 @@ pub trait Classifier {
     /// Panics if the model is unfitted or widths mismatch (callers
     /// evaluating a fitted model on the split it came from cannot hit
     /// either condition).
-    fn predict_batch(&self, data: &Dataset) -> Vec<Label> {
-        data.iter()
-            .map(|(x, _)| self.predict(x).expect("model fitted and widths match"))
+    fn predict_batch(&self, data: &dyn DataView) -> Vec<Label> {
+        (0..data.len())
+            .map(|i| {
+                self.predict(data.point(i))
+                    .expect("model fitted and widths match")
+            })
             .collect()
     }
 
@@ -120,13 +161,12 @@ pub trait Classifier {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Classifier::predict_batch`].
-    fn accuracy_on(&self, data: &Dataset) -> f64 {
+    fn accuracy_on(&self, data: &dyn DataView) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, y)| self.predict(x).expect("model fitted") == *y)
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.point(i)).expect("model fitted") == data.label(i))
             .count();
         correct as f64 / data.len() as f64
     }
@@ -137,7 +177,7 @@ pub trait Classifier {
 /// # Errors
 ///
 /// Returns [`MlError::EmptyTrainingSet`] or [`MlError::SingleClass`].
-pub fn check_trainable(data: &Dataset) -> Result<(), MlError> {
+pub fn check_trainable(data: &dyn DataView) -> Result<(), MlError> {
     if data.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
@@ -147,9 +187,32 @@ pub fn check_trainable(data: &Dataset) -> Result<(), MlError> {
     Ok(())
 }
 
+/// Validate a warm-start state against the data it will train on.
+///
+/// # Errors
+///
+/// Returns [`MlError::DimensionMismatch`] when widths differ and
+/// [`MlError::BadHyperparameter`] for non-finite state.
+pub fn check_warm_start(init: &LinearState, dim: usize) -> Result<(), MlError> {
+    if init.weights.len() != dim {
+        return Err(MlError::DimensionMismatch {
+            expected: dim,
+            found: init.weights.len(),
+        });
+    }
+    if !init.bias.is_finite() || init.weights.iter().any(|w| !w.is_finite()) {
+        return Err(MlError::BadHyperparameter {
+            what: "warm_start",
+            value: f64::NAN,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use poisongame_data::Dataset;
 
     #[test]
     fn default_config_is_valid() {
@@ -195,5 +258,31 @@ mod tests {
         )
         .unwrap();
         assert!(check_trainable(&both).is_ok());
+    }
+
+    #[test]
+    fn warm_start_state_is_validated() {
+        let good = LinearState {
+            weights: vec![0.5, -0.5],
+            bias: 0.1,
+        };
+        assert!(check_warm_start(&good, 2).is_ok());
+        assert!(matches!(
+            check_warm_start(&good, 3).unwrap_err(),
+            MlError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }
+        ));
+        let bad = LinearState {
+            weights: vec![f64::NAN, 0.0],
+            bias: 0.0,
+        };
+        assert!(check_warm_start(&bad, 2).is_err());
+        let bad_bias = LinearState {
+            weights: vec![0.0, 0.0],
+            bias: f64::INFINITY,
+        };
+        assert!(check_warm_start(&bad_bias, 2).is_err());
     }
 }

@@ -1,8 +1,8 @@
 //! Averaged perceptron — the simplest linear baseline.
 
 use crate::error::MlError;
-use crate::model::{check_trainable, Classifier, TrainConfig};
-use poisongame_data::Dataset;
+use crate::model::{check_trainable, check_warm_start, Classifier, LinearState, TrainConfig};
+use poisongame_data::DataView;
 use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
 use poisongame_linalg::vector;
 use rand::SeedableRng;
@@ -61,8 +61,12 @@ impl Default for AveragedPerceptron {
     }
 }
 
-impl Classifier for AveragedPerceptron {
-    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+impl AveragedPerceptron {
+    /// The shared training loop: cold starts pass `init = None` (the
+    /// historical path, bit for bit); warm starts seed the *active*
+    /// weights from the neighbouring cell's averaged solution (the
+    /// averaging accumulators always restart).
+    fn fit_impl(&mut self, data: &dyn DataView, init: Option<&LinearState>) -> Result<(), MlError> {
         if self.config.epochs == 0 {
             return Err(MlError::BadHyperparameter {
                 what: "epochs",
@@ -73,8 +77,13 @@ impl Classifier for AveragedPerceptron {
 
         let dim = data.dim();
         let n = data.len();
-        let mut w = vec![0.0; dim];
-        let mut b = 0.0;
+        let (mut w, mut b) = match init {
+            Some(state) => {
+                check_warm_start(state, dim)?;
+                (state.weights.clone(), state.bias)
+            }
+            None => (vec![0.0; dim], 0.0),
+        };
         // Accumulators for the average.
         let mut w_sum = vec![0.0; dim];
         let mut b_sum = 0.0;
@@ -105,6 +114,23 @@ impl Classifier for AveragedPerceptron {
             0.0
         };
         Ok(())
+    }
+}
+
+impl Classifier for AveragedPerceptron {
+    fn fit(&mut self, data: &dyn DataView) -> Result<(), MlError> {
+        self.fit_impl(data, None)
+    }
+
+    fn fit_from(&mut self, data: &dyn DataView, init: &LinearState) -> Result<(), MlError> {
+        self.fit_impl(data, Some(init))
+    }
+
+    fn linear_state(&self) -> Option<LinearState> {
+        self.weights.as_ref().map(|w| LinearState {
+            weights: w.clone(),
+            bias: self.bias,
+        })
     }
 
     fn decision_function(&self, x: &[f64]) -> Result<f64, MlError> {

@@ -10,8 +10,8 @@
 
 use crate::error::MlError;
 use crate::loss;
-use crate::model::{check_trainable, Classifier, TrainConfig};
-use poisongame_data::Dataset;
+use crate::model::{check_trainable, check_warm_start, Classifier, LinearState, TrainConfig};
+use poisongame_data::{DataView, Dataset};
 use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
 use poisongame_linalg::vector;
 use rand::SeedableRng;
@@ -84,23 +84,23 @@ impl LinearSvm {
         let reg = 0.5 * self.config.lambda * vector::dot(w, w);
         Ok(reg + loss)
     }
-}
 
-impl Default for LinearSvm {
-    fn default() -> Self {
-        Self::with_defaults()
-    }
-}
-
-impl Classifier for LinearSvm {
-    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+    /// The shared SGD loop: cold starts pass `init = None` (weights at
+    /// the origin — the historical path, bit for bit), warm starts the
+    /// neighbouring cell's state.
+    fn fit_impl(&mut self, data: &dyn DataView, init: Option<&LinearState>) -> Result<(), MlError> {
         self.config.validate()?;
         check_trainable(data)?;
 
         let dim = data.dim();
         let n = data.len();
-        let mut w = vec![0.0; dim];
-        let mut b = 0.0;
+        let (mut w, mut b) = match init {
+            Some(state) => {
+                check_warm_start(state, dim)?;
+                (state.weights.clone(), state.bias)
+            }
+            None => (vec![0.0; dim], 0.0),
+        };
         let mut rng = Xoshiro256StarStar::seed_from_u64(self.config.seed);
         let mut t: u64 = 0;
 
@@ -133,6 +133,29 @@ impl Classifier for LinearSvm {
         self.weights = Some(w);
         self.bias = if self.config.fit_bias { b } else { 0.0 };
         Ok(())
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &dyn DataView) -> Result<(), MlError> {
+        self.fit_impl(data, None)
+    }
+
+    fn fit_from(&mut self, data: &dyn DataView, init: &LinearState) -> Result<(), MlError> {
+        self.fit_impl(data, Some(init))
+    }
+
+    fn linear_state(&self) -> Option<LinearState> {
+        self.weights.as_ref().map(|w| LinearState {
+            weights: w.clone(),
+            bias: self.bias,
+        })
     }
 
     fn decision_function(&self, x: &[f64]) -> Result<f64, MlError> {
@@ -297,6 +320,66 @@ mod tests {
         });
         svm.fit(&data).unwrap();
         assert_eq!(svm.bias(), 0.0);
+    }
+
+    #[test]
+    fn fit_from_origin_state_matches_cold_fit_bitwise() {
+        // Warm-starting from the cold-start origin must be the *same*
+        // computation — this pins the fit/fit_impl refactor.
+        let data = blobs(11);
+        let mut cold = LinearSvm::new(quick_config());
+        let mut warm = LinearSvm::new(quick_config());
+        cold.fit(&data).unwrap();
+        let origin = LinearState {
+            weights: vec![0.0; data.dim()],
+            bias: 0.0,
+        };
+        warm.fit_from(&data, &origin).unwrap();
+        let cold_bits: Vec<u64> = cold
+            .weights()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let warm_bits: Vec<u64> = warm
+            .weights()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(cold_bits, warm_bits);
+        assert_eq!(cold.bias().to_bits(), warm.bias().to_bits());
+    }
+
+    #[test]
+    fn warm_start_chains_and_stays_accurate() {
+        let data = blobs(12);
+        let mut first = LinearSvm::new(quick_config());
+        first.fit(&data).unwrap();
+        let state = first.linear_state().unwrap();
+        assert_eq!(state.weights.len(), data.dim());
+        // A short continuation from the fitted state keeps quality.
+        let mut second = LinearSvm::new(TrainConfig {
+            epochs: 3,
+            ..quick_config()
+        });
+        second.fit_from(&data, &state).unwrap();
+        assert!(second.accuracy_on(&data) > 0.95);
+    }
+
+    #[test]
+    fn warm_start_validates_state() {
+        let data = blobs(13);
+        let mut svm = LinearSvm::new(quick_config());
+        let skinny = LinearState {
+            weights: vec![1.0],
+            bias: 0.0,
+        };
+        assert!(matches!(
+            svm.fit_from(&data, &skinny).unwrap_err(),
+            MlError::DimensionMismatch { .. }
+        ));
+        assert!(svm.linear_state().is_none(), "failed fit must not fit");
     }
 
     #[test]

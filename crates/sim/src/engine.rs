@@ -1,0 +1,569 @@
+//! The shared-preparation evaluation engine.
+//!
+//! Every experiment in this crate starts with the same expensive
+//! stage — generate → split → scale the dataset — and the scenario
+//! matrix, Figure 1, Table 1 and the curve estimator all re-derive it
+//! from scratch per run even when they share a configuration.
+//! [`EvalEngine`] threads one immutable, `Arc`-shared preparation
+//! through all of them:
+//!
+//! * **Phase 1 (prepare):** [`EvalEngine::prepare`] keys the
+//!   generate/split/scale product by a content hash of
+//!   `(DataSource, seed, test_fraction)` ([`prep_key`]) and memoizes
+//!   it in a [`PrepCache`], so all experiments sharing a source
+//!   prepare exactly once. [`EvalEngine::prepare_batch`] deduplicates
+//!   a whole config list and prepares the distinct keys in parallel
+//!   (via [`crate::exec::prepare_then_map`]'s phase-1 scheduling).
+//! * **Phase 2 (evaluate):** the `*_prepared` entry points of
+//!   [`crate::scenario`], [`crate::fig1`], [`crate::table1`] and
+//!   [`crate::estimate`] fan cells out across the worker pool against
+//!   the shared context.
+//!
+//! Determinism: per-cell SplitMix64 seed derivation is untouched, and
+//! a cached preparation is the *same pure function output* a cold run
+//! computes — caching removes redundant identical computation only, so
+//! engine results are bit-identical to the cold golden path (pinned by
+//! `tests/determinism.rs` and `tests/scenario_compat.rs`).
+//!
+//! Warm-started sweeps ([`EvalEngine::warm_start_sweep`]) are the one
+//! opt-in that trades bit-compatibility for speed: monotone sweeps
+//! continue training from the neighbouring cell's weights
+//! ([`poisongame_ml::Classifier::fit_from`]). Off by default, never on
+//! a golden path.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use poisongame_sim::engine::EvalEngine;
+//! use poisongame_sim::pipeline::ExperimentConfig;
+//! use poisongame_sim::scenario::ScenarioMatrix;
+//!
+//! let engine = EvalEngine::new();
+//! let config = ExperimentConfig::paper().quick();
+//! // First run prepares the dataset; the second answers from the store.
+//! let a = engine.run_matrix(&config, &ScenarioMatrix::default()).unwrap();
+//! let b = engine.run_matrix(&config, &ScenarioMatrix::default()).unwrap();
+//! assert_eq!(a, b);
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! ```
+
+use crate::error::SimError;
+use crate::estimate::{estimate_curves_prepared, CurveEstimate};
+use crate::exec::ExecPolicy;
+use crate::fig1::{run_fig1_prepared, run_fig1_warm, Fig1Config, Fig1Results};
+use crate::monte_carlo::{simulate_repeated_game_parallel, MonteCarloResults};
+use crate::pipeline::{prepare_data, DataSource, ExperimentConfig, Prepared, PreparedData};
+use crate::scaling::{run_scaling_with, ScalingResults};
+use crate::scenario::{run_matrix_prepared, EngineStats, MatrixResults, ScenarioMatrix};
+use crate::table1::{run_table1_prepared, Table1Results};
+use poisongame_core::{Algorithm1Config, DefenderMixedStrategy, PoisonGame};
+use poisongame_data::{CacheStats, ContentHash, PrepCache};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Key of one dataset preparation: everything [`prepare_data`] reads,
+/// nothing it ignores. Configs that differ only in budget, epochs or
+/// scenario share a key — and therefore a cached preparation.
+///
+/// The key carries the full inputs *and* a precomputed content hash:
+/// `Hash` feeds the map the cheap 64-bit digest (computed once, at
+/// construction), while `Eq` compares the actual fields (floats by
+/// bit pattern), so a digest collision costs at most a rebuild —
+/// never a wrong cache hit.
+#[derive(Debug, Clone)]
+pub struct PrepKey {
+    hash: u64,
+    source: DataSource,
+    seed: u64,
+    test_fraction: f64,
+}
+
+impl PrepKey {
+    /// Build the key (and its content hash) for one preparation.
+    pub fn new(source: &DataSource, seed: u64, test_fraction: f64) -> Self {
+        let h = ContentHash::new().u64(seed).f64(test_fraction);
+        let hash = match source {
+            DataSource::SyntheticSpambase { rows } => h.str("synthetic_spambase").u64(*rows as u64),
+            DataSource::Blobs {
+                per_class,
+                dim,
+                offset,
+                sigma,
+            } => h
+                .str("blobs")
+                .u64(*per_class as u64)
+                .u64(*dim as u64)
+                .f64(*offset)
+                .f64(*sigma),
+            DataSource::CsvText { text } => h.str("csv_text").str(text),
+        }
+        .finish();
+        Self {
+            hash,
+            source: source.clone(),
+            seed,
+            test_fraction,
+        }
+    }
+
+    /// The precomputed 64-bit content digest (diagnostic — equality is
+    /// decided by the full fields).
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Run the preparation this key describes.
+    fn prepare(&self) -> Result<PreparedData, SimError> {
+        prepare_data(&self.source, self.seed, self.test_fraction)
+    }
+}
+
+/// Float fields compare by exact bit pattern: cache identity must be
+/// total and reflexive even for values `prepare_data` would reject.
+fn source_bits_eq(a: &DataSource, b: &DataSource) -> bool {
+    match (a, b) {
+        (
+            DataSource::SyntheticSpambase { rows: ra },
+            DataSource::SyntheticSpambase { rows: rb },
+        ) => ra == rb,
+        (
+            DataSource::Blobs {
+                per_class: pa,
+                dim: da,
+                offset: oa,
+                sigma: sa,
+            },
+            DataSource::Blobs {
+                per_class: pb,
+                dim: db,
+                offset: ob,
+                sigma: sb,
+            },
+        ) => pa == pb && da == db && oa.to_bits() == ob.to_bits() && sa.to_bits() == sb.to_bits(),
+        (DataSource::CsvText { text: ta }, DataSource::CsvText { text: tb }) => ta == tb,
+        _ => false,
+    }
+}
+
+impl PartialEq for PrepKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && self.seed == other.seed
+            && self.test_fraction.to_bits() == other.test_fraction.to_bits()
+            && source_bits_eq(&self.source, &other.source)
+    }
+}
+
+impl Eq for PrepKey {}
+
+impl std::hash::Hash for PrepKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// [`PrepKey`] for a standalone `(source, seed, test_fraction)` triple.
+pub fn prep_key(source: &DataSource, seed: u64, test_fraction: f64) -> PrepKey {
+    PrepKey::new(source, seed, test_fraction)
+}
+
+/// [`PrepKey`] of a whole experiment config.
+pub fn config_prep_key(config: &ExperimentConfig) -> PrepKey {
+    PrepKey::new(&config.source, config.seed, config.test_fraction)
+}
+
+/// The shared-preparation evaluation engine: an execution policy plus
+/// a keyed preparation store, threading one immutable context through
+/// every experiment routed through it.
+#[derive(Debug, Default)]
+pub struct EvalEngine {
+    policy: ExecPolicy,
+    store: PrepCache<PrepKey, PreparedData>,
+    warm_start_sweep: bool,
+}
+
+impl EvalEngine {
+    /// Engine on the default (fully parallel) execution policy, cold
+    /// store, warm-start off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit execution policy.
+    pub fn with_policy(policy: ExecPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// Opt in (or out) of warm-started monotone sweeps: cells of
+    /// [`EvalEngine::run_fig1`] and the per-row strength axis of
+    /// [`EvalEngine::run_table1`] continue training from the
+    /// neighbouring cell's fitted weights. **Changes results** — the
+    /// golden reproduction paths keep this off.
+    pub fn warm_start_sweep(mut self, on: bool) -> Self {
+        self.warm_start_sweep = on;
+        self
+    }
+
+    /// The engine's execution policy.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Whether warm-started sweeps are on.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm_start_sweep
+    }
+
+    /// Preparation-store hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.stats()
+    }
+
+    /// Number of distinct preparations currently cached.
+    pub fn cached_preparations(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Drop every cached preparation (counters are kept).
+    pub fn clear_cache(&self) {
+        self.store.clear();
+    }
+
+    /// Phase 1 for one config: the cached generate → split → scale
+    /// product, shared by `Arc`, plus the config's own poison budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and budget-validation failures.
+    pub fn prepare(&self, config: &ExperimentConfig) -> Result<Prepared, SimError> {
+        let key = config_prep_key(config);
+        let data = self
+            .store
+            .get_or_try_insert_with(key.clone(), || key.prepare())?;
+        Prepared::from_shared(data, config)
+    }
+
+    /// Phase 1 for a batch, scheduled by
+    /// [`crate::exec::prepare_then_map`]: configs' prep keys are
+    /// deduplicated (each key hashed once), each distinct key prepared
+    /// once across the pool, and every config handed an `Arc` of its
+    /// shared data. The dedup happens before the fan-out, so the store
+    /// sees each key from exactly one worker.
+    ///
+    /// # Errors
+    ///
+    /// The first preparation error in first-occurrence key order, then
+    /// any budget-validation failure in config order.
+    pub fn prepare_batch(&self, configs: &[ExperimentConfig]) -> Result<Vec<Prepared>, SimError> {
+        crate::exec::prepare_then_map(
+            &self.policy,
+            configs,
+            config_prep_key,
+            |key| {
+                self.store
+                    .get_or_try_insert_with(key.clone(), || key.prepare())
+            },
+            |_, config, data: &Arc<PreparedData>| Prepared::from_shared(Arc::clone(data), config),
+        )
+    }
+
+    /// Run a scenario matrix through the two-phase graph: cached
+    /// prepare, then the parallel cell fan-out. Results are
+    /// bit-identical to [`crate::scenario::run_matrix`]; the returned
+    /// [`EngineStats`] additionally reports cache traffic and
+    /// throughput (ignored by equality).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::scenario::run_matrix_with`].
+    pub fn run_matrix(
+        &self,
+        config: &ExperimentConfig,
+        matrix: &ScenarioMatrix,
+    ) -> Result<MatrixResults, SimError> {
+        let before = self.store.stats();
+        let start = Instant::now();
+        let prepared = self.prepare(config)?;
+        let mut results = run_matrix_prepared(&prepared, config, matrix, &self.policy)?;
+        let after = self.store.stats();
+        results.engine = Some(EngineStats {
+            prep_hits: after.hits - before.hits,
+            prep_misses: after.misses - before.misses,
+            cells: results.cells.len(),
+            elapsed_micros: start.elapsed().as_micros(),
+        });
+        Ok(results)
+    }
+
+    /// Run the Figure 1 sweep with cached preparation. With
+    /// [`EvalEngine::warm_start_sweep`] on, cells run sequentially and
+    /// chain training along the strength axis; off (default), results
+    /// are bit-identical to [`crate::fig1::run_fig1`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::fig1::run_fig1_with`].
+    pub fn run_fig1(
+        &self,
+        config: &ExperimentConfig,
+        sweep: &Fig1Config,
+    ) -> Result<Fig1Results, SimError> {
+        let prepared = self.prepare(config)?;
+        if self.warm_start_sweep {
+            run_fig1_warm(&prepared, config, sweep)
+        } else {
+            run_fig1_prepared(&prepared, config, sweep, &self.policy)
+        }
+    }
+
+    /// Run Table 1 with cached preparation (and, under
+    /// [`EvalEngine::warm_start_sweep`], warm-chained empirical
+    /// evaluation along each row's strength axis).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::table1::run_table1_with`].
+    pub fn run_table1(
+        &self,
+        config: &ExperimentConfig,
+        curves: &CurveEstimate,
+        support_sizes: &[usize],
+        best_pure_accuracy: f64,
+    ) -> Result<Table1Results, SimError> {
+        let prepared = self.prepare(config)?;
+        run_table1_prepared(
+            &prepared,
+            config,
+            curves,
+            support_sizes,
+            best_pure_accuracy,
+            &self.policy,
+            self.warm_start_sweep,
+        )
+    }
+
+    /// Estimate the game curves with cached preparation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::estimate::estimate_curves`].
+    pub fn estimate_curves(
+        &self,
+        config: &ExperimentConfig,
+        placements: &[f64],
+        strengths: &[f64],
+    ) -> Result<CurveEstimate, SimError> {
+        let prepared = self.prepare(config)?;
+        estimate_curves_prepared(&prepared, config, placements, strengths)
+    }
+
+    /// Run the §5 scaling experiment on the engine's policy (no
+    /// dataset preparation involved — routed here so one engine drives
+    /// every experiment).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::scaling::run_scaling_with`].
+    pub fn run_scaling(
+        &self,
+        curves: &CurveEstimate,
+        support_sizes: &[usize],
+        base: &Algorithm1Config,
+    ) -> Result<ScalingResults, SimError> {
+        run_scaling_with(curves, support_sizes, base, &self.policy)
+    }
+
+    /// Run the Monte-Carlo repeated-game simulation on the engine's
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`crate::monte_carlo::simulate_repeated_game_parallel`].
+    pub fn simulate_repeated_game(
+        &self,
+        game: &PoisonGame,
+        strategy: &DefenderMixedStrategy,
+        rounds_per_replicate: usize,
+        replicates: usize,
+        master_seed: u64,
+    ) -> Result<MonteCarloResults, SimError> {
+        simulate_repeated_game_parallel(
+            game,
+            strategy,
+            rounds_per_replicate,
+            replicates,
+            master_seed,
+            &self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::run_matrix_with;
+
+    fn quick_config(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            seed,
+            source: DataSource::SyntheticSpambase { rows: 400 },
+            epochs: 25,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    #[test]
+    fn prep_key_covers_exactly_the_prepared_inputs() {
+        let base = quick_config(1);
+        let same_key = ExperimentConfig {
+            budget_fraction: 0.05,
+            epochs: 9,
+            ..base.clone()
+        };
+        // Budget/epochs/scenario do not feed `prepare_data`.
+        assert_eq!(config_prep_key(&base), config_prep_key(&same_key));
+        // Everything `prepare_data` reads does.
+        assert_ne!(
+            config_prep_key(&base),
+            config_prep_key(&ExperimentConfig {
+                seed: 2,
+                ..base.clone()
+            })
+        );
+        assert_ne!(
+            config_prep_key(&base),
+            config_prep_key(&ExperimentConfig {
+                test_fraction: 0.31,
+                ..base.clone()
+            })
+        );
+        assert_ne!(
+            config_prep_key(&base),
+            config_prep_key(&ExperimentConfig {
+                source: DataSource::SyntheticSpambase { rows: 401 },
+                ..base
+            })
+        );
+    }
+
+    #[test]
+    fn digest_collision_cannot_alias_keys() {
+        let a = prep_key(&DataSource::SyntheticSpambase { rows: 1 }, 1, 0.3);
+        let mut b = prep_key(&DataSource::SyntheticSpambase { rows: 2 }, 1, 0.3);
+        // Forge a digest collision: equality must still see through it
+        // (the map hashes the digest but compares the full fields).
+        b.hash = a.hash;
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a, b, "full-field equality must beat the digest");
+    }
+
+    #[test]
+    fn prepare_hits_cache_and_shares_data() {
+        let engine = EvalEngine::new();
+        let config = quick_config(3);
+        let a = engine.prepare(&config).unwrap();
+        let b = engine.prepare(&config).unwrap();
+        assert!(Arc::ptr_eq(&a.data, &b.data), "second prepare must share");
+        assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(engine.cached_preparations(), 1);
+        // Same data key, different budget: shared data, new budget.
+        let half = ExperimentConfig {
+            budget_fraction: 0.1,
+            ..config
+        };
+        let c = engine.prepare(&half).unwrap();
+        assert!(Arc::ptr_eq(&a.data, &c.data));
+        assert_eq!(c.n_poison, (a.train().len() as f64 * 0.1).round() as usize);
+        assert_eq!(engine.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn prepare_batch_prepares_once_per_distinct_key() {
+        let engine = EvalEngine::new();
+        // Four configs over two distinct (source, seed, fraction) keys.
+        let configs = vec![
+            quick_config(1),
+            quick_config(2),
+            ExperimentConfig {
+                budget_fraction: 0.1,
+                ..quick_config(1)
+            },
+            quick_config(2),
+        ];
+        let prepared = engine.prepare_batch(&configs).unwrap();
+        assert_eq!(prepared.len(), 4);
+        assert_eq!(engine.cached_preparations(), 2);
+        assert_eq!(engine.cache_stats().misses, 2);
+        assert!(Arc::ptr_eq(&prepared[0].data, &prepared[2].data));
+        assert!(Arc::ptr_eq(&prepared[1].data, &prepared[3].data));
+        assert!(!Arc::ptr_eq(&prepared[0].data, &prepared[1].data));
+        // Budgets follow the configs, not the shared data.
+        assert_ne!(prepared[0].n_poison, prepared[2].n_poison);
+    }
+
+    #[test]
+    fn engine_matrix_matches_cold_path_and_reports_stats() {
+        let config = quick_config(7);
+        let matrix = ScenarioMatrix::default();
+        let cold = run_matrix_with(&config, &matrix, &ExecPolicy::default()).unwrap();
+        let engine = EvalEngine::new();
+        let first = engine.run_matrix(&config, &matrix).unwrap();
+        let second = engine.run_matrix(&config, &matrix).unwrap();
+        // Equality ignores the stats block; cells must be identical.
+        assert_eq!(cold, first);
+        assert_eq!(first, second);
+        let s1 = first.engine.expect("engine run carries stats");
+        let s2 = second.engine.expect("engine run carries stats");
+        assert_eq!((s1.prep_hits, s1.prep_misses), (0, 1), "first run is cold");
+        assert_eq!((s2.prep_hits, s2.prep_misses), (1, 0), "second run hits");
+        assert_eq!(s1.cells, 1);
+        assert!(cold.engine.is_none());
+    }
+
+    #[test]
+    fn engine_fig1_cold_is_bit_identical_warm_is_not_golden() {
+        let config = quick_config(9);
+        let sweep = Fig1Config {
+            strengths: vec![0.0, 0.1, 0.2],
+            placement_slack: 0.01,
+        };
+        let cold = crate::fig1::run_fig1(&config, &sweep).unwrap();
+        let engine = EvalEngine::new();
+        let cached = engine.run_fig1(&config, &sweep).unwrap();
+        assert_eq!(cold, cached, "cache must not change results");
+
+        let warm_engine = EvalEngine::new().warm_start_sweep(true);
+        assert!(warm_engine.warm_start_enabled());
+        let warm = warm_engine.run_fig1(&config, &sweep).unwrap();
+        // The warm sweep is a *different* (approximate) computation:
+        // same shape, valid accuracies, same grid.
+        assert_eq!(warm.rows.len(), cold.rows.len());
+        assert_eq!(warm.n_poison, cold.n_poison);
+        for (w, c) in warm.rows.iter().zip(&cold.rows) {
+            assert_eq!(w.removed_fraction, c.removed_fraction);
+            assert!((0.0..=1.0).contains(&w.accuracy_under_attack));
+            assert!((0.0..=1.0).contains(&w.accuracy_clean));
+        }
+        // And the θ=0 cell (first in the chain, no neighbour yet) is
+        // the cold computation exactly.
+        assert_eq!(
+            warm.rows[0].accuracy_under_attack.to_bits(),
+            cold.rows[0].accuracy_under_attack.to_bits()
+        );
+    }
+
+    #[test]
+    fn clear_cache_forces_reprepare() {
+        let engine = EvalEngine::new();
+        let config = quick_config(11);
+        engine.prepare(&config).unwrap();
+        engine.clear_cache();
+        assert_eq!(engine.cached_preparations(), 0);
+        engine.prepare(&config).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
+    }
+}

@@ -11,7 +11,9 @@
 
 use crate::error::SimError;
 use crate::fig1::Fig1Results;
-use crate::pipeline::{attack_filter_train_eval, filter_train_eval, prepare, ExperimentConfig};
+use crate::pipeline::{
+    attack_filter_train_eval, filter_train_eval, prepare, ExperimentConfig, Prepared,
+};
 use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
 use poisongame_defense::FilterStrength;
 use poisongame_linalg::Xoshiro256StarStar;
@@ -84,17 +86,40 @@ pub fn estimate_curves(
     placements: &[f64],
     strengths: &[f64],
 ) -> Result<CurveEstimate, SimError> {
+    // Reject empty grids before paying for dataset preparation.
+    validate_grids(placements, strengths)?;
+    let prepared = prepare(config)?;
+    estimate_curves_prepared(&prepared, config, placements, strengths)
+}
+
+fn validate_grids(placements: &[f64], strengths: &[f64]) -> Result<(), SimError> {
     if placements.is_empty() || strengths.is_empty() {
         return Err(SimError::BadParameter {
             what: "grids",
             value: 0.0,
         });
     }
-    let prepared = prepare(config)?;
+    Ok(())
+}
+
+/// [`estimate_curves`] against an already-prepared dataset — the
+/// evaluate phase of the engine's prepare → evaluate task graph.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for empty grids and propagates
+/// pipeline failures.
+pub fn estimate_curves_prepared(
+    prepared: &Prepared,
+    config: &ExperimentConfig,
+    placements: &[f64],
+    strengths: &[f64],
+) -> Result<CurveEstimate, SimError> {
+    validate_grids(placements, strengths)?;
     let baseline = filter_train_eval(
-        &prepared.train,
+        prepared.train(),
         &[],
-        &prepared.test,
+        prepared.test(),
         FilterStrength::RemoveFraction(0.0),
         config,
     )?;
@@ -110,7 +135,7 @@ pub fn estimate_curves(
         }
         let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed ^ p.to_bits().rotate_left(29));
         let attacked = attack_filter_train_eval(
-            &prepared,
+            prepared,
             p,
             FilterStrength::RemoveFraction(0.0),
             config,
@@ -130,9 +155,9 @@ pub fn estimate_curves(
             });
         }
         let clean = filter_train_eval(
-            &prepared.train,
+            prepared.train(),
             &[],
-            &prepared.test,
+            prepared.test(),
             FilterStrength::RemoveFraction(s),
             config,
         )?;

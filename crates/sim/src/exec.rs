@@ -18,6 +18,8 @@
 //! assert_eq!(squares, vec![1, 4, 9]);
 //! ```
 
+use std::collections::HashMap;
+use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -156,9 +158,71 @@ where
     Ok(out)
 }
 
+/// Two-phase prepare → evaluate task graph over a grid of cells that
+/// share expensive context.
+///
+/// Phase 1 computes `prepare` **once per distinct key** (keys in
+/// first-occurrence order, fanned out across the pool); phase 2 maps
+/// `eval` over every cell with a shared borrow of its key's prepared
+/// context. Cells sharing a key therefore share one preparation
+/// instead of re-deriving it per cell — the scheduling-level
+/// counterpart of the engine's cross-run preparation cache.
+///
+/// Determinism: both phases go through [`try_parallel_map`], so the
+/// output (and which error surfaces) is independent of thread count.
+/// `eval` receives `(cell index, &cell, &prepared)`.
+///
+/// # Errors
+///
+/// The first error by position: preparation errors surface in
+/// first-occurrence key order, then evaluation errors in cell order —
+/// exactly what a sequential prepare-all-then-eval-all loop would hit
+/// first.
+pub fn prepare_then_map<T, K, P, R, E, KF, PF, EF>(
+    policy: &ExecPolicy,
+    items: &[T],
+    key_of: KF,
+    prepare: PF,
+    eval: EF,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    K: Eq + Hash + Clone + Sync,
+    P: Send + Sync,
+    R: Send,
+    E: Send,
+    KF: Fn(&T) -> K,
+    PF: Fn(&K) -> Result<P, E> + Sync,
+    EF: Fn(usize, &T, &P) -> Result<R, E> + Sync,
+{
+    // Distinct keys in first-occurrence order; each cell remembers its
+    // key's slot.
+    let mut distinct: Vec<K> = Vec::new();
+    let mut slot_of: HashMap<K, usize> = HashMap::new();
+    let cell_slots: Vec<usize> = items
+        .iter()
+        .map(|item| {
+            let key = key_of(item);
+            *slot_of.entry(key.clone()).or_insert_with(|| {
+                distinct.push(key);
+                distinct.len() - 1
+            })
+        })
+        .collect();
+
+    // Phase 1: one preparation per distinct key.
+    let prepared: Vec<P> = try_parallel_map(policy, &distinct, |_, key| prepare(key))?;
+
+    // Phase 2: evaluate every cell against its shared context.
+    try_parallel_map(policy, items, |i, item| {
+        eval(i, item, &prepared[cell_slots[i]])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn maps_in_item_order() {
@@ -223,5 +287,101 @@ mod tests {
         assert_eq!(ExecPolicy::with_threads(2).effective_threads(100), 2);
         assert_eq!(ExecPolicy::sequential().effective_threads(100), 1);
         assert!(ExecPolicy::default().effective_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn zero_cells_every_entry_point() {
+        let empty: &[u32] = &[];
+        let out = parallel_map(&ExecPolicy::with_threads(8), empty, |_, &x| x);
+        assert!(out.is_empty());
+        let out: Result<Vec<u32>, ()> =
+            try_parallel_map(&ExecPolicy::with_threads(8), empty, |_, &x| Ok(x));
+        assert!(out.unwrap().is_empty());
+        let out: Result<Vec<u32>, ()> = prepare_then_map(
+            &ExecPolicy::with_threads(8),
+            empty,
+            |&x| x,
+            |_| unreachable!("no keys for no cells"),
+            |_, &x, _: &u32| Ok(x),
+        );
+        assert!(out.unwrap().is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_cells() {
+        // Requesting far more workers than cells must neither hang nor
+        // change results (workers beyond the cell count find the claim
+        // counter exhausted immediately).
+        let items = [10u64, 20, 30];
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let out = parallel_map(&ExecPolicy::with_threads(64), &items, |_, &x| x * 3);
+        assert_eq!(out, expected);
+        let out: Vec<u64> =
+            try_parallel_map::<_, _, (), _>(&ExecPolicy::with_threads(64), &items, |_, &x| {
+                Ok(x * 3)
+            })
+            .unwrap();
+        assert_eq!(out, expected);
+        let out: Vec<u64> = prepare_then_map::<_, _, _, _, (), _, _, _>(
+            &ExecPolicy::with_threads(64),
+            &items,
+            |&x| x % 2,
+            |&k| Ok(k + 100),
+            |_, &x, &p| Ok(x + p),
+        )
+        .unwrap();
+        assert_eq!(out, vec![110, 120, 130]);
+    }
+
+    #[test]
+    fn prepare_runs_once_per_distinct_key() {
+        let prep_calls = AtomicUsize::new(0);
+        let items = [1u64, 2, 1, 3, 2, 1];
+        for threads in [1, 4] {
+            prep_calls.store(0, Ordering::SeqCst);
+            let out: Vec<u64> = prepare_then_map::<_, _, _, _, (), _, _, _>(
+                &ExecPolicy::with_threads(threads),
+                &items,
+                |&x| x,
+                |&k| {
+                    prep_calls.fetch_add(1, Ordering::SeqCst);
+                    Ok(k * 100)
+                },
+                |i, &x, &p| Ok(p + x + i as u64),
+            )
+            .unwrap();
+            // 3 distinct keys → exactly 3 preparations at any thread
+            // count, and every cell saw its own key's context.
+            assert_eq!(prep_calls.load(Ordering::SeqCst), 3, "{threads} threads");
+            assert_eq!(out, vec![101, 203, 103, 306, 206, 106]);
+        }
+    }
+
+    #[test]
+    fn prepare_errors_surface_in_first_occurrence_order() {
+        let items = [5u64, 7, 6, 7];
+        let out: Result<Vec<u64>, u64> = prepare_then_map(
+            &ExecPolicy::with_threads(4),
+            &items,
+            |&x| x,
+            |&k| if k >= 6 { Err(k) } else { Ok(k) },
+            |_, &x, &p: &u64| Ok(x + p),
+        );
+        // Key 7 occurs before key 6, so its error wins regardless of
+        // which worker failed first.
+        assert_eq!(out.unwrap_err(), 7);
+    }
+
+    #[test]
+    fn eval_errors_surface_in_cell_order() {
+        let items = [1u64, 2, 3, 4];
+        let out: Result<Vec<u64>, u64> = prepare_then_map(
+            &ExecPolicy::with_threads(4),
+            &items,
+            |_| 0u64,
+            |_| Ok(0u64),
+            |i, &x, _| if x % 2 == 0 { Err(i as u64) } else { Ok(x) },
+        );
+        assert_eq!(out.unwrap_err(), 1, "lowest failing cell index");
     }
 }

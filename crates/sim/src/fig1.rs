@@ -8,9 +8,13 @@
 
 use crate::error::SimError;
 use crate::exec::{try_parallel_map, ExecPolicy};
-use crate::pipeline::{attack_filter_train_eval, filter_train_eval, prepare, ExperimentConfig};
+use crate::pipeline::{
+    attack_filter_train_eval, filter_train_eval, filter_train_eval_warm, hugging_placement,
+    prepare, run_cell_warm, ExperimentConfig, Prepared,
+};
 use poisongame_defense::FilterStrength;
 use poisongame_linalg::Xoshiro256StarStar;
+use poisongame_ml::LinearState;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -103,13 +107,20 @@ pub fn run_fig1_with(
     sweep: &Fig1Config,
     policy: &ExecPolicy,
 ) -> Result<Fig1Results, SimError> {
-    if sweep.strengths.is_empty() {
+    // Reject a bad grid before paying for dataset preparation.
+    validate_strengths(&sweep.strengths)?;
+    let prepared = prepare(config)?;
+    run_fig1_prepared(&prepared, config, sweep, policy)
+}
+
+fn validate_strengths(strengths: &[f64]) -> Result<(), SimError> {
+    if strengths.is_empty() {
         return Err(SimError::BadParameter {
             what: "strengths",
             value: 0.0,
         });
     }
-    for &s in &sweep.strengths {
+    for &s in strengths {
         if !(0.0..1.0).contains(&s) || s.is_nan() {
             return Err(SimError::BadParameter {
                 what: "strength",
@@ -117,12 +128,33 @@ pub fn run_fig1_with(
             });
         }
     }
+    Ok(())
+}
 
-    let prepared = prepare(config)?;
+/// Per-point attack RNG, derived from the master seed alone so sweep
+/// points are reproducible in isolation and independent of workers.
+fn point_rng(config: &ExperimentConfig, theta: f64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(config.seed ^ (theta.to_bits().rotate_left(17)))
+}
+
+/// [`run_fig1_with`] against an already-prepared dataset — the
+/// evaluate phase of the engine's prepare → evaluate task graph.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for an empty or out-of-range
+/// strength grid and propagates pipeline failures.
+pub fn run_fig1_prepared(
+    prepared: &Prepared,
+    config: &ExperimentConfig,
+    sweep: &Fig1Config,
+    policy: &ExecPolicy,
+) -> Result<Fig1Results, SimError> {
+    validate_strengths(&sweep.strengths)?;
     let baseline = filter_train_eval(
-        &prepared.train,
+        prepared.train(),
         &[],
-        &prepared.test,
+        prepared.test(),
         FilterStrength::RemoveFraction(0.0),
         config,
     )?;
@@ -131,24 +163,19 @@ pub fn run_fig1_with(
         policy,
         &sweep.strengths,
         |_, &theta| -> Result<Fig1Row, SimError> {
-            // Fresh attack RNG per point, derived from the master seed, so
-            // individual sweep points are reproducible in isolation (and
-            // independent of which worker runs them).
-            let mut rng =
-                Xoshiro256StarStar::seed_from_u64(config.seed ^ (theta.to_bits().rotate_left(17)));
-            let placement =
-                crate::pipeline::hugging_placement(&prepared, theta, sweep.placement_slack);
+            let mut rng = point_rng(config, theta);
+            let placement = hugging_placement(prepared, theta, sweep.placement_slack);
             let attacked = attack_filter_train_eval(
-                &prepared,
+                prepared,
                 placement,
                 FilterStrength::RemoveFraction(theta),
                 config,
                 &mut rng,
             )?;
             let clean = filter_train_eval(
-                &prepared.train,
+                prepared.train(),
                 &[],
-                &prepared.test,
+                prepared.test(),
                 FilterStrength::RemoveFraction(theta),
                 config,
             )?;
@@ -160,6 +187,76 @@ pub fn run_fig1_with(
             })
         },
     )?;
+
+    Ok(Fig1Results {
+        rows,
+        baseline_accuracy: baseline.accuracy,
+        n_poison: prepared.n_poison,
+    })
+}
+
+/// The warm-started Figure 1 sweep: cells run *sequentially* in sweep
+/// order and each cell's training continues from the neighbouring
+/// cell's fitted weights ([`poisongame_ml::Classifier::fit_from`]).
+/// An explicit opt-in (see
+/// [`crate::engine::EvalEngine::warm_start_sweep`]): results
+/// approximate, but do not bit-match, the cold sweep — golden paths
+/// never route through here.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] for an empty or out-of-range
+/// strength grid and propagates pipeline failures.
+pub fn run_fig1_warm(
+    prepared: &Prepared,
+    config: &ExperimentConfig,
+    sweep: &Fig1Config,
+) -> Result<Fig1Results, SimError> {
+    validate_strengths(&sweep.strengths)?;
+    let baseline = filter_train_eval(
+        prepared.train(),
+        &[],
+        prepared.test(),
+        FilterStrength::RemoveFraction(0.0),
+        config,
+    )?;
+
+    let mut rows = Vec::with_capacity(sweep.strengths.len());
+    // Two chains: the attacked and clean series each continue from
+    // their own neighbour (mixing them would seed the clean model with
+    // poison-influenced weights).
+    let mut warm_attacked: Option<LinearState> = None;
+    let mut warm_clean: Option<LinearState> = None;
+    for &theta in &sweep.strengths {
+        let mut rng = point_rng(config, theta);
+        let placement = hugging_placement(prepared, theta, sweep.placement_slack);
+        let (attacked, next_attacked) = run_cell_warm(
+            prepared,
+            &config.scenario,
+            placement,
+            FilterStrength::RemoveFraction(theta),
+            config,
+            &mut rng,
+            warm_attacked.as_ref(),
+        )?;
+        let (clean, next_clean) = filter_train_eval_warm(
+            prepared.train(),
+            &[],
+            prepared.test(),
+            FilterStrength::RemoveFraction(theta),
+            &config.scenario,
+            config,
+            warm_clean.as_ref(),
+        )?;
+        warm_attacked = next_attacked;
+        warm_clean = next_clean;
+        rows.push(Fig1Row {
+            removed_fraction: theta,
+            accuracy_under_attack: attacked.accuracy,
+            accuracy_clean: clean.accuracy,
+            poison_recall: attacked.accounting.poison_recall(),
+        });
+    }
 
     Ok(Fig1Results {
         rows,

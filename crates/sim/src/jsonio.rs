@@ -21,6 +21,7 @@
 //! assert_eq!(Json::parse(&v.render()).unwrap(), v);
 //! ```
 
+use crate::error::SimError;
 use std::fmt;
 
 /// A parsed JSON value.
@@ -396,6 +397,100 @@ fn write_number(x: f64, out: &mut String) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Spec-field helpers shared by every JSON-described config in this
+// crate (`pipeline::ExperimentConfig`, the `scenario` specs). They
+// were once hand-rolled per call site; centralizing them keeps the
+// error wording and the unknown-key policy identical everywhere.
+// ---------------------------------------------------------------------------
+
+/// A required numeric field.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the value is not a number.
+pub fn require_num(value: &Json, what: &str) -> Result<f64, SimError> {
+    value
+        .as_f64()
+        .ok_or_else(|| SimError::Spec(format!("`{what}` must be a number")))
+}
+
+/// A required non-negative integer field.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the value is not a non-negative
+/// integer.
+pub fn require_u64(value: &Json, what: &str) -> Result<u64, SimError> {
+    value
+        .as_u64()
+        .ok_or_else(|| SimError::Spec(format!("`{what}` must be a non-negative integer")))
+}
+
+/// A required boolean field.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the value is not a boolean.
+pub fn require_bool(value: &Json, what: &str) -> Result<bool, SimError> {
+    value
+        .as_bool()
+        .ok_or_else(|| SimError::Spec(format!("`{what}` must be a boolean")))
+}
+
+/// The `"type"` tag of a spec object.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the tag is absent or not a string.
+pub fn spec_type<'a>(value: &'a Json, what: &str) -> Result<&'a str, SimError> {
+    value
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SimError::Spec(format!("{what} spec needs a string `type` field")))
+}
+
+/// Reject keys outside `allowed` on a spec object: a misspelled
+/// parameter would otherwise be silently dropped and the experiment
+/// would run a different configuration than the author wrote.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] naming the first unknown key.
+pub fn check_keys(value: &Json, what: &str, allowed: &[&str]) -> Result<(), SimError> {
+    if let Json::Obj(fields) = value {
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SimError::Spec(format!("unknown {what} key `{key}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A required array of numbers under `key`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the key is absent, not an array, or
+/// holds a non-number.
+pub fn num_array(value: &Json, key: &str) -> Result<Vec<f64>, SimError> {
+    value
+        .get(key)
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| SimError::Spec(format!("`{key}` must hold numbers")))
+                })
+                .collect()
+        })
+        .transpose()?
+        .ok_or_else(|| SimError::Spec(format!("missing numeric array `{key}`")))
+}
+
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for ch in s.chars() {
@@ -518,5 +613,27 @@ mod tests {
             ("weights", Json::nums(&[0.5, 0.5])),
         ]);
         assert_eq!(v.render(), r#"{"type":"boundary","weights":[0.5,0.5]}"#);
+    }
+
+    #[test]
+    fn spec_helpers_accept_and_reject() {
+        let v =
+            Json::parse(r#"{"type": "knn", "k": 5, "frac": 0.3, "on": true, "ws": [0.5, 0.5]}"#)
+                .unwrap();
+        assert_eq!(spec_type(&v, "defense").unwrap(), "knn");
+        assert_eq!(require_num(v.get("frac").unwrap(), "frac").unwrap(), 0.3);
+        assert_eq!(require_u64(v.get("k").unwrap(), "k").unwrap(), 5);
+        assert!(require_bool(v.get("on").unwrap(), "on").unwrap());
+        assert_eq!(num_array(&v, "ws").unwrap(), vec![0.5, 0.5]);
+        assert!(check_keys(&v, "spec", &["type", "k", "frac", "on", "ws"]).is_ok());
+
+        let err = check_keys(&v, "spec", &["type"]).unwrap_err();
+        assert!(err.to_string().contains("unknown spec key"), "{err}");
+        assert!(require_num(v.get("type").unwrap(), "type").is_err());
+        assert!(require_u64(v.get("frac").unwrap(), "frac").is_err());
+        assert!(require_bool(v.get("k").unwrap(), "k").is_err());
+        assert!(num_array(&v, "missing").is_err());
+        assert!(num_array(&v, "type").is_err());
+        assert!(spec_type(&Json::Num(1.0), "attack").is_err());
     }
 }

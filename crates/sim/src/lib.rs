@@ -25,7 +25,12 @@
 //! * [`monte_carlo`] — repeated-game simulation validating the
 //!   equilibrium indifference property empirically.
 //! * [`exec`] — the parallel sweep engine: scoped worker pool with
-//!   per-cell seeds, bit-identical to sequential at any thread count.
+//!   per-cell seeds, bit-identical to sequential at any thread count,
+//!   plus the two-phase `prepare_then_map` task graph.
+//! * [`engine`] — the shared-preparation evaluation engine: dataset
+//!   preparations keyed by content hash and shared (`Arc`) across
+//!   every experiment, copy-on-write poisoned views instead of
+//!   per-cell clones, and opt-in warm-started sweeps.
 //! * [`jsonio`] — the minimal JSON reader/writer scenario specs
 //!   serialize through (the `serde` dependency is an offline shim).
 //! * [`report`] — ASCII tables and CSV output.
@@ -70,6 +75,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod exec;
@@ -82,9 +88,11 @@ pub mod scaling;
 pub mod scenario;
 pub mod table1;
 
+pub use engine::EvalEngine;
 pub use error::SimError;
 pub use exec::ExecPolicy;
-pub use pipeline::{DataSource, ExperimentConfig, Prepared};
+pub use pipeline::{DataSource, ExperimentConfig, Prepared, PreparedData};
 pub use scenario::{
-    AttackSpec, DefenseSpec, LearnerSpec, MatrixResults, Scenario, ScenarioBuilder, ScenarioMatrix,
+    AttackSpec, DefenseSpec, EngineStats, LearnerSpec, MatrixResults, Scenario, ScenarioBuilder,
+    ScenarioMatrix,
 };

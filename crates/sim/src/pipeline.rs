@@ -7,19 +7,20 @@
 //! scenario reproduces the paper's hardcoded triple bit-for-bit.
 
 use crate::error::SimError;
-use crate::jsonio::Json;
+use crate::jsonio::{self, Json};
 use crate::scenario::Scenario;
 use poisongame_attack::ThreatModel;
 use poisongame_core::{Algorithm1Config, SolverKind};
 use poisongame_data::scale::StandardScaler;
 use poisongame_data::split::train_test_split;
 use poisongame_data::synth::{gaussian_blobs, spambase_like, SpambaseConfig};
-use poisongame_data::Dataset;
+use poisongame_data::{DataView, Dataset, PoisonedView};
 use poisongame_defense::{CentroidEstimator, FilterAccounting, FilterStrength};
 use poisongame_linalg::Xoshiro256StarStar;
-use poisongame_ml::TrainConfig;
+use poisongame_ml::{LinearState, TrainConfig};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which dataset the experiment runs on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -212,7 +213,7 @@ impl ExperimentConfig {
         if !matches!(value, Json::Obj(_)) {
             return Err(SimError::Spec("config must be a JSON object".into()));
         }
-        crate::scenario::check_spec_keys(
+        jsonio::check_keys(
             value,
             "config",
             &[
@@ -244,16 +245,13 @@ impl ExperimentConfig {
             config.source = source_from_json(v)?;
         }
         if let Some(v) = value.get("test_fraction") {
-            config.test_fraction = require_num(v, "test_fraction")?;
+            config.test_fraction = jsonio::require_num(v, "test_fraction")?;
         }
         if let Some(v) = value.get("budget_fraction") {
-            config.budget_fraction = require_num(v, "budget_fraction")?;
+            config.budget_fraction = jsonio::require_num(v, "budget_fraction")?;
         }
         if let Some(v) = value.get("epochs") {
-            config.epochs = v
-                .as_u64()
-                .ok_or_else(|| SimError::Spec("`epochs` must be a non-negative integer".into()))?
-                as usize;
+            config.epochs = jsonio::require_u64(v, "epochs")? as usize;
         }
         if let Some(v) = value.get("centroid") {
             config.centroid = centroid_from_json(v)?;
@@ -262,21 +260,13 @@ impl ExperimentConfig {
             config.solver = solver_from_json(v)?;
         }
         if let Some(v) = value.get("warm_start") {
-            config.warm_start = v
-                .as_bool()
-                .ok_or_else(|| SimError::Spec("`warm_start` must be a boolean".into()))?;
+            config.warm_start = jsonio::require_bool(v, "warm_start")?;
         }
         if let Some(v) = value.get("scenario") {
             config.scenario = Scenario::from_json(v)?;
         }
         Ok(config)
     }
-}
-
-fn require_num(value: &Json, what: &str) -> Result<f64, SimError> {
-    value
-        .as_f64()
-        .ok_or_else(|| SimError::Spec(format!("`{what}` must be a number")))
 }
 
 fn source_to_json(source: &DataSource) -> Json {
@@ -305,16 +295,13 @@ fn source_to_json(source: &DataSource) -> Json {
 }
 
 fn source_from_json(value: &Json) -> Result<DataSource, SimError> {
-    let kind = value
-        .get("type")
-        .and_then(Json::as_str)
-        .ok_or_else(|| SimError::Spec("source needs a string `type` field".into()))?;
+    let kind = jsonio::spec_type(value, "source")?;
     let allowed: &[&str] = match kind {
         "synthetic_spambase" => &["type", "rows"],
         "blobs" => &["type", "per_class", "dim", "offset", "sigma"],
         _ => &["type", "text"],
     };
-    crate::scenario::check_spec_keys(value, "source", allowed)?;
+    jsonio::check_keys(value, "source", allowed)?;
     let uint = |key: &str| -> Result<usize, SimError> {
         value
             .get(key)
@@ -329,13 +316,13 @@ fn source_from_json(value: &Json) -> Result<DataSource, SimError> {
         "blobs" => Ok(DataSource::Blobs {
             per_class: uint("per_class")?,
             dim: uint("dim")?,
-            offset: require_num(
+            offset: jsonio::require_num(
                 value
                     .get("offset")
                     .ok_or_else(|| SimError::Spec("blobs source needs `offset`".into()))?,
                 "offset",
             )?,
-            sigma: require_num(
+            sigma: jsonio::require_num(
                 value
                     .get("sigma")
                     .ok_or_else(|| SimError::Spec("blobs source needs `sigma`".into()))?,
@@ -375,13 +362,13 @@ fn centroid_from_json(value: &Json) -> Result<CentroidEstimator, SimError> {
     } else {
         &["type"]
     };
-    crate::scenario::check_spec_keys(value, "centroid", allowed)?;
+    jsonio::check_keys(value, "centroid", allowed)?;
     match kind {
         "mean" => Ok(CentroidEstimator::Mean),
         "coordinate_median" => Ok(CentroidEstimator::CoordinateMedian),
         "geometric_median" => Ok(CentroidEstimator::GeometricMedian),
         "trimmed_mean" => Ok(CentroidEstimator::TrimmedMean {
-            trim: require_num(
+            trim: jsonio::require_num(
                 value
                     .get("trim")
                     .ok_or_else(|| SimError::Spec("trimmed_mean centroid needs `trim`".into()))?,
@@ -412,27 +399,84 @@ fn solver_from_json(value: &Json) -> Result<SolverKind, SimError> {
     }
 }
 
-/// A prepared experiment: scaled train/test splits plus bookkeeping.
+/// The cacheable product of dataset preparation: everything derived
+/// from `(source, seed, test_fraction)` alone — no budget, no
+/// scenario. This is the unit the engine's preparation store keys by
+/// content hash and shares (`Arc`) across every cell of a grid.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Prepared {
+pub struct PreparedData {
     /// Scaled training data (clean).
     pub train: Dataset,
     /// Scaled held-out data.
     pub test: Dataset,
     /// The scaler fitted on the raw training split.
     pub scaler: StandardScaler,
+}
+
+/// A prepared experiment: the shared immutable data plus the
+/// config-dependent poison budget.
+///
+/// Cloning a `Prepared` (or deriving several from one cached
+/// [`PreparedData`]) shares the underlying datasets — cells of a
+/// sweep never copy the clean splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prepared {
+    /// The shared generate → split → scale product.
+    pub data: Arc<PreparedData>,
     /// Number of poison points the budget allows.
     pub n_poison: usize,
 }
 
-/// Generate, split and scale the dataset for an experiment.
+impl Prepared {
+    /// Assemble from shared data and an experiment's budget settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the budget-validation error of
+    /// [`ThreatModel::new`].
+    pub fn from_shared(
+        data: Arc<PreparedData>,
+        config: &ExperimentConfig,
+    ) -> Result<Self, SimError> {
+        // Validate the budget once at construction; the per-call check
+        // in the deprecated `ThreatModel::poison_count` is no longer
+        // paid.
+        let threat = config.threat_model();
+        let n_poison = ThreatModel::new(threat.budget_fraction, threat.knowledge)?
+            .budget_points(data.train.len());
+        Ok(Self { data, n_poison })
+    }
+
+    /// Scaled training data (clean).
+    pub fn train(&self) -> &Dataset {
+        &self.data.train
+    }
+
+    /// Scaled held-out data.
+    pub fn test(&self) -> &Dataset {
+        &self.data.test
+    }
+
+    /// The scaler fitted on the raw training split.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.data.scaler
+    }
+}
+
+/// Generate, split and scale the dataset for an experiment — the pure
+/// function of `(source, seed, test_fraction)` the preparation cache
+/// memoizes.
 ///
 /// # Errors
 ///
 /// Propagates dataset generation/splitting/scaling failures.
-pub fn prepare(config: &ExperimentConfig) -> Result<Prepared, SimError> {
-    let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
-    let full = match &config.source {
+pub fn prepare_data(
+    source: &DataSource,
+    seed: u64,
+    test_fraction: f64,
+) -> Result<PreparedData, SimError> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let full = match source {
         DataSource::SyntheticSpambase { rows } => spambase_like(
             &SpambaseConfig {
                 rows: *rows,
@@ -448,23 +492,29 @@ pub fn prepare(config: &ExperimentConfig) -> Result<Prepared, SimError> {
         } => gaussian_blobs(*per_class, *dim, *offset, *sigma, &mut rng),
         DataSource::CsvText { text } => poisongame_data::csv::parse_csv(text)?,
     };
-    let (train_raw, test_raw) = train_test_split(&full, config.test_fraction, &mut rng)?;
+    let (train_raw, test_raw) = train_test_split(&full, test_fraction, &mut rng)?;
     // Z-scoring (not min-max): it stabilizes SGD while *preserving* the
     // heavy right tails of the capital-run columns, which carry the
     // distance geometry the radius filter and the game model live on.
     let (train, scaler) = StandardScaler::fit_transform(&train_raw)?;
     let test = scaler.transform(&test_raw)?;
-    // Validate the budget once at construction; the per-call check in
-    // the deprecated `ThreatModel::poison_count` is no longer paid.
-    let threat = config.threat_model();
-    let n_poison =
-        ThreatModel::new(threat.budget_fraction, threat.knowledge)?.budget_points(train.len());
-    Ok(Prepared {
+    Ok(PreparedData {
         train,
         test,
         scaler,
-        n_poison,
     })
+}
+
+/// Generate, split and scale the dataset for an experiment (cold — no
+/// cache; the golden path). Use [`crate::engine::EvalEngine::prepare`]
+/// to share preparations across experiments.
+///
+/// # Errors
+///
+/// Propagates dataset generation/splitting/scaling failures.
+pub fn prepare(config: &ExperimentConfig) -> Result<Prepared, SimError> {
+    let data = prepare_data(&config.source, config.seed, config.test_fraction)?;
+    Prepared::from_shared(Arc::new(data), config)
 }
 
 /// Result of one attack → filter → train → evaluate run.
@@ -490,7 +540,7 @@ pub struct EvalOutcome {
 ///
 /// Propagates spec-building, filtering and training failures.
 pub fn filter_train_eval(
-    train: &Dataset,
+    train: &dyn DataView,
     poison_indices: &[usize],
     test: &Dataset,
     strength: FilterStrength,
@@ -513,23 +563,62 @@ pub fn filter_train_eval(
 ///
 /// Propagates spec-building, filtering and training failures.
 pub fn filter_train_eval_scenario(
-    train: &Dataset,
+    train: &dyn DataView,
     poison_indices: &[usize],
     test: &Dataset,
     strength: FilterStrength,
     scenario: &Scenario,
     config: &ExperimentConfig,
 ) -> Result<EvalOutcome, SimError> {
+    filter_train_eval_warm(
+        train,
+        poison_indices,
+        test,
+        strength,
+        scenario,
+        config,
+        None,
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// The single filter → train → evaluate core every path funnels into.
+///
+/// `warm` optionally seeds training from a neighbouring cell's
+/// [`LinearState`] (the engine's opt-in warm-start sweeps); `None` is
+/// the cold golden path, bit-identical to the historical pipeline.
+/// Returns the outcome plus the fitted model's linear state so
+/// monotone sweeps can chain cells.
+///
+/// # Errors
+///
+/// Propagates spec-building, filtering and training failures.
+pub fn filter_train_eval_warm(
+    train: &dyn DataView,
+    poison_indices: &[usize],
+    test: &Dataset,
+    strength: FilterStrength,
+    scenario: &Scenario,
+    config: &ExperimentConfig,
+    warm: Option<&LinearState>,
+) -> Result<(EvalOutcome, Option<LinearState>), SimError> {
     let filter = scenario.defense.build(strength, config.centroid)?;
     let outcome = filter.split(train)?;
     let kept = outcome.kept_dataset(train);
     let mut model = scenario.learner.build(config.train_config());
-    model.fit(&kept)?;
-    Ok(EvalOutcome {
-        accuracy: model.accuracy_on(test),
-        accounting: outcome.account(poison_indices),
-        removed_fraction: outcome.removed_fraction(train),
-    })
+    match warm {
+        Some(state) => model.fit_from(&kept, state)?,
+        None => model.fit(&kept)?,
+    }
+    let state = model.linear_state();
+    Ok((
+        EvalOutcome {
+            accuracy: model.accuracy_on(test),
+            accounting: outcome.account(poison_indices),
+            removed_fraction: outcome.removed_fraction(train),
+        },
+        state,
+    ))
 }
 
 /// The placement that "hugs" a strength-`theta` filter from inside,
@@ -540,7 +629,7 @@ pub fn filter_train_eval_scenario(
 /// shift the poison itself induces). `n` is the clean training size,
 /// `m` the poison budget.
 pub fn hugging_placement(prepared: &Prepared, theta: f64, slack: f64) -> f64 {
-    let n = prepared.train.len() as f64;
+    let n = prepared.train().len() as f64;
     let m = prepared.n_poison as f64;
     (theta * (n + m) / n + slack).min(0.95)
 }
@@ -568,6 +657,10 @@ pub fn attack_filter_train_eval(
 /// set, then sanitize / train / evaluate with the scenario's defense
 /// and learner.
 ///
+/// The poisoned training set is a [`PoisonedView`]: the shared clean
+/// base is borrowed and only the generated poison rows are owned, so
+/// cells never clone the prepared data.
+///
 /// # Errors
 ///
 /// Propagates spec-building, attack, filtering and training failures.
@@ -579,15 +672,39 @@ pub fn run_cell(
     config: &ExperimentConfig,
     rng: &mut Xoshiro256StarStar,
 ) -> Result<EvalOutcome, SimError> {
+    run_cell_warm(prepared, scenario, placement, strength, config, rng, None)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`run_cell`] returning the fitted model's [`LinearState`] and
+/// optionally seeding training from a neighbouring cell's state — the
+/// engine's warm-start hook (`warm = None` is the golden path, bit
+/// for bit).
+///
+/// # Errors
+///
+/// Propagates spec-building, attack, filtering and training failures.
+pub fn run_cell_warm(
+    prepared: &Prepared,
+    scenario: &Scenario,
+    placement: f64,
+    strength: FilterStrength,
+    config: &ExperimentConfig,
+    rng: &mut Xoshiro256StarStar,
+    warm: Option<&LinearState>,
+) -> Result<(EvalOutcome, Option<LinearState>), SimError> {
     let attack = scenario.attack.build(placement, prepared.n_poison)?;
-    let (poisoned, injected) = attack.poison(&prepared.train, prepared.n_poison, rng)?;
-    filter_train_eval_scenario(
+    let poison = attack.generate(prepared.train(), prepared.n_poison, rng)?;
+    let poisoned = PoisonedView::new(prepared.train(), poison)?;
+    let injected: Vec<usize> = poisoned.appended_indices().collect();
+    filter_train_eval_warm(
         &poisoned,
         &injected,
-        &prepared.test,
+        prepared.test(),
         strength,
         scenario,
         config,
+        warm,
     )
 }
 
@@ -633,11 +750,31 @@ mod tests {
     #[test]
     fn prepare_splits_and_scales() {
         let p = prepare(&quick_blob_config()).unwrap();
-        assert_eq!(p.train.len() + p.test.len(), 240);
-        assert_eq!(p.n_poison, (p.train.len() as f64 * 0.2).round() as usize);
+        assert_eq!(p.train().len() + p.test().len(), 240);
+        assert_eq!(p.n_poison, (p.train().len() as f64 * 0.2).round() as usize);
         // Z-scored: every column of the training split has ~zero mean.
-        let sums = p.train.features().column_means().unwrap();
+        let sums = p.train().features().column_means().unwrap();
         assert!(sums.iter().all(|m| m.abs() < 1e-9));
+    }
+
+    #[test]
+    fn shared_prepared_data_derives_budget_per_config() {
+        // One cached PreparedData serves configs that differ only in
+        // budget — the cache key deliberately excludes the budget.
+        let config = quick_blob_config();
+        let p = prepare(&config).unwrap();
+        let half_budget = ExperimentConfig {
+            budget_fraction: 0.1,
+            ..config
+        };
+        let q = Prepared::from_shared(Arc::clone(&p.data), &half_budget).unwrap();
+        assert!(Arc::ptr_eq(&p.data, &q.data), "data must be shared");
+        assert_eq!(q.n_poison, (p.train().len() as f64 * 0.1).round() as usize);
+        let bad = ExperimentConfig {
+            budget_fraction: 1.5,
+            ..half_budget
+        };
+        assert!(Prepared::from_shared(Arc::clone(&p.data), &bad).is_err());
     }
 
     #[test]
@@ -645,9 +782,9 @@ mod tests {
         let config = quick_blob_config();
         let p = prepare(&config).unwrap();
         let out = filter_train_eval(
-            &p.train,
+            p.train(),
             &[],
-            &p.test,
+            p.test(),
             FilterStrength::RemoveFraction(0.0),
             &config,
         )
@@ -662,9 +799,9 @@ mod tests {
         let p = prepare(&config).unwrap();
         let mut rng = Xoshiro256StarStar::seed_from_u64(11);
         let clean = filter_train_eval(
-            &p.train,
+            p.train(),
             &[],
-            &p.test,
+            p.test(),
             FilterStrength::RemoveFraction(0.0),
             &config,
         )
@@ -776,7 +913,7 @@ mod tests {
             scenario: Scenario::default(),
         };
         let p = prepare(&config).unwrap();
-        assert_eq!(p.train.len() + p.test.len(), 60);
-        assert_eq!(p.train.dim(), 2);
+        assert_eq!(p.train().len() + p.test().len(), 60);
+        assert_eq!(p.train().dim(), 2);
     }
 }

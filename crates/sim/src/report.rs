@@ -172,6 +172,17 @@ pub fn matrix_table(results: &MatrixResults) -> String {
         results.baseline_accuracy,
         results.n_poison
     );
+    if let Some(stats) = &results.engine {
+        out.push_str(&format!(
+            "engine: prep cache {} hit{} / {} miss{} | {:.1} cells/s ({:.1} ms total)\n",
+            stats.prep_hits,
+            if stats.prep_hits == 1 { "" } else { "s" },
+            stats.prep_misses,
+            if stats.prep_misses == 1 { "" } else { "es" },
+            stats.cells_per_sec(),
+            stats.elapsed_micros as f64 / 1000.0
+        ));
+    }
     out.push_str(&render_table(
         &[
             "#",
@@ -356,8 +367,10 @@ mod tests {
             baseline_accuracy: 0.92,
             n_poison: 64,
             strength: 0.15,
+            engine: None,
         };
         let t = matrix_table(&results);
+        assert!(!t.contains("engine:"), "no engine line without stats");
         // Ranked: boundary (0.88) first despite grid order.
         let boundary_at = t.find("boundary").unwrap();
         let flip_at = t.find("label_flip").unwrap();
@@ -370,6 +383,18 @@ mod tests {
         let flip_line = c.lines().nth(1).unwrap();
         assert!(flip_line.starts_with("label_flip"));
         assert!(flip_line.ends_with(",42"));
+
+        // With engine stats attached, the cache/throughput line shows.
+        let mut with_stats = results.clone();
+        with_stats.engine = Some(crate::scenario::EngineStats {
+            prep_hits: 1,
+            prep_misses: 1,
+            cells: 2,
+            elapsed_micros: 2_000_000,
+        });
+        let t = matrix_table(&with_stats);
+        assert!(t.contains("engine: prep cache 1 hit / 1 miss"), "{t}");
+        assert!(t.contains("1.0 cells/s"), "{t}");
     }
 
     #[test]

@@ -41,9 +41,10 @@
 
 use crate::error::SimError;
 use crate::exec::{try_parallel_map, ExecPolicy};
-use crate::jsonio::Json;
+use crate::jsonio::{self, Json};
 use crate::pipeline::{
     filter_train_eval, hugging_placement, prepare, run_cell, EvalOutcome, ExperimentConfig,
+    Prepared,
 };
 use poisongame_attack::{
     AttackStrategy, BoundaryAttack, LabelFlipAttack, MixedRadiusAttack, RadiusSpec,
@@ -145,18 +146,18 @@ impl AttackSpec {
     }
 
     fn from_json(value: &Json) -> Result<Self, SimError> {
-        let kind = spec_type(value, "attack")?;
+        let kind = jsonio::spec_type(value, "attack")?;
         let allowed: &[&str] = if kind == "mixed_radius" {
             &["type", "offsets", "weights"]
         } else {
             &["type"]
         };
-        check_spec_keys(value, "attack", allowed)?;
+        jsonio::check_keys(value, "attack", allowed)?;
         match kind {
             "boundary" => Ok(AttackSpec::Boundary),
             "mixed_radius" => Ok(AttackSpec::MixedRadius {
-                offsets: num_array(value, "offsets")?,
-                weights: num_array(value, "weights")?,
+                offsets: jsonio::num_array(value, "offsets")?,
+                weights: jsonio::num_array(value, "weights")?,
             }),
             "label_flip" => Ok(AttackSpec::LabelFlip),
             "random_noise" => Ok(AttackSpec::RandomNoise),
@@ -250,13 +251,13 @@ impl DefenseSpec {
     }
 
     fn from_json(value: &Json) -> Result<Self, SimError> {
-        let kind = spec_type(value, "defense")?;
+        let kind = jsonio::spec_type(value, "defense")?;
         let allowed: &[&str] = if kind == "knn" {
             &["type", "k"]
         } else {
             &["type"]
         };
-        check_spec_keys(value, "defense", allowed)?;
+        jsonio::check_keys(value, "defense", allowed)?;
         match kind {
             "radius" => Ok(DefenseSpec::Radius),
             "knn" => {
@@ -309,8 +310,8 @@ impl LearnerSpec {
     }
 
     fn from_json(value: &Json) -> Result<Self, SimError> {
-        check_spec_keys(value, "learner", &["type"])?;
-        match spec_type(value, "learner")? {
+        jsonio::check_keys(value, "learner", &["type"])?;
+        match jsonio::spec_type(value, "learner")? {
             "svm" => Ok(LearnerSpec::Svm),
             "perceptron" => Ok(LearnerSpec::Perceptron),
             "logreg" => Ok(LearnerSpec::LogReg),
@@ -389,7 +390,7 @@ impl Scenario {
         }
         // With every axis optional, a typo'd key would silently run
         // the paper triple — reject unknown keys instead.
-        check_spec_keys(value, "scenario", &["attack", "defense", "learner"])?;
+        jsonio::check_keys(value, "scenario", &["attack", "defense", "learner"])?;
         Ok(Self {
             attack: value
                 .get("attack")
@@ -470,44 +471,6 @@ impl ScenarioBuilder {
             learner: self.learner,
         }
     }
-}
-
-fn spec_type<'a>(value: &'a Json, what: &str) -> Result<&'a str, SimError> {
-    value
-        .get("type")
-        .and_then(Json::as_str)
-        .ok_or_else(|| SimError::Spec(format!("{what} spec needs a string `type` field")))
-}
-
-/// Reject keys outside `allowed` on a spec object: a misspelled
-/// parameter would otherwise be silently dropped and the cell would
-/// run a different configuration than the author wrote.
-pub(crate) fn check_spec_keys(value: &Json, what: &str, allowed: &[&str]) -> Result<(), SimError> {
-    if let Json::Obj(fields) = value {
-        for (key, _) in fields {
-            if !allowed.contains(&key.as_str()) {
-                return Err(SimError::Spec(format!("unknown {what} key `{key}`")));
-            }
-        }
-    }
-    Ok(())
-}
-
-fn num_array(value: &Json, key: &str) -> Result<Vec<f64>, SimError> {
-    value
-        .get(key)
-        .and_then(Json::as_array)
-        .map(|items| {
-            items
-                .iter()
-                .map(|v| {
-                    v.as_f64()
-                        .ok_or_else(|| SimError::Spec(format!("`{key}` must hold numbers")))
-                })
-                .collect()
-        })
-        .transpose()?
-        .ok_or_else(|| SimError::Spec(format!("missing numeric array `{key}`")))
 }
 
 /// An attack × defense × learner cross-product plus the shared cell
@@ -612,7 +575,7 @@ impl ScenarioMatrix {
         }
         // A typo'd key would silently run at a default parameter —
         // reject unknown keys instead.
-        check_spec_keys(
+        jsonio::check_keys(
             &value,
             "matrix",
             &[
@@ -634,9 +597,7 @@ impl ScenarioMatrix {
         let cell_param = |key: &str, default: f64| -> Result<f64, SimError> {
             match value.get(key) {
                 None => Ok(default),
-                Some(v) => v
-                    .as_f64()
-                    .ok_or_else(|| SimError::Spec(format!("`{key}` must be a number"))),
+                Some(v) => jsonio::require_num(v, key),
             }
         };
         let defaults = ScenarioMatrix::default();
@@ -670,8 +631,36 @@ pub struct MatrixCell {
     pub outcome: EvalOutcome,
 }
 
+/// Engine-side measurements of one matrix run: preparation cache
+/// traffic and evaluation throughput. Only populated when the run
+/// went through [`crate::engine::EvalEngine`]; wall-clock fields are
+/// inherently nondeterministic, so [`MatrixResults`]'s equality
+/// ignores this block entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Dataset preparations answered from the shared store.
+    pub prep_hits: u64,
+    /// Dataset preparations computed fresh.
+    pub prep_misses: u64,
+    /// Cells evaluated.
+    pub cells: usize,
+    /// Wall-clock of the whole prepare → evaluate run.
+    pub elapsed_micros: u128,
+}
+
+impl EngineStats {
+    /// Evaluated cells per second (`0.0` for a zero-duration run).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.elapsed_micros == 0 {
+            0.0
+        } else {
+            self.cells as f64 / (self.elapsed_micros as f64 / 1e6)
+        }
+    }
+}
+
 /// All matrix cells in grid order, plus shared context.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MatrixResults {
     /// One row per scenario cell, in [`ScenarioMatrix::scenarios`]
     /// order.
@@ -683,6 +672,21 @@ pub struct MatrixResults {
     pub n_poison: usize,
     /// Filter strength every cell used.
     pub strength: f64,
+    /// Cache/throughput measurements when run through the engine
+    /// (`None` on the plain [`run_matrix`] path).
+    pub engine: Option<EngineStats>,
+}
+
+/// Equality compares the *results* only — the `engine` measurement
+/// block carries wall-clock and cache-state values that legitimately
+/// differ between bit-identical runs.
+impl PartialEq for MatrixResults {
+    fn eq(&self, other: &Self) -> bool {
+        self.cells == other.cells
+            && self.baseline_accuracy == other.baseline_accuracy
+            && self.n_poison == other.n_poison
+            && self.strength == other.strength
+    }
 }
 
 impl MatrixResults {
@@ -731,6 +735,13 @@ pub fn run_matrix_with(
     matrix: &ScenarioMatrix,
     policy: &ExecPolicy,
 ) -> Result<MatrixResults, SimError> {
+    // Reject a bad matrix before paying for dataset preparation.
+    validate_matrix(matrix)?;
+    let prepared = prepare(config)?;
+    run_matrix_prepared(&prepared, config, matrix, policy)
+}
+
+fn validate_matrix(matrix: &ScenarioMatrix) -> Result<(), SimError> {
     if matrix.is_empty() {
         return Err(SimError::BadParameter {
             what: "matrix axes",
@@ -743,16 +754,31 @@ pub fn run_matrix_with(
             value: matrix.strength,
         });
     }
+    Ok(())
+}
 
-    let prepared = prepare(config)?;
+/// [`run_matrix_with`] against an already-prepared dataset — the
+/// evaluate phase of the engine's prepare → evaluate task graph.
+///
+/// # Errors
+///
+/// Same conditions as [`run_matrix_with`].
+pub fn run_matrix_prepared(
+    prepared: &Prepared,
+    config: &ExperimentConfig,
+    matrix: &ScenarioMatrix,
+    policy: &ExecPolicy,
+) -> Result<MatrixResults, SimError> {
+    validate_matrix(matrix)?;
+
     let baseline = filter_train_eval(
-        &prepared.train,
+        prepared.train(),
         &[],
-        &prepared.test,
+        prepared.test(),
         FilterStrength::RemoveFraction(0.0),
         config,
     )?;
-    let placement = hugging_placement(&prepared, matrix.strength, matrix.placement_slack);
+    let placement = hugging_placement(prepared, matrix.strength, matrix.placement_slack);
 
     // Pre-derive one seed per cell from the master seed, in grid
     // order, exactly like the Monte-Carlo replicates: a cell's stream
@@ -767,7 +793,7 @@ pub fn run_matrix_with(
         |_, (scenario, cell_seed)| -> Result<MatrixCell, SimError> {
             let mut rng = poisongame_linalg::Xoshiro256StarStar::seed_from_u64(*cell_seed);
             let outcome = run_cell(
-                &prepared,
+                prepared,
                 scenario,
                 placement,
                 FilterStrength::RemoveFraction(matrix.strength),
@@ -787,6 +813,7 @@ pub fn run_matrix_with(
         baseline_accuracy: baseline.accuracy,
         n_poison: prepared.n_poison,
         strength: matrix.strength,
+        engine: None,
     })
 }
 
@@ -843,7 +870,7 @@ mod tests {
             let attack = spec.build(0.05, prepared.n_poison).unwrap();
             let mut rng = poisongame_linalg::Xoshiro256StarStar::seed_from_u64(1);
             let poison = attack
-                .generate(&prepared.train, prepared.n_poison, &mut rng)
+                .generate(prepared.train(), prepared.n_poison, &mut rng)
                 .unwrap();
             assert_eq!(poison.len(), prepared.n_poison, "{}", spec.name());
         }
@@ -861,7 +888,7 @@ mod tests {
             let filter = spec
                 .build(FilterStrength::RemoveFraction(0.1), config.centroid)
                 .unwrap();
-            let outcome = filter.split(&prepared.train).unwrap();
+            let outcome = filter.split(prepared.train()).unwrap();
             assert!(
                 !outcome.kept_indices.is_empty(),
                 "{} kept nothing",
@@ -880,9 +907,9 @@ mod tests {
             LearnerSpec::LogReg,
         ] {
             let mut model = spec.build(config.train_config());
-            model.fit(&prepared.train).unwrap();
+            model.fit(prepared.train()).unwrap();
             assert!(
-                model.accuracy_on(&prepared.test) > 0.6,
+                model.accuracy_on(prepared.test()) > 0.6,
                 "{} failed to learn",
                 spec.name()
             );

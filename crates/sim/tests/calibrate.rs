@@ -21,9 +21,9 @@ fn probe() {
     };
     let p = prepare(&config).unwrap();
     let clean = filter_train_eval(
-        &p.train,
+        p.train(),
         &[],
-        &p.test,
+        p.test(),
         FilterStrength::RemoveFraction(0.0),
         &config,
     )
@@ -31,9 +31,9 @@ fn probe() {
     println!("clean acc = {:.4}", clean.accuracy);
     for theta in [0.05, 0.10, 0.20, 0.30, 0.40] {
         let g = filter_train_eval(
-            &p.train,
+            p.train(),
             &[],
-            &p.test,
+            p.test(),
             FilterStrength::RemoveFraction(theta),
             &config,
         )

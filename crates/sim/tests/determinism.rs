@@ -7,13 +7,14 @@
 use poisongame_core::ne::equalizing_strategy;
 use poisongame_core::{CostCurve, EffectCurve, PoisonGame, SolverKind};
 use poisongame_defense::CentroidEstimator;
+use poisongame_sim::engine::EvalEngine;
 use poisongame_sim::estimate::estimate_curves;
 use poisongame_sim::exec::ExecPolicy;
 use poisongame_sim::fig1::{run_fig1_with, Fig1Config};
 use poisongame_sim::monte_carlo::simulate_repeated_game_parallel;
 use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
-use poisongame_sim::report::{fig1_csv, fig1_table, table1_table};
-use poisongame_sim::scenario::Scenario;
+use poisongame_sim::report::{fig1_csv, fig1_table, matrix_csv, table1_table};
+use poisongame_sim::scenario::{run_matrix_with, Scenario, ScenarioMatrix};
 use poisongame_sim::table1::run_table1_with;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -84,6 +85,57 @@ fn table1_reports_are_byte_identical_across_thread_counts() {
             report.as_bytes(),
             reports[0].as_bytes(),
             "table1 report diverged at {threads} threads"
+        );
+    }
+}
+
+/// The cached engine must be a pure wall-clock optimization: for the
+/// same seed, the warm (cache-hitting) run's serialized report is
+/// byte-identical to the cold per-cell evaluation, at every thread
+/// count — caching removes redundant identical computation only.
+#[test]
+fn cached_engine_is_byte_identical_to_cold_evaluation() {
+    let config = tiny_config();
+    let matrix = ScenarioMatrix {
+        attacks: vec![
+            poisongame_sim::scenario::AttackSpec::Boundary,
+            poisongame_sim::scenario::AttackSpec::LabelFlip,
+        ],
+        defenses: vec![
+            poisongame_sim::scenario::DefenseSpec::Radius,
+            poisongame_sim::scenario::DefenseSpec::Slab,
+        ],
+        learners: vec![poisongame_sim::scenario::LearnerSpec::Svm],
+        strength: 0.15,
+        placement_slack: 0.01,
+    };
+    let sweep = Fig1Config {
+        strengths: vec![0.0, 0.08, 0.20],
+        placement_slack: 0.01,
+    };
+
+    // Cold references (no engine, fresh preparation per call).
+    let cold_matrix = run_matrix_with(&config, &matrix, &ExecPolicy::sequential()).unwrap();
+    let cold_fig1 = run_fig1_with(&config, &sweep, &ExecPolicy::sequential()).unwrap();
+
+    for &threads in &THREAD_COUNTS {
+        let engine = EvalEngine::with_policy(ExecPolicy::with_threads(threads));
+        // Warm the store, then measure the hitting run.
+        let first = engine.run_matrix(&config, &matrix).unwrap();
+        let second = engine.run_matrix(&config, &matrix).unwrap();
+        assert!(engine.cache_stats().hits >= 1, "second run must hit");
+        assert_eq!(
+            matrix_csv(&second).as_bytes(),
+            matrix_csv(&cold_matrix).as_bytes(),
+            "cached matrix diverged from cold at {threads} threads"
+        );
+        assert_eq!(first, second);
+
+        let cached_fig1 = engine.run_fig1(&config, &sweep).unwrap();
+        assert_eq!(
+            fig1_csv(&cached_fig1).as_bytes(),
+            fig1_csv(&cold_fig1).as_bytes(),
+            "cached fig1 diverged from cold at {threads} threads"
         );
     }
 }

@@ -59,9 +59,9 @@ fn old_attack_filter_train_eval(
 ) -> EvalOutcome {
     let attack = BoundaryAttack::new(RadiusSpec::Percentile(placement));
     let (poisoned, injected) = attack
-        .poison(&prepared.train, prepared.n_poison, rng)
+        .poison(prepared.train(), prepared.n_poison, rng)
         .expect("attack runs");
-    old_filter_train_eval(&poisoned, &injected, &prepared.test, strength, config)
+    old_filter_train_eval(&poisoned, &injected, prepared.test(), strength, config)
 }
 
 fn assert_bit_identical(new: &EvalOutcome, old: &EvalOutcome, context: &str) {
@@ -90,9 +90,9 @@ fn default_scenario_clean_path_matches_hardcoded_pipeline() {
     let prepared = prepare(&config).unwrap();
     for theta in [0.0, 0.08, 0.25] {
         let strength = FilterStrength::RemoveFraction(theta);
-        let new = filter_train_eval(&prepared.train, &[], &prepared.test, strength, &config)
+        let new = filter_train_eval(prepared.train(), &[], prepared.test(), strength, &config)
             .expect("dispatch path runs");
-        let old = old_filter_train_eval(&prepared.train, &[], &prepared.test, strength, &config);
+        let old = old_filter_train_eval(prepared.train(), &[], prepared.test(), strength, &config);
         assert_bit_identical(&new, &old, &format!("clean θ={theta}"));
     }
 }
@@ -130,6 +130,48 @@ fn default_scenario_attack_path_matches_hardcoded_pipeline() {
     }
 }
 
+/// The engine's cached preparation + copy-on-write poisoned views
+/// must reproduce the pre-engine clone-based hardcoded pipeline bit
+/// for bit — preparing via the store and reading the training set
+/// through a `PoisonedView` are pure plumbing changes.
+#[test]
+fn engine_cells_match_pre_engine_hardcoded_pipeline() {
+    let config = config();
+    let engine = poisongame_sim::engine::EvalEngine::new();
+    // Two prepares: one miss, one hit — both must be the same data the
+    // cold `prepare` builds.
+    let prepared = engine.prepare(&config).unwrap();
+    let again = engine.prepare(&config).unwrap();
+    assert!(
+        std::sync::Arc::ptr_eq(&prepared.data, &again.data),
+        "prepare must share one Arc"
+    );
+    let cold = prepare(&config).unwrap();
+    assert_eq!(*prepared.data, *cold.data, "cached prep differs from cold");
+    assert_eq!(prepared.n_poison, cold.n_poison);
+
+    for (seed, theta) in [(11u64, 0.05), (13, 0.15), (17, 0.30)] {
+        let placement = hugging_placement(&prepared, theta, 0.01);
+        let strength = FilterStrength::RemoveFraction(theta);
+
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let new = run_cell(
+            &prepared,
+            &Scenario::default(),
+            placement,
+            strength,
+            &config,
+            &mut rng,
+        )
+        .expect("engine-prepared cell runs");
+
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let old = old_attack_filter_train_eval(&cold, placement, strength, &config, &mut rng);
+
+        assert_bit_identical(&new, &old, &format!("engine cell θ={theta} seed={seed}"));
+    }
+}
+
 #[test]
 fn poison_budget_unchanged_by_threat_model_refactor() {
     // `prepare` now validates the budget once via `ThreatModel::new`;
@@ -139,11 +181,11 @@ fn poison_budget_unchanged_by_threat_model_refactor() {
     #[allow(deprecated)]
     let old = config
         .threat_model()
-        .poison_count(prepared.train.len())
+        .poison_count(prepared.train().len())
         .unwrap();
     assert_eq!(prepared.n_poison, old);
     assert_eq!(
         prepared.n_poison,
-        (prepared.train.len() as f64 * 0.2).round() as usize
+        (prepared.train().len() as f64 * 0.2).round() as usize
     );
 }

@@ -11,9 +11,10 @@
 //! cargo run --release --example scenario_matrix -- full  # paper scale
 //! ```
 
+use poisongame::sim::engine::EvalEngine;
 use poisongame::sim::pipeline::{DataSource, ExperimentConfig};
 use poisongame::sim::report::{matrix_csv, matrix_table};
-use poisongame::sim::scenario::{run_matrix, ScenarioMatrix};
+use poisongame::sim::scenario::ScenarioMatrix;
 
 /// The grid as it would live in a config file: all four attacks, all
 /// three defenses, two learners, one shared filter strength.
@@ -60,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.seed
     );
 
-    let results = run_matrix(&config, &matrix)?;
+    // One engine drives every run: the dataset is prepared once per
+    // distinct (source, seed, test_fraction) key — not once per run,
+    // let alone once per cell — and later runs share the cached Arc.
+    let engine = EvalEngine::new();
+    let results = engine.run_matrix(&config, &matrix)?;
     println!("{}", matrix_table(&results));
 
     let best = results.ranked()[0];
@@ -78,5 +83,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n-- long-format CSV (grid order) --");
     print!("{}", matrix_csv(&results));
+
+    // The same grid at a weaker filter: a pure cache hit — zero
+    // re-preparation, visible in the engine line of the table header.
+    let weaker = ScenarioMatrix {
+        strength: 0.05,
+        ..matrix
+    };
+    let again = engine.run_matrix(&config, &weaker)?;
+    let stats = engine.cache_stats();
+    println!(
+        "\n-- re-run at 5% filter strength (prep store: {} miss, {} hit) --",
+        stats.misses, stats.hits
+    );
+    println!("{}", matrix_table(&again));
+    assert_eq!(stats.misses, 1, "one preparation served both runs");
     Ok(())
 }

@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== the spam-filter war ==");
     println!(
         "mail corpus: {} train / {} test, attacker forges {} messages (20%)\n",
-        prepared.train.len(),
-        prepared.test.len(),
+        prepared.train().len(),
+        prepared.test().len(),
         prepared.n_poison
     );
 
@@ -46,9 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
     let clean = filter_train_eval(
-        &prepared.train,
+        prepared.train(),
         &[],
-        &prepared.test,
+        prepared.test(),
         FilterStrength::RemoveFraction(0.0),
         &config,
     )?;

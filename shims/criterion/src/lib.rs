@@ -18,21 +18,49 @@ pub use std::hint::black_box;
 /// Top-level harness handle (mirrors `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
+    /// Reads the process arguments like real criterion: `--test` puts
+    /// the harness in smoke mode (each routine runs once, untimed
+    /// semantics) so CI can execute every bench without paying for
+    /// statistics. All other flags are ignored.
     fn default() -> Self {
-        Self { sample_size: 10 }
+        let test_mode = std::env::args().any(|a| a == "--test");
+        if test_mode {
+            println!("criterion shim: --test smoke mode (1 sample per bench)");
+        }
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
     }
 }
 
 impl Criterion {
+    /// Force smoke mode on or off regardless of process arguments.
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// Effective samples per bench (1 in smoke mode).
+    fn effective_samples(&self, requested: usize) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            requested
+        }
+    }
+
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\nbenchmark group: {name}");
         BenchmarkGroup {
             group_name: name.to_string(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -42,7 +70,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.sample_size, &mut f);
+        let samples = self.effective_samples(self.sample_size);
+        run_one(name, samples, &mut f);
         self
     }
 }
@@ -51,15 +80,25 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     group_name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Set the number of timed samples per benchmark.
+    /// Set the number of timed samples per benchmark (ignored in
+    /// `--test` smoke mode, which always runs one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
         self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
     }
 
     /// Benchmark a closure.
@@ -68,7 +107,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{name}", self.group_name);
-        run_one(&full, self.sample_size, &mut f);
+        run_one(&full, self.effective_samples(), &mut f);
         self
     }
 
@@ -83,7 +122,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.group_name, id.id);
-        run_one(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        run_one(&full, self.effective_samples(), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
         self
     }
 
@@ -197,7 +238,9 @@ mod tests {
 
     #[test]
     fn bench_function_collects_samples() {
-        let mut c = Criterion::default();
+        // Pin smoke mode off: the surrounding test harness may itself
+        // have been invoked with `--test` in its arguments.
+        let mut c = Criterion::default().with_test_mode(false);
         let mut ran = 0usize;
         c.bench_function("noop", |b| {
             b.iter(|| {
@@ -210,7 +253,7 @@ mod tests {
 
     #[test]
     fn group_respects_sample_size() {
-        let mut c = Criterion::default();
+        let mut c = Criterion::default().with_test_mode(false);
         let mut group = c.benchmark_group("g");
         group.sample_size(3);
         let mut ran = 0usize;
@@ -221,6 +264,30 @@ mod tests {
         });
         group.finish();
         assert_eq!(ran, 7 * 4);
+    }
+
+    #[test]
+    fn test_mode_runs_one_sample_and_ignores_sample_size() {
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut ran = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        // one warm-up + exactly one timed call
+        assert_eq!(ran, 2);
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut grouped = 0usize;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                grouped += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(grouped, 2, "sample_size override ignored in smoke mode");
     }
 
     #[test]
