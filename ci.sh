@@ -25,6 +25,34 @@ cargo test -q
 echo "==> cargo run --release --example scenario_matrix"
 cargo run --release --example scenario_matrix
 
+# Server smoke: boot the serve daemon on an ephemeral port, drive a
+# small mixed workload (solve + cell + estimate + stats) through the
+# client, request shutdown, and assert a clean drain-and-exit.
+echo "==> serve smoke (ephemeral port, solve+cell+estimate+stats+shutdown)"
+PORT_FILE=$(mktemp)
+rm -f "$PORT_FILE"
+./target/release/examples/serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "serve never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! ./target/release/examples/load_test --addr "$(cat "$PORT_FILE")" --connections 1 --requests 4 --shutdown; then
+  # Don't orphan the daemon when the client side fails.
+  kill "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  rm -f "$PORT_FILE"
+  echo "serve smoke failed" >&2
+  exit 1
+fi
+wait "$SERVE_PID"   # clean exit after drain, or this fails the gate
+rm -f "$PORT_FILE"
+
 # Bench binaries in --test smoke mode (one sample per bench): keeps
 # every bench compiling AND running without paying for statistics.
 # Scoped to the bench package so the arg reaches only the harness=false

@@ -8,6 +8,15 @@
 //! caching can only remove redundant identical computation, never
 //! change a result.
 //!
+//! Batch sweeps touch a handful of keys and want them all resident, so
+//! [`PrepCache::new`] is unbounded — the historical behavior. A
+//! long-lived server seeing an open-ended stream of configurations
+//! would leak through an unbounded cache, so [`PrepCache::bounded`]
+//! caps the resident set and evicts the least-recently-used entry on
+//! overflow; evictions are reported in [`CacheStats::evictions`].
+//! Eviction only drops the cache's own `Arc` — consumers already
+//! holding the value keep it alive, and a later lookup simply rebuilds.
+//!
 //! # Example
 //!
 //! ```
@@ -30,13 +39,16 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Hit/miss counters of a [`PrepCache`].
+/// Hit/miss/eviction counters of a [`PrepCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to build the value.
     pub misses: u64,
+    /// Entries dropped to respect a bounded cache's capacity (always
+    /// `0` for an unbounded cache).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -51,7 +63,31 @@ impl CacheStats {
     }
 }
 
-/// A concurrent keyed map of `Arc`-shared immutable values.
+/// One resident value plus its recency stamp (larger = used later).
+#[derive(Debug)]
+struct Slot<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// The lock-guarded interior: the keyed slots and the logical clock
+/// that stamps every touch.
+#[derive(Debug)]
+struct Inner<K, V> {
+    slots: HashMap<K, Slot<V>>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash, V> Inner<K, V> {
+    /// Stamp `slot` as the most recently used entry.
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A concurrent keyed map of `Arc`-shared immutable values, optionally
+/// bounded with least-recently-used eviction.
 ///
 /// Keys are compared by full `Eq`, never by hash alone — callers may
 /// use a content-hash *inside* their key's `Hash` impl for speed, but
@@ -67,9 +103,13 @@ impl CacheStats {
 /// key, a duplicated build never changes what consumers observe.
 #[derive(Debug)]
 pub struct PrepCache<K, V> {
-    map: Mutex<HashMap<K, Arc<V>>>,
+    map: Mutex<Inner<K, V>>,
+    /// `None` = unbounded (the batch default); `Some(n)` keeps at most
+    /// `n` resident entries.
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 // Manual impl: a derived `Default` would demand `K: Default` and
@@ -81,19 +121,43 @@ impl<K: Eq + Hash, V> Default for PrepCache<K, V> {
 }
 
 impl<K: Eq + Hash, V> PrepCache<K, V> {
-    /// An empty cache.
+    /// An empty, unbounded cache (the batch-sweep default: a grid's
+    /// handful of keys should all stay resident).
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// An empty cache keeping at most `capacity` resident entries,
+    /// evicting the least-recently-used on overflow. A capacity of `0`
+    /// degenerates to "build every time" (nothing stays resident) —
+    /// still correct, never caching.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The configured bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The value under `key`, building and inserting it with `build`
     /// on a miss. Counts a hit when the value was already present, a
     /// miss when `build` ran (even if another thread's insert won the
-    /// race).
+    /// race). On a bounded cache the least-recently-used entries are
+    /// evicted until the bound holds again.
     ///
     /// # Errors
     ///
@@ -108,23 +172,59 @@ impl<K: Eq + Hash, V> PrepCache<K, V> {
         }
         let built = Arc::new(build()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("cache map poisoned");
+        let mut inner = self.map.lock().expect("cache map poisoned");
+        let stamp = inner.touch();
         // First insert wins so every consumer of the key shares one Arc.
-        Ok(Arc::clone(map.entry(key).or_insert(built)))
+        let value = Arc::clone(
+            &inner
+                .slots
+                .entry(key)
+                .and_modify(|slot| slot.last_used = stamp)
+                .or_insert(Slot {
+                    value: built,
+                    last_used: stamp,
+                })
+                .value,
+        );
+        self.evict_over_capacity(&mut inner);
+        Ok(value)
     }
 
-    /// The value under `key`, if present (does not touch the counters).
+    /// Drop least-recently-used entries until the bound holds. Runs
+    /// under the map lock; the returned `Arc`s consumers already hold
+    /// stay alive regardless.
+    fn evict_over_capacity(&self, inner: &mut Inner<K, V>) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while inner.slots.len() > capacity {
+            // Stamps are unique (one tick per touch), so the oldest
+            // stamp identifies exactly one entry — no key clone needed.
+            let oldest = inner
+                .slots
+                .values()
+                .map(|slot| slot.last_used)
+                .min()
+                .expect("non-empty map above capacity");
+            inner.slots.retain(|_, slot| slot.last_used != oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The value under `key`, if present (refreshes the entry's
+    /// recency but does not touch the hit/miss counters).
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        self.map
-            .lock()
-            .expect("cache map poisoned")
-            .get(key)
-            .map(Arc::clone)
+        let mut inner = self.map.lock().expect("cache map poisoned");
+        let stamp = inner.touch();
+        inner.slots.get_mut(key).map(|slot| {
+            slot.last_used = stamp;
+            Arc::clone(&slot.value)
+        })
     }
 
     /// Number of cached values.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache map poisoned").len()
+        self.map.lock().expect("cache map poisoned").slots.len()
     }
 
     /// True if nothing is cached.
@@ -132,16 +232,18 @@ impl<K: Eq + Hash, V> PrepCache<K, V> {
         self.len() == 0
     }
 
-    /// Drop every cached value (counters are kept).
+    /// Drop every cached value (counters are kept; explicit clears do
+    /// not count as evictions).
     pub fn clear(&self) {
-        self.map.lock().expect("cache map poisoned").clear();
+        self.map.lock().expect("cache map poisoned").slots.clear();
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -211,8 +313,16 @@ mod tests {
             .get_or_try_insert_with::<(), _>(1, || panic!("must not rebuild"))
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.capacity(), None);
     }
 
     #[test]
@@ -249,6 +359,7 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().evictions, 0, "clear is not an eviction");
     }
 
     #[test]
@@ -274,8 +385,58 @@ mod tests {
     #[test]
     fn hit_rate_math() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache: PrepCache<u64, u64> = PrepCache::bounded(2);
+        assert_eq!(cache.capacity(), Some(2));
+        cache.get_or_try_insert_with::<(), _>(1, || Ok(10)).unwrap();
+        cache.get_or_try_insert_with::<(), _>(2, || Ok(20)).unwrap();
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert_eq!(*cache.get(&1).unwrap(), 10);
+        cache.get_or_try_insert_with::<(), _>(3, || Ok(30)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&2).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted key rebuilds on the next lookup — a miss, not an
+        // error.
+        cache.get_or_try_insert_with::<(), _>(2, || Ok(20)).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_held_arcs() {
+        let cache: PrepCache<u64, String> = PrepCache::bounded(1);
+        let held = cache
+            .get_or_try_insert_with::<(), _>(1, || Ok("keep me".to_string()))
+            .unwrap();
+        cache
+            .get_or_try_insert_with::<(), _>(2, || Ok("other".to_string()))
+            .unwrap();
+        assert!(cache.get(&1).is_none(), "evicted from the cache");
+        assert_eq!(*held, "keep me", "consumer's Arc survives eviction");
+    }
+
+    #[test]
+    fn zero_capacity_never_caches_but_stays_correct() {
+        let cache: PrepCache<u64, u64> = PrepCache::bounded(0);
+        for _ in 0..3 {
+            let v = cache.get_or_try_insert_with::<(), _>(7, || Ok(70)).unwrap();
+            assert_eq!(*v, 70);
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().evictions, 3);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! The blocking client library.
+//!
+//! One [`Client`] wraps one connection. The simple surface is the
+//! typed calls ([`Client::cell`], [`Client::solve`], …), each a
+//! send-and-wait round trip. For pipelining, [`Client::send`] returns
+//! the request id immediately and [`Client::wait`] collects responses
+//! in any order — the server may answer out of order, and responses
+//! for other in-flight ids are buffered transparently.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use poisongame_serve::client::Client;
+//! use poisongame_serve::protocol::{CellRequest, RequestKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut client = Client::connect("127.0.0.1:7979")?;
+//! // Pipeline two cells, then collect both.
+//! let a = client.send(RequestKind::Cell(CellRequest::default()), None)?;
+//! let b = client.send(RequestKind::Cell(CellRequest::default()), None)?;
+//! let (ra, rb) = (client.wait(a)?, client.wait(b)?);
+//! assert_eq!(ra, rb, "same request, same result");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::ServeError;
+use crate::protocol::{
+    parse_response_line, read_frame, CellRequest, EstimateRequest, Frame, MatrixRequest, Request,
+    RequestKind, ResponseBody, ServerStats, SolveRequest, SolveResult, DEFAULT_MAX_LINE_BYTES,
+};
+use poisongame_sim::estimate::CurveEstimate;
+use poisongame_sim::jsonio::Json;
+use poisongame_sim::scenario::MatrixResults;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a `poisongame-serve` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    /// Responses read while waiting for a different id.
+    pending: HashMap<u64, ResponseBody>,
+    max_line_bytes: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 0,
+            pending: HashMap::new(),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        })
+    }
+
+    /// Override the response-frame byte cap (default
+    /// [`DEFAULT_MAX_LINE_BYTES`]). The server streams results
+    /// whole-frame and does not cap its own responses, so a very large
+    /// `matrix` sweep can exceed the default — raise this to match the
+    /// largest result you expect to read back.
+    pub fn max_line_bytes(mut self, max: usize) -> Client {
+        self.max_line_bytes = max;
+        self
+    }
+
+    /// Send a request without waiting; returns the id to [`wait`] on.
+    /// Ids are assigned sequentially per connection.
+    ///
+    /// [`wait`]: Client::wait
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, kind: RequestKind, deadline_ms: Option<u64>) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            deadline_ms,
+            kind,
+        };
+        self.writer.write_all(request.to_line().as_bytes())?;
+        Ok(id)
+    }
+
+    /// Wait for the response to `id`, buffering responses to other
+    /// in-flight ids along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] for a structured error response,
+    /// [`ServeError::Protocol`] for unparseable or unattributable
+    /// frames, [`ServeError::Io`] for transport failures.
+    pub fn wait(&mut self, id: u64) -> Result<Json, ServeError> {
+        loop {
+            if let Some(body) = self.pending.remove(&id) {
+                return match body {
+                    ResponseBody::Ok(result) => Ok(result),
+                    ResponseBody::Err { code, message } => {
+                        Err(ServeError::Server { code, message })
+                    }
+                };
+            }
+            let line = match read_frame(&mut self.reader, self.max_line_bytes)? {
+                Frame::Line(line) => line,
+                Frame::Eof | Frame::Truncated => {
+                    return Err(ServeError::Protocol(
+                        "connection closed before the response arrived".into(),
+                    ))
+                }
+                Frame::TooLong => {
+                    return Err(ServeError::Protocol("oversized response frame".into()))
+                }
+            };
+            let response = parse_response_line(&line)?;
+            match response.id {
+                Some(rid) => {
+                    self.pending.insert(rid, response.body);
+                }
+                // An unattributable error (the server could not parse
+                // some frame): surface it to whoever is waiting.
+                None => {
+                    return match response.body {
+                        ResponseBody::Ok(_) => {
+                            Err(ServeError::Protocol("ok response without an id".into()))
+                        }
+                        ResponseBody::Err { code, message } => {
+                            Err(ServeError::Server { code, message })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One full round trip: send, then wait.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send`] and [`Client::wait`].
+    pub fn call(
+        &mut self,
+        kind: RequestKind,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ServeError> {
+        let id = self.send(kind, deadline_ms)?;
+        self.wait(id)
+    }
+
+    /// Solve a discretized poisoning game for its equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`], plus result-shape errors.
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<SolveResult, ServeError> {
+        let result = self.call(RequestKind::Solve(request.clone()), None)?;
+        SolveResult::from_json(&result)
+    }
+
+    /// Evaluate one scenario cell (a 1×1×1 matrix: one cell plus the
+    /// shared baseline).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`], plus result-shape errors.
+    pub fn cell(&mut self, request: &CellRequest) -> Result<MatrixResults, ServeError> {
+        let result = self.call(RequestKind::Cell(request.clone()), None)?;
+        MatrixResults::from_json(&result).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+
+    /// Run a scenario-matrix sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`], plus result-shape errors.
+    pub fn matrix(&mut self, request: &MatrixRequest) -> Result<MatrixResults, ServeError> {
+        let result = self.call(RequestKind::Matrix(request.clone()), None)?;
+        MatrixResults::from_json(&result).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+
+    /// Estimate the game curves from sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`], plus result-shape errors.
+    pub fn estimate(&mut self, request: &EstimateRequest) -> Result<CurveEstimate, ServeError> {
+        let result = self.call(RequestKind::Estimate(request.clone()), None)?;
+        CurveEstimate::from_json(&result).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+
+    /// Fetch the server's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`], plus result-shape errors.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        let result = self.call(RequestKind::Stats, None)?;
+        ServerStats::from_json(&result)
+    }
+
+    /// Ask the server to drain and exit. Returns once the server acks
+    /// (the drain itself finishes asynchronously; join the server
+    /// handle to wait for it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.call(RequestKind::Shutdown, None).map(|_| ())
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the client and server halves of the service.
+
+use crate::protocol::ErrorCode;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the serving stack.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The transport failed (connect, read, write).
+    Io(io::Error),
+    /// A peer violated the wire protocol (unparseable frame, response
+    /// without an id, result of an unexpected shape).
+    Protocol(String),
+    /// The server answered with a structured error response.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Protocol(message) => write!(f, "protocol: {message}"),
+            ServeError::Server { code, message } => {
+                write!(f, "server error `{}`: {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(_) | ServeError::Server { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ServeError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        let e = ServeError::Server {
+            code: ErrorCode::Busy,
+            message: "queue full".into(),
+        };
+        assert!(e.to_string().contains("busy"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! `poisongame-serve` — the long-running defense-evaluation service.
+//!
+//! Everything the workspace can compute — equilibrium defense
+//! strategies, scenario cells, full attack × defense × learner
+//! matrices, curve estimates — is reachable from the batch binaries;
+//! this crate turns the same machinery into shared, amortized
+//! infrastructure for many concurrent clients:
+//!
+//! * [`protocol`] — the wire format: newline-delimited JSON over TCP,
+//!   request kinds `solve` / `cell` / `matrix` / `estimate` / `stats`
+//!   / `shutdown`, every response tagged with its request id so
+//!   clients can pipeline.
+//! * [`server`] — the multi-threaded server: one process-wide
+//!   [`poisongame_sim::EvalEngine`] with a *bounded* preparation
+//!   cache, an admission layer with a bounded queue and explicit load
+//!   shedding (a structured `busy` error, never a hang), a dispatcher
+//!   that routes every admitted batch through
+//!   [`poisongame_sim::exec::prepare_then_map`] so concurrent
+//!   requests sharing a dataset prepare it once, per-request
+//!   deadlines, and graceful drain on shutdown.
+//! * [`client`] — the blocking client library: typed calls plus raw
+//!   pipelining (`send` ids now, `wait` for them later).
+//!
+//! Determinism is preserved end to end: a request's response is a
+//! pure function of the request document — independent of worker
+//! count, queue order and co-tenant requests — so a `cell` served
+//! concurrently is byte-identical to the batch pipeline (pinned by
+//! `tests/loopback.rs`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use poisongame_serve::client::Client;
+//! use poisongame_serve::protocol::CellRequest;
+//! use poisongame_serve::server::{Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::bind(ServerConfig::default())?;
+//! let addr = server.local_addr()?;
+//! let handle = server.spawn();
+//! let mut client = Client::connect(addr)?;
+//! let results = client.cell(&CellRequest::default())?;
+//! println!("accuracy {:.4}", results.cells[0].outcome.accuracy);
+//! client.shutdown()?;
+//! handle.join()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use protocol::{
+    CellRequest, ErrorCode, EstimateRequest, MatrixRequest, Request, RequestKind, Response,
+    ServerStats, SolveRequest, SolveResult,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

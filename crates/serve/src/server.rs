@@ -1,0 +1,560 @@
+//! The multi-threaded evaluation server.
+//!
+//! Architecture (all `std`, no external runtime):
+//!
+//! * **Connection readers** — one thread per accepted connection
+//!   parses frames and answers `stats`/`shutdown` inline (they stay
+//!   responsive even when evaluation is saturated). Evaluation
+//!   requests go through the admission layer.
+//! * **Admission** — a bounded queue. A full queue sheds the request
+//!   with a structured `busy` error immediately; the server never
+//!   buffers unboundedly and never blocks a reader on evaluation.
+//! * **Dispatcher** — drains the queue in batches and routes each
+//!   batch through [`prepare_then_map`]: distinct dataset preparations
+//!   (keyed like the engine's cache) are computed once per batch and
+//!   answered from the process-wide bounded [`EvalEngine`] store
+//!   across batches, then cells fan out across the worker pool. A
+//!   request's response is written from its evaluation task, so
+//!   cheap requests in a batch complete while expensive ones still
+//!   run.
+//! * **Deadlines** — checked when evaluation is about to start; an
+//!   expired request is answered with a `deadline` error instead of
+//!   being evaluated. Running evaluations are never preempted.
+//! * **Shutdown** — a `shutdown` request is acked, then the server
+//!   stops admitting, finishes every queued request, and `run`
+//!   returns. Responses in flight are delivered before exit.
+//!
+//! Responses are pure functions of their request document: worker
+//! count, queue order and co-tenant requests never change a result
+//! (see `tests/loopback.rs`).
+
+use crate::protocol::{
+    parse_request_line, read_frame, ErrorCode, Frame, Request, RequestKind, Response, ServerStats,
+    SolveRequest, SolveResult, DEFAULT_MAX_LINE_BYTES,
+};
+use poisongame_core::bridge::solve_discretized_with;
+use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
+use poisongame_sim::engine::{config_prep_key, EvalEngine, PrepKey};
+use poisongame_sim::estimate::estimate_curves_prepared;
+use poisongame_sim::exec::prepare_then_map;
+use poisongame_sim::jsonio::Json;
+use poisongame_sim::pipeline::{Prepared, PreparedData};
+use poisongame_sim::scenario::run_matrix_prepared;
+use poisongame_sim::{ExecPolicy, SimError};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (read it back
+    /// via [`Server::local_addr`]).
+    pub addr: String,
+    /// Evaluation worker count — the fan-out width of one admitted
+    /// batch; `0` means one per hardware thread.
+    pub workers: usize,
+    /// Admission queue bound: requests beyond it are shed with a
+    /// structured `busy` error.
+    pub queue_capacity: usize,
+    /// Preparation-cache bound (`None` = unbounded, like the batch
+    /// engine; the default keeps a long-lived process from leaking).
+    pub cache_capacity: Option<usize>,
+    /// Worker threads *inside* one request's evaluation (a matrix's
+    /// cells, never across requests). The default of `1` puts all
+    /// parallelism across requests, which is the right shape for many
+    /// small requests; raise it for few huge matrices.
+    pub eval_threads: usize,
+    /// Per-frame byte cap, requests and responses alike.
+    pub max_line_bytes: usize,
+    /// Deadline applied to requests that carry none (`None` = no
+    /// implicit deadline).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: Some(32),
+            eval_threads: 1,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Monotonic admission/evaluation counters.
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The write half of one connection; workers share it via `Arc` and
+/// serialize whole frames under the lock, so pipelined responses never
+/// interleave.
+#[derive(Debug)]
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, response: &Response) {
+        let line = response.to_line();
+        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        // A vanished client is its own problem; the server keeps going.
+        let _ = stream.write_all(line.as_bytes());
+    }
+}
+
+/// One admitted evaluation request.
+struct Job {
+    request: Request,
+    deadline: Option<Instant>,
+    /// The dataset preparation this request needs (`None` for `solve`,
+    /// which prepares nothing) — precomputed so batch deduplication is
+    /// a hash away.
+    prep_key: Option<PrepKey>,
+    conn: Arc<Conn>,
+}
+
+/// State shared by the acceptor, readers and the dispatcher.
+struct Inner {
+    engine: EvalEngine,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    worker_policy: ExecPolicy,
+    eval_policy: ExecPolicy,
+    workers: usize,
+    max_line_bytes: usize,
+    default_deadline_ms: Option<u64>,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    started: Instant,
+    counters: Counters,
+}
+
+impl Inner {
+    /// Admit a job or answer it with a structured rejection. Admission
+    /// and the shutdown flag are read under the queue lock, so a job
+    /// is either rejected or guaranteed to be drained by the
+    /// dispatcher — never silently dropped.
+    fn admit(&self, job: Job) {
+        let mut queue = self.queue.lock().expect("admission queue poisoned");
+        if self.shutdown.load(Ordering::SeqCst) {
+            let response = Response::err(
+                Some(job.request.id),
+                ErrorCode::ShuttingDown,
+                "server is draining and admits no new work",
+            );
+            drop(queue);
+            job.conn.send(&response);
+        } else if queue.len() >= self.queue_capacity {
+            Counters::bump(&self.counters.shed);
+            let response = Response::err(
+                Some(job.request.id),
+                ErrorCode::Busy,
+                format!("admission queue full ({} queued); retry later", queue.len()),
+            );
+            drop(queue);
+            job.conn.send(&response);
+        } else {
+            queue.push_back(job);
+            self.queue_cv.notify_all();
+        }
+    }
+
+    /// Flip to draining: reject new admissions, wake the dispatcher so
+    /// it can finish the backlog and exit, and unblock the acceptor.
+    fn begin_shutdown(&self) {
+        {
+            let _queue = self.queue.lock().expect("admission queue poisoned");
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.queue_cv.notify_all();
+        // `accept` has no timeout; a loopback touch wakes it so the
+        // acceptor can observe the flag. A wildcard bind (0.0.0.0 /
+        // ::) is not connectable on every platform, so aim the touch
+        // at the loopback of the same family instead.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+
+    fn stats(&self) -> ServerStats {
+        let cache = self.engine.cache_stats();
+        ServerStats {
+            uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            workers: self.workers,
+            queue_capacity: self.queue_capacity,
+            queue_depth: self.queue.lock().expect("admission queue poisoned").len(),
+            received: self.counters.received.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            expired: self.counters.expired.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: self.engine.cached_preparations(),
+            cache_capacity: self.engine.cache_capacity(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Bind the listening socket and build the shared engine. The
+    /// server does not accept connections until [`Server::run`] (or
+    /// [`Server::spawn`]) is called.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let eval_policy = ExecPolicy::with_threads(config.eval_threads);
+        let engine = match config.cache_capacity {
+            Some(capacity) => EvalEngine::with_policy(eval_policy).bound_cache(capacity),
+            None => EvalEngine::with_policy(eval_policy),
+        };
+        let worker_policy = ExecPolicy::with_threads(config.workers);
+        let workers = worker_policy.effective_threads(usize::MAX);
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                engine,
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                queue_capacity: config.queue_capacity,
+                worker_policy,
+                eval_policy,
+                workers,
+                max_line_bytes: config.max_line_bytes,
+                default_deadline_ms: config.default_deadline_ms,
+                shutdown: AtomicBool::new(false),
+                local_addr,
+                started: Instant::now(),
+                counters: Counters::default(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `shutdown` request drains the backlog. Returns
+    /// the final statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal socket errors; per-connection errors only
+    /// close that connection.
+    pub fn run(self) -> io::Result<ServerStats> {
+        let inner = self.inner;
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || dispatch_loop(&inner))
+        };
+        for stream in self.listener.incoming() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Transient accept failure; keep serving.
+                continue;
+            };
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || serve_connection(&inner, stream));
+        }
+        dispatcher
+            .join()
+            .map_err(|_| io::Error::other("dispatcher panicked"))?;
+        Ok(inner.stats())
+    }
+
+    /// [`Server::run`] on a background thread; returns once the
+    /// listener is live.
+    pub fn spawn(self) -> ServerHandle {
+        ServerHandle {
+            thread: thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Handle of a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    thread: JoinHandle<io::Result<ServerStats>>,
+}
+
+impl ServerHandle {
+    /// Wait for the server to drain and exit; returns its final
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's exit error (or a panic as an error).
+    pub fn join(self) -> io::Result<ServerStats> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(write_half),
+    });
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, inner.max_line_bytes) {
+            Err(_) | Ok(Frame::Eof) => break,
+            Ok(Frame::TooLong) => {
+                // Framing is lost beyond the cap: answer, then close.
+                conn.send(&Response::err(
+                    None,
+                    ErrorCode::LineTooLong,
+                    format!("frame exceeds the {} byte cap", inner.max_line_bytes),
+                ));
+                break;
+            }
+            Ok(Frame::Truncated) => {
+                conn.send(&Response::err(
+                    None,
+                    ErrorCode::BadRequest,
+                    "truncated frame: stream ended before the terminating newline",
+                ));
+                break;
+            }
+            Ok(Frame::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(inner, &conn, &line);
+            }
+        }
+    }
+}
+
+fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
+    let request = match parse_request_line(line) {
+        Err(e) => {
+            conn.send(&Response::err(e.id, e.code, e.message));
+            return;
+        }
+        Ok(request) => request,
+    };
+    Counters::bump(&inner.counters.received);
+    match &request.kind {
+        // Control-plane requests bypass the queue: they stay
+        // responsive even when evaluation is saturated.
+        RequestKind::Stats => conn.send(&Response::ok(request.id, inner.stats().to_json())),
+        RequestKind::Shutdown => {
+            conn.send(&Response::ok(
+                request.id,
+                Json::obj(vec![("draining", Json::Bool(true))]),
+            ));
+            inner.begin_shutdown();
+        }
+        _ => {
+            let deadline = request
+                .deadline_ms
+                .or(inner.default_deadline_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let prep_key = prep_key_of(&request);
+            inner.admit(Job {
+                request,
+                deadline,
+                prep_key,
+                conn: Arc::clone(conn),
+            });
+        }
+    }
+}
+
+/// The dataset preparation a request depends on (`None` for `solve`).
+fn prep_key_of(request: &Request) -> Option<PrepKey> {
+    match &request.kind {
+        RequestKind::Cell(req) => Some(config_prep_key(&req.config)),
+        RequestKind::Matrix(req) => Some(config_prep_key(&req.config)),
+        RequestKind::Estimate(req) => Some(config_prep_key(&req.config)),
+        RequestKind::Solve(_) | RequestKind::Stats | RequestKind::Shutdown => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// A batch's phase-1 product per job: nothing for `solve`, the shared
+/// (or failed) preparation otherwise.
+type BatchPrep = Option<Result<Arc<PreparedData>, SimError>>;
+
+fn dispatch_loop(inner: &Arc<Inner>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = inner.queue.lock().expect("admission queue poisoned");
+            loop {
+                if !queue.is_empty() {
+                    break queue.drain(..).collect();
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .expect("admission queue poisoned");
+            }
+        };
+        process_batch(inner, batch);
+    }
+}
+
+/// Route one admitted batch through the two-phase task graph: distinct
+/// preparations once (answered from the engine's store when warm),
+/// then every job evaluated across the worker pool, each writing its
+/// own response as it finishes.
+///
+/// Jobs whose deadline already expired while queued are rejected up
+/// front — before phase 1 — so a dead request never pays for (or
+/// pollutes the bounded cache with) a dataset preparation.
+fn process_batch(inner: &Inner, batch: Vec<Job>) {
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = batch
+        .into_iter()
+        .partition(|job| job.deadline.map_or(true, |deadline| now <= deadline));
+    for job in &expired {
+        Counters::bump(&inner.counters.expired);
+        job.conn.send(&Response::err(
+            Some(job.request.id),
+            ErrorCode::Deadline,
+            "deadline expired before evaluation started",
+        ));
+    }
+    let outcome: Result<Vec<()>, ()> = prepare_then_map(
+        &inner.worker_policy,
+        &live,
+        |job| job.prep_key.clone(),
+        |key: &Option<PrepKey>| Ok(key.as_ref().map(|k| inner.engine.prepare_shared(k))),
+        |_, job, prep: &BatchPrep| {
+            job.conn.send(&execute(inner, job, prep));
+            Ok(())
+        },
+    );
+    debug_assert!(outcome.is_ok(), "batch closures are infallible");
+}
+
+/// Evaluate one job into its response (deadline gate first).
+fn execute(inner: &Inner, job: &Job, prep: &BatchPrep) -> Response {
+    let id = job.request.id;
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            Counters::bump(&inner.counters.expired);
+            return Response::err(
+                Some(id),
+                ErrorCode::Deadline,
+                "deadline expired before evaluation started",
+            );
+        }
+    }
+    let shared = || -> Result<Arc<PreparedData>, SimError> {
+        match prep {
+            Some(Ok(data)) => Ok(Arc::clone(data)),
+            Some(Err(e)) => Err(e.clone()),
+            None => Err(SimError::Spec(
+                "internal: evaluation request without a preparation".into(),
+            )),
+        }
+    };
+    let result: Result<Json, SimError> = match &job.request.kind {
+        RequestKind::Solve(req) => run_solve(req),
+        RequestKind::Cell(req) => shared().and_then(|data| {
+            let prepared = Prepared::from_shared(data, &req.config)?;
+            run_matrix_prepared(&prepared, &req.config, &req.as_matrix(), &inner.eval_policy)
+                .map(|results| results.to_json())
+        }),
+        RequestKind::Matrix(req) => shared().and_then(|data| {
+            let prepared = Prepared::from_shared(data, &req.config)?;
+            run_matrix_prepared(&prepared, &req.config, &req.matrix, &inner.eval_policy)
+                .map(|results| results.to_json())
+        }),
+        RequestKind::Estimate(req) => shared().and_then(|data| {
+            let prepared = Prepared::from_shared(data, &req.config)?;
+            estimate_curves_prepared(&prepared, &req.config, &req.placements, &req.strengths)
+                .map(|estimate| estimate.to_json())
+        }),
+        RequestKind::Stats | RequestKind::Shutdown => {
+            // Handled inline by the reader; nothing enqueues these.
+            Err(SimError::Spec("internal: control request in queue".into()))
+        }
+    };
+    match result {
+        Ok(json) => {
+            Counters::bump(&inner.counters.completed);
+            Response::ok(id, json)
+        }
+        Err(e) => {
+            Counters::bump(&inner.counters.failed);
+            Response::err(Some(id), ErrorCode::EvalFailed, e.to_string())
+        }
+    }
+}
+
+/// Execute a `solve`: fit the shipped curve samples, assemble the
+/// game, solve the discretization with the requested solver.
+fn run_solve(req: &SolveRequest) -> Result<Json, SimError> {
+    let effect = EffectCurve::from_samples(&req.effect_samples)?;
+    let cost = CostCurve::from_samples(&req.cost_samples)?;
+    let game = PoisonGame::new(effect, cost, req.n_points)?;
+    let solution = solve_discretized_with(&game, req.resolution, req.solver)?;
+    Ok(SolveResult {
+        value: solution.value,
+        solver: solution.solver.clone(),
+        defender_support: solution.defender_strategy.support().to_vec(),
+        defender_probabilities: solution.defender_strategy.probabilities().to_vec(),
+        attacker_support: solution.attacker_support.clone(),
+    }
+    .to_json())
+}

@@ -1,0 +1,296 @@
+//! Loopback integration tests: a real server on an ephemeral port,
+//! real clients, and the central guarantee — served results are
+//! byte-identical to the batch pipeline, independent of worker count,
+//! request ordering and co-tenant traffic.
+
+use poisongame_serve::client::Client;
+use poisongame_serve::protocol::{CellRequest, EstimateRequest, RequestKind, SolveRequest};
+use poisongame_serve::server::{Server, ServerConfig};
+use poisongame_serve::ErrorCode;
+use poisongame_serve::ServeError;
+use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
+use poisongame_sim::scenario::{run_matrix, DefenseSpec, LearnerSpec, Scenario};
+use std::net::SocketAddr;
+
+/// Small-but-real experiment config: the synthetic-Spambase geometry
+/// the attack is calibrated for, at test-suite scale.
+fn quick_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        source: DataSource::SyntheticSpambase { rows: 300 },
+        epochs: 20,
+        ..ExperimentConfig::paper()
+    }
+}
+
+fn quick_cell(seed: u64, scenario: Scenario) -> CellRequest {
+    CellRequest {
+        config: quick_config(seed),
+        scenario,
+        ..CellRequest::default()
+    }
+}
+
+fn spawn_server(config: ServerConfig) -> (SocketAddr, poisongame_serve::ServerHandle) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    (addr, server.spawn())
+}
+
+#[test]
+fn concurrent_cells_are_byte_identical_to_the_batch_pipeline() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+
+    // Three distinct cells; every client requests all of them.
+    let cells: Vec<CellRequest> = vec![
+        quick_cell(11, Scenario::paper()),
+        quick_cell(12, Scenario::paper()),
+        quick_cell(
+            11,
+            Scenario::builder()
+                .defense(DefenseSpec::Knn { k: 5 })
+                .learner(LearnerSpec::LogReg)
+                .build(),
+        ),
+    ];
+
+    // The ground truth: the batch pipeline, run locally.
+    let expected: Vec<String> = cells
+        .iter()
+        .map(|cell| {
+            run_matrix(&cell.config, &cell.as_matrix())
+                .expect("batch matrix")
+                .to_json_string()
+        })
+        .collect();
+
+    // Four concurrent clients, each pipelining all three cells.
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let cells = cells.clone();
+        threads.push(std::thread::spawn(move || -> Vec<String> {
+            let mut client = Client::connect(addr).expect("connect");
+            let ids: Vec<u64> = cells
+                .iter()
+                .map(|cell| {
+                    client
+                        .send(RequestKind::Cell(cell.clone()), None)
+                        .expect("send")
+                })
+                .collect();
+            ids.iter()
+                .map(|&id| client.wait(id).expect("response").render())
+                .collect()
+        }));
+    }
+    for thread in threads {
+        let got = thread.join().expect("client thread");
+        assert_eq!(
+            got, expected,
+            "served cells must be byte-identical to the batch pipeline"
+        );
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.completed, 12, "4 clients × 3 cells");
+    assert_eq!(stats.shed, 0);
+    assert!(
+        stats.cache_misses >= 2 && stats.cache_entries >= 2,
+        "two distinct preparations behind 12 requests: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn results_are_deterministic_across_worker_counts_and_orderings() {
+    // The same request set against a 1-worker and a 4-worker server,
+    // sent in opposite orders — every response must be bit-identical.
+    let requests: Vec<RequestKind> = vec![
+        RequestKind::Cell(quick_cell(7, Scenario::paper())),
+        RequestKind::Estimate(EstimateRequest {
+            config: quick_config(7),
+            placements: vec![0.05, 0.2],
+            strengths: vec![0.0, 0.2],
+        }),
+        RequestKind::Solve(SolveRequest {
+            effect_samples: vec![(0.0, 2.0e-4), (0.2, 4.0e-5), (0.45, -1.0e-6)],
+            cost_samples: vec![(0.0, 0.0), (0.2, 0.022), (0.4, 0.065)],
+            n_points: 644,
+            resolution: 40,
+            ..SolveRequest::default()
+        }),
+        RequestKind::Cell(quick_cell(8, Scenario::paper())),
+    ];
+
+    let mut renders: Vec<Vec<String>> = Vec::new();
+    for workers in [1, 4] {
+        let (addr, handle) = spawn_server(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        });
+        for reverse in [false, true] {
+            let mut client = Client::connect(addr).expect("connect");
+            let order: Vec<usize> = if reverse {
+                (0..requests.len()).rev().collect()
+            } else {
+                (0..requests.len()).collect()
+            };
+            // Pipeline in the chosen order, collect back in canonical
+            // order.
+            let mut ids = vec![0u64; requests.len()];
+            for &i in &order {
+                ids[i] = client.send(requests[i].clone(), None).expect("send");
+            }
+            renders.push(
+                ids.iter()
+                    .map(|&id| client.wait(id).expect("response").render())
+                    .collect(),
+            );
+        }
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exit");
+    }
+    for run in &renders[1..] {
+        assert_eq!(
+            run, &renders[0],
+            "responses must not depend on worker count or request order"
+        );
+    }
+}
+
+#[test]
+fn zero_capacity_queue_sheds_with_structured_busy() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .cell(&quick_cell(1, Scenario::paper()))
+        .expect_err("must be shed");
+    match err {
+        ServeError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::Busy);
+            assert!(message.contains("queue full"), "{message}");
+        }
+        other => panic!("expected busy, got {other}"),
+    }
+    // Control plane still answers while evaluation is saturated.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.completed, 0);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn expired_deadline_is_a_structured_error() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let id = client
+        .send(RequestKind::Cell(quick_cell(1, Scenario::paper())), Some(0))
+        .expect("send");
+    match client.wait(id).expect_err("deadline must expire") {
+        ServeError::Server { code, .. } => assert_eq!(code, ErrorCode::Deadline),
+        other => panic!("expected deadline, got {other}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.expired, 1);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn shutdown_drains_admitted_work_and_rejects_new() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    // Pipeline a few cells, then immediately ask for shutdown.
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            client
+                .send(
+                    RequestKind::Cell(quick_cell(30 + i, Scenario::paper())),
+                    None,
+                )
+                .expect("send")
+        })
+        .collect();
+    client.shutdown().expect("shutdown ack");
+    // Everything admitted before the shutdown is still answered.
+    for id in ids {
+        client.wait(id).expect("drained response");
+    }
+    // New work after the drain began is refused with a structured
+    // error (the server may already have exited; a closed connection
+    // is equally acceptable).
+    match client.cell(&quick_cell(99, Scenario::paper())) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        Err(_) => {} // a closed connection is equally acceptable
+        Ok(_) => panic!("request after shutdown must not be evaluated"),
+    }
+    let stats = handle.join().expect("server exit");
+    assert_eq!(stats.completed, 3, "all admitted work drained");
+}
+
+#[test]
+fn estimate_and_solve_match_local_computation() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let est_req = EstimateRequest {
+        config: quick_config(42),
+        placements: vec![0.05, 0.2],
+        strengths: vec![0.0, 0.2],
+    };
+    let served = client.estimate(&est_req).expect("estimate");
+    let local = poisongame_sim::estimate::estimate_curves(
+        &est_req.config,
+        &est_req.placements,
+        &est_req.strengths,
+    )
+    .expect("local estimate");
+    assert_eq!(served, local, "served estimate equals the batch pipeline");
+
+    let solve_req = SolveRequest {
+        effect_samples: local.effect_samples.clone(),
+        cost_samples: local.cost_samples.clone(),
+        n_points: local.n_poison,
+        resolution: 30,
+        ..SolveRequest::default()
+    };
+    let served = client.solve(&solve_req).expect("solve");
+    let game = local.game().expect("game");
+    let local_solution =
+        poisongame_core::bridge::solve_discretized_with(&game, 30, solve_req.solver)
+            .expect("local solve");
+    assert_eq!(served.value.to_bits(), local_solution.value.to_bits());
+    assert_eq!(served.solver, local_solution.solver);
+    assert_eq!(
+        served.defender_support,
+        local_solution.defender_strategy.support()
+    );
+
+    // An unsatisfiable evaluation surfaces as a structured
+    // `eval_failed`, not a dropped connection.
+    let bad = SolveRequest {
+        // Parses fine, but percentiles beyond 1.0 fail curve fitting.
+        effect_samples: vec![(1.5, 1.0)],
+        ..solve_req
+    };
+    match client.solve(&bad).expect_err("bad curves must fail") {
+        ServeError::Server { code, .. } => assert_eq!(code, ErrorCode::EvalFailed),
+        other => panic!("expected eval_failed, got {other}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}

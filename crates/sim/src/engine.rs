@@ -197,6 +197,23 @@ impl EvalEngine {
         }
     }
 
+    /// Bound the preparation store at `capacity` resident entries with
+    /// least-recently-used eviction (see
+    /// [`poisongame_data::cache::PrepCache::bounded`]). The default is
+    /// unbounded — right for batch sweeps over a handful of sources,
+    /// a leak for a long-lived server seeing an open-ended stream of
+    /// configurations. Replaces the store, so call it at construction
+    /// time.
+    pub fn bound_cache(mut self, capacity: usize) -> Self {
+        self.store = PrepCache::bounded(capacity);
+        self
+    }
+
+    /// The preparation store's bound (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.store.capacity()
+    }
+
     /// Opt in (or out) of warm-started monotone sweeps: cells of
     /// [`EvalEngine::run_fig1`] and the per-row strength axis of
     /// [`EvalEngine::run_table1`] continue training from the
@@ -244,6 +261,21 @@ impl EvalEngine {
             .store
             .get_or_try_insert_with(key.clone(), || key.prepare())?;
         Prepared::from_shared(data, config)
+    }
+
+    /// Phase 1 by explicit key: the cached generate → split → scale
+    /// product for `key`, shared by `Arc`. This is the hook external
+    /// schedulers (the serving dispatcher's
+    /// [`crate::exec::prepare_then_map`] graph) use to dedupe
+    /// preparations across concurrent requests without going through a
+    /// full config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation failures.
+    pub fn prepare_shared(&self, key: &PrepKey) -> Result<Arc<PreparedData>, SimError> {
+        self.store
+            .get_or_try_insert_with(key.clone(), || key.prepare())
     }
 
     /// Phase 1 for a batch, scheduled by
@@ -468,7 +500,14 @@ mod tests {
         let a = engine.prepare(&config).unwrap();
         let b = engine.prepare(&config).unwrap();
         assert!(Arc::ptr_eq(&a.data, &b.data), "second prepare must share");
-        assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            engine.cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(engine.cached_preparations(), 1);
         // Same data key, different budget: shared data, new budget.
         let half = ExperimentConfig {
@@ -554,6 +593,36 @@ mod tests {
             warm.rows[0].accuracy_under_attack.to_bits(),
             cold.rows[0].accuracy_under_attack.to_bits()
         );
+    }
+
+    #[test]
+    fn bounded_engine_evicts_and_reprepares() {
+        // Three distinct keys through a 2-entry store: the oldest is
+        // evicted, and preparing it again is a miss — never an error,
+        // never a changed result.
+        let engine = EvalEngine::new().bound_cache(2);
+        assert_eq!(engine.cache_capacity(), Some(2));
+        let a = engine.prepare(&quick_config(1)).unwrap();
+        engine.prepare(&quick_config(2)).unwrap();
+        engine.prepare(&quick_config(3)).unwrap();
+        assert_eq!(engine.cached_preparations(), 2);
+        assert_eq!(engine.cache_stats().evictions, 1);
+        let again = engine.prepare(&quick_config(1)).unwrap();
+        assert_eq!(engine.cache_stats().misses, 4, "evicted key re-prepares");
+        assert_eq!(*a.data, *again.data, "rebuild is bit-identical");
+        // The unbounded default reports no bound.
+        assert_eq!(EvalEngine::new().cache_capacity(), None);
+    }
+
+    #[test]
+    fn prepare_shared_matches_config_prepare() {
+        let engine = EvalEngine::new();
+        let config = quick_config(21);
+        let by_key = engine.prepare_shared(&config_prep_key(&config)).unwrap();
+        let by_config = engine.prepare(&config).unwrap();
+        assert!(Arc::ptr_eq(&by_key, &by_config.data));
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
     }
 
     #[test]

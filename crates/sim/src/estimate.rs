@@ -11,6 +11,7 @@
 
 use crate::error::SimError;
 use crate::fig1::Fig1Results;
+use crate::jsonio::{self, Json};
 use crate::pipeline::{
     attack_filter_train_eval, filter_train_eval, prepare, ExperimentConfig, Prepared,
 };
@@ -49,6 +50,69 @@ impl CurveEstimate {
             self.cost.clone(),
             self.n_poison,
         )?)
+    }
+
+    /// JSON form: the raw samples plus the shared context. The fitted
+    /// curves are *not* shipped — fitting is a deterministic function
+    /// of the samples, so [`CurveEstimate::from_json`] refits them and
+    /// the round trip is exact.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "effect_samples",
+                jsonio::num_pairs_to_json(&self.effect_samples),
+            ),
+            (
+                "cost_samples",
+                jsonio::num_pairs_to_json(&self.cost_samples),
+            ),
+            ("baseline_accuracy", Json::Num(self.baseline_accuracy)),
+            ("n_poison", Json::Num(self.n_poison as f64)),
+        ])
+    }
+
+    /// Render as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse the JSON form produced by [`CurveEstimate::to_json`],
+    /// refitting both curves from the shipped samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on missing or wrongly-typed fields
+    /// and propagates curve-fitting failures.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
+        jsonio::check_keys(
+            value,
+            "curve estimate",
+            &[
+                "effect_samples",
+                "cost_samples",
+                "baseline_accuracy",
+                "n_poison",
+            ],
+        )?;
+        let field = |key: &str| -> Result<&Json, SimError> {
+            value
+                .get(key)
+                .ok_or_else(|| SimError::Spec(format!("curve estimate needs `{key}`")))
+        };
+        let pairs = |key: &str| jsonio::num_pairs(field(key)?, key);
+        let effect_samples = pairs("effect_samples")?;
+        let cost_samples = pairs("cost_samples")?;
+        Ok(Self {
+            effect: EffectCurve::from_samples(&effect_samples)?,
+            cost: CostCurve::from_samples(&cost_samples)?,
+            effect_samples,
+            cost_samples,
+            baseline_accuracy: jsonio::require_num(
+                field("baseline_accuracy")?,
+                "baseline_accuracy",
+            )?,
+            n_poison: jsonio::require_u64(field("n_poison")?, "n_poison")? as usize,
+        })
     }
 }
 
@@ -230,6 +294,26 @@ mod tests {
         let est = estimate_curves(&quick_config(), &[0.05, 0.2], &[0.0, 0.2]).unwrap();
         let game = est.game().unwrap();
         assert_eq!(game.n_points(), est.n_poison);
+    }
+
+    #[test]
+    fn estimate_json_round_trips_exactly() {
+        let est = estimate_curves(&quick_config(), &[0.05, 0.2], &[0.0, 0.2]).unwrap();
+        let wire = est.to_json_string();
+        let back = CurveEstimate::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        // Refitting from the shipped samples reproduces the curves
+        // exactly (fitting is deterministic), so equality is full.
+        assert_eq!(back, est);
+        assert_eq!(
+            back.effect.eval(0.1).to_bits(),
+            est.effect.eval(0.1).to_bits()
+        );
+        assert!(CurveEstimate::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(CurveEstimate::from_json(
+            &Json::parse(r#"{"effect_samples":[[0,1,2]],"cost_samples":[],"baseline_accuracy":1,"n_poison":1}"#)
+                .unwrap()
+        )
+        .is_err());
     }
 
     #[test]

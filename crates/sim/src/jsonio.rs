@@ -491,6 +491,79 @@ pub fn num_array(value: &Json, key: &str) -> Result<Vec<f64>, SimError> {
         .ok_or_else(|| SimError::Spec(format!("missing numeric array `{key}`")))
 }
 
+/// Render an object document from *borrowed* values, bypassing the
+/// owned [`Json`] tree: for hot paths that wrap a large payload in a
+/// small envelope (a serving response around a multi-megabyte result),
+/// where `Json::obj` would force a deep clone of the payload. Output
+/// is byte-identical to `Json::Obj` of the same fields.
+pub fn render_object(fields: &[(&str, &Json)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(key, &mut out);
+        out.push(':');
+        value.write(&mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Render `(x, y)` sample pairs as `[[x, y], ...]` — the shared wire
+/// shape for curve samples (see [`num_pairs`]).
+pub fn num_pairs_to_json(pairs: &[(f64, f64)]) -> Json {
+    Json::Arr(pairs.iter().map(|&(x, y)| Json::nums(&[x, y])).collect())
+}
+
+/// Read `[[x, y], ...]` sample pairs written by [`num_pairs_to_json`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the value is not an array of
+/// two-number arrays.
+pub fn num_pairs(value: &Json, what: &str) -> Result<Vec<(f64, f64)>, SimError> {
+    value
+        .as_array()
+        .ok_or_else(|| SimError::Spec(format!("`{what}` must be an array of [x, y] pairs")))?
+        .iter()
+        .map(|pair| match pair.as_array() {
+            Some([x, y]) => Ok((require_num(x, what)?, require_num(y, what)?)),
+            _ => Err(SimError::Spec(format!("`{what}` must hold [x, y] pairs"))),
+        })
+        .collect()
+}
+
+/// Render a `u64` that may exceed 2^53: a JSON number while exact, a
+/// decimal string beyond (JSON numbers are `f64` on this wire). The
+/// counterpart of [`big_u64`]; used for seeds and derived cell seeds,
+/// which span the full 64-bit range.
+pub fn big_u64_to_json(value: u64) -> Json {
+    if value <= (1u64 << 53) {
+        Json::Num(value as f64)
+    } else {
+        Json::Str(value.to_string())
+    }
+}
+
+/// Read a `u64` written by [`big_u64_to_json`] (number or decimal
+/// string form).
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when the value is neither an exact
+/// non-negative integer nor a decimal string.
+pub fn big_u64(value: &Json, what: &str) -> Result<u64, SimError> {
+    value
+        .as_u64()
+        .or_else(|| value.as_str().and_then(|s| s.parse().ok()))
+        .ok_or_else(|| {
+            SimError::Spec(format!(
+                "`{what}` must be a non-negative integer (string form for > 2^53)"
+            ))
+        })
+}
+
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for ch in s.chars() {
@@ -604,6 +677,54 @@ mod tests {
             // Still valid JSON; a typed reader sees Null, not a number.
             assert_eq!(Json::parse(&doc).unwrap().get("w"), Some(&Json::Null));
         }
+    }
+
+    #[test]
+    fn render_object_matches_owned_rendering() {
+        let payload = Json::parse(r#"{"cells": [1, 2, {"x": "y\n"}]}"#).unwrap();
+        let borrowed = render_object(&[
+            ("id", &Json::Num(7.0)),
+            ("ok", &Json::Bool(true)),
+            ("result", &payload),
+        ]);
+        let owned = Json::obj(vec![
+            ("id", Json::Num(7.0)),
+            ("ok", Json::Bool(true)),
+            ("result", payload),
+        ])
+        .render();
+        assert_eq!(borrowed, owned);
+        assert_eq!(render_object(&[]), "{}");
+    }
+
+    #[test]
+    fn num_pairs_round_trip_and_reject() {
+        let pairs = vec![(0.0, 2.0e-4), (0.3, -1.5e-5)];
+        let j = num_pairs_to_json(&pairs);
+        assert_eq!(num_pairs(&j, "effect").unwrap(), pairs);
+        assert_eq!(
+            num_pairs(&Json::parse(&j.render()).unwrap(), "effect").unwrap(),
+            pairs
+        );
+        assert!(num_pairs(&Json::Num(1.0), "effect").is_err());
+        assert!(num_pairs(&Json::parse("[[1,2,3]]").unwrap(), "effect").is_err());
+        assert!(num_pairs(&Json::parse("[[1,\"x\"]]").unwrap(), "effect").is_err());
+    }
+
+    #[test]
+    fn big_u64_round_trips_across_the_2_53_boundary() {
+        for v in [0u64, 42, 1 << 53, (1 << 53) + 1, u64::MAX] {
+            let j = big_u64_to_json(v);
+            assert_eq!(big_u64(&j, "seed").unwrap(), v, "{v}");
+            // Also survives an actual wire round-trip.
+            let reparsed = Json::parse(&j.render()).unwrap();
+            assert_eq!(big_u64(&reparsed, "seed").unwrap(), v, "{v}");
+        }
+        assert!(matches!(big_u64_to_json(1 << 53), Json::Num(_)));
+        assert!(matches!(big_u64_to_json((1 << 53) + 1), Json::Str(_)));
+        assert!(big_u64(&Json::Num(-1.0), "seed").is_err());
+        assert!(big_u64(&Json::str("not a number"), "seed").is_err());
+        assert!(big_u64(&Json::Null, "seed").is_err());
     }
 
     #[test]

@@ -165,13 +165,8 @@ impl ExperimentConfig {
     /// number cannot carry them exactly — and
     /// [`ExperimentConfig::from_json`] accepts both forms.
     pub fn to_json(&self) -> Json {
-        let seed = if self.seed <= (1u64 << 53) {
-            Json::Num(self.seed as f64)
-        } else {
-            Json::Str(self.seed.to_string())
-        };
         Json::obj(vec![
-            ("seed", seed),
+            ("seed", jsonio::big_u64_to_json(self.seed)),
             ("source", source_to_json(&self.source)),
             ("test_fraction", Json::Num(self.test_fraction)),
             ("budget_fraction", Json::Num(self.budget_fraction)),
@@ -232,14 +227,7 @@ impl ExperimentConfig {
         if let Some(v) = value.get("seed") {
             // Numbers up to 2^53 are exact; larger seeds arrive as
             // decimal strings (see `to_json`).
-            config.seed = v
-                .as_u64()
-                .or_else(|| v.as_str().and_then(|s| s.parse().ok()))
-                .ok_or_else(|| {
-                    SimError::Spec(
-                        "`seed` must be a non-negative integer (string form for > 2^53)".into(),
-                    )
-                })?;
+            config.seed = jsonio::big_u64(v, "seed")?;
         }
         if let Some(v) = value.get("source") {
             config.source = source_from_json(v)?;
@@ -379,7 +367,11 @@ fn centroid_from_json(value: &Json) -> Result<CentroidEstimator, SimError> {
     }
 }
 
-fn solver_name(solver: SolverKind) -> &'static str {
+/// The stable wire name of a [`SolverKind`] (`"auto"`, `"simplex"`,
+/// `"fictitious_play"`, `"multiplicative_weights"`) — the inverse of
+/// [`solver_from_name`]. Shared by config serialization and the
+/// serving protocol.
+pub fn solver_name(solver: SolverKind) -> &'static str {
     match solver {
         SolverKind::Auto => "auto",
         SolverKind::Simplex => "simplex",
@@ -388,13 +380,24 @@ fn solver_name(solver: SolverKind) -> &'static str {
     }
 }
 
+/// Parse a solver's stable wire name (see [`solver_name`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] for an unknown name.
+pub fn solver_from_name(name: &str) -> Result<SolverKind, SimError> {
+    match name {
+        "auto" => Ok(SolverKind::Auto),
+        "simplex" => Ok(SolverKind::Simplex),
+        "fictitious_play" => Ok(SolverKind::FictitiousPlay),
+        "multiplicative_weights" => Ok(SolverKind::MultiplicativeWeights),
+        other => Err(SimError::Spec(format!("unknown solver `{other}`"))),
+    }
+}
+
 fn solver_from_json(value: &Json) -> Result<SolverKind, SimError> {
     match value.as_str() {
-        Some("auto") => Ok(SolverKind::Auto),
-        Some("simplex") => Ok(SolverKind::Simplex),
-        Some("fictitious_play") => Ok(SolverKind::FictitiousPlay),
-        Some("multiplicative_weights") => Ok(SolverKind::MultiplicativeWeights),
-        Some(other) => Err(SimError::Spec(format!("unknown solver `{other}`"))),
+        Some(name) => solver_from_name(name),
         None => Err(SimError::Spec("solver must be a string".into())),
     }
 }
@@ -526,6 +529,81 @@ pub struct EvalOutcome {
     pub accounting: FilterAccounting,
     /// Fraction of the (poisoned) training set the filter removed.
     pub removed_fraction: f64,
+}
+
+impl EvalOutcome {
+    /// JSON form (all fields explicit; floats round-trip exactly via
+    /// shortest-round-trip formatting). The wire shape the serving
+    /// protocol ships per cell.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("accuracy", Json::Num(self.accuracy)),
+            (
+                "accounting",
+                Json::obj(vec![
+                    (
+                        "poison_removed",
+                        Json::Num(self.accounting.poison_removed as f64),
+                    ),
+                    ("poison_kept", Json::Num(self.accounting.poison_kept as f64)),
+                    (
+                        "genuine_removed",
+                        Json::Num(self.accounting.genuine_removed as f64),
+                    ),
+                    (
+                        "genuine_kept",
+                        Json::Num(self.accounting.genuine_kept as f64),
+                    ),
+                ]),
+            ),
+            ("removed_fraction", Json::Num(self.removed_fraction)),
+        ])
+    }
+
+    /// Parse the JSON form produced by [`EvalOutcome::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on missing or wrongly-typed fields.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
+        jsonio::check_keys(
+            value,
+            "outcome",
+            &["accuracy", "accounting", "removed_fraction"],
+        )?;
+        let field = |key: &str| -> Result<&Json, SimError> {
+            value
+                .get(key)
+                .ok_or_else(|| SimError::Spec(format!("outcome needs `{key}`")))
+        };
+        let accounting = field("accounting")?;
+        jsonio::check_keys(
+            accounting,
+            "accounting",
+            &[
+                "poison_removed",
+                "poison_kept",
+                "genuine_removed",
+                "genuine_kept",
+            ],
+        )?;
+        let count = |key: &str| -> Result<usize, SimError> {
+            let v = accounting
+                .get(key)
+                .ok_or_else(|| SimError::Spec(format!("accounting needs `{key}`")))?;
+            Ok(jsonio::require_u64(v, key)? as usize)
+        };
+        Ok(Self {
+            accuracy: jsonio::require_num(field("accuracy")?, "accuracy")?,
+            accounting: FilterAccounting {
+                poison_removed: count("poison_removed")?,
+                poison_kept: count("poison_kept")?,
+                genuine_removed: count("genuine_removed")?,
+                genuine_kept: count("genuine_kept")?,
+            },
+            removed_fraction: jsonio::require_num(field("removed_fraction")?, "removed_fraction")?,
+        })
+    }
 }
 
 /// Filter a (possibly poisoned) training set, train the configured
@@ -879,6 +957,45 @@ mod tests {
             "deep poison should survive, recall {:.2}",
             out.accounting.poison_recall()
         );
+    }
+
+    #[test]
+    fn eval_outcome_json_round_trips() {
+        let outcome = EvalOutcome {
+            accuracy: 0.8734567891234,
+            accounting: FilterAccounting {
+                poison_removed: 3,
+                poison_kept: 1,
+                genuine_removed: 2,
+                genuine_kept: 100,
+            },
+            removed_fraction: 0.15,
+        };
+        let json = outcome.to_json().render();
+        let back = EvalOutcome::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, outcome);
+        assert_eq!(
+            back.accuracy.to_bits(),
+            outcome.accuracy.to_bits(),
+            "floats survive the wire bit-exactly"
+        );
+        // Missing and unknown fields are structured errors.
+        assert!(EvalOutcome::from_json(&Json::parse("{}").unwrap()).is_err());
+        let extra = Json::parse(r#"{"accuracy":1,"accounting":{},"removed_fraction":0,"x":1}"#);
+        assert!(EvalOutcome::from_json(&extra.unwrap()).is_err());
+    }
+
+    #[test]
+    fn solver_names_round_trip() {
+        for kind in [
+            SolverKind::Auto,
+            SolverKind::Simplex,
+            SolverKind::FictitiousPlay,
+            SolverKind::MultiplicativeWeights,
+        ] {
+            assert_eq!(solver_from_name(solver_name(kind)).unwrap(), kind);
+        }
+        assert!(solver_from_name("gradient_descent").is_err());
     }
 
     #[test]

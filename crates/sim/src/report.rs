@@ -45,13 +45,37 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Render rows as CSV with a header line (no quoting — all cells here
-/// are numeric or simple labels).
+/// Quote a CSV field per RFC 4180 when it contains a separator, a
+/// quote or a line break; plain fields (every numeric cell, today's
+/// spec labels) pass through untouched. Without this, a future spec
+/// name like `trimmed(frac=0.1, k=3)` would silently shear the
+/// scenario-label columns of [`matrix_csv`] apart.
+fn csv_field(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Render rows as CSV with a header line. Fields containing
+/// separators, quotes or line breaks are RFC 4180-quoted; all other
+/// cells (every numeric cell) render byte-identically to the
+/// historical unquoted output.
 pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = headers.join(",");
+    let mut out = headers
+        .iter()
+        .map(|h| csv_field(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
-        out.push_str(&row.join(","));
+        out.push_str(
+            &row.iter()
+                .map(|cell| csv_field(cell))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
     }
     out
@@ -304,6 +328,28 @@ mod tests {
     fn csv_has_header_and_rows() {
         let out = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
         assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_separators_quotes_and_newlines() {
+        let out = render_csv(
+            &["label", "x"],
+            &[
+                vec!["knn(k=5, frac=0.1)".into(), "1".into()],
+                vec!["say \"hi\"".into(), "2".into()],
+                vec!["two\nlines".into(), "3".into()],
+            ],
+        );
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("label,x"));
+        // Comma-bearing label is quoted, so the row still has 2 fields.
+        assert_eq!(lines.next(), Some("\"knn(k=5, frac=0.1)\",1"));
+        // Embedded quotes are doubled per RFC 4180.
+        assert_eq!(lines.next(), Some("\"say \"\"hi\"\"\",2"));
+        // Embedded newline stays inside one quoted field.
+        assert!(out.contains("\"two\nlines\",3\n"));
+        // Plain cells are byte-identical to the historical output.
+        assert_eq!(render_csv(&["a"], &[vec!["0.5".into()]]), "a\n0.5\n");
     }
 
     #[test]

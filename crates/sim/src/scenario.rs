@@ -570,13 +570,22 @@ impl ScenarioMatrix {
     /// Returns [`SimError::Spec`] on syntax errors or malformed specs.
     pub fn from_json_str(text: &str) -> Result<Self, SimError> {
         let value = Json::parse(text).map_err(|e| SimError::Spec(e.to_string()))?;
+        Self::from_json(&value)
+    }
+
+    /// Parse from a JSON value (see [`ScenarioMatrix::from_json_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on malformed specs.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
         if !matches!(value, Json::Obj(_)) {
             return Err(SimError::Spec("matrix must be a JSON object".into()));
         }
         // A typo'd key would silently run at a default parameter —
         // reject unknown keys instead.
         jsonio::check_keys(
-            &value,
+            value,
             "matrix",
             &[
                 "attacks",
@@ -657,6 +666,77 @@ impl EngineStats {
             self.cells as f64 / (self.elapsed_micros as f64 / 1e6)
         }
     }
+
+    /// JSON form. `elapsed_micros` is clamped into `u64` on the wire
+    /// (584 thousand years — nothing real overflows it).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("prep_hits", jsonio::big_u64_to_json(self.prep_hits)),
+            ("prep_misses", jsonio::big_u64_to_json(self.prep_misses)),
+            ("cells", Json::Num(self.cells as f64)),
+            (
+                "elapsed_micros",
+                jsonio::big_u64_to_json(self.elapsed_micros.min(u128::from(u64::MAX)) as u64),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form produced by [`EngineStats::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on missing or wrongly-typed fields.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
+        jsonio::check_keys(
+            value,
+            "engine stats",
+            &["prep_hits", "prep_misses", "cells", "elapsed_micros"],
+        )?;
+        let field = |key: &str| -> Result<u64, SimError> {
+            let v = value
+                .get(key)
+                .ok_or_else(|| SimError::Spec(format!("engine stats need `{key}`")))?;
+            jsonio::big_u64(v, key)
+        };
+        Ok(Self {
+            prep_hits: field("prep_hits")?,
+            prep_misses: field("prep_misses")?,
+            cells: field("cells")? as usize,
+            elapsed_micros: u128::from(field("elapsed_micros")?),
+        })
+    }
+}
+
+impl MatrixCell {
+    /// JSON form: the scenario triple, the derived cell seed (decimal
+    /// string beyond 2^53 — cell seeds span the full 64-bit range) and
+    /// the evaluation outcome.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", self.scenario.to_json()),
+            ("cell_seed", jsonio::big_u64_to_json(self.cell_seed)),
+            ("outcome", self.outcome.to_json()),
+        ])
+    }
+
+    /// Parse the JSON form produced by [`MatrixCell::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on missing or wrongly-typed fields.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
+        jsonio::check_keys(value, "cell", &["scenario", "cell_seed", "outcome"])?;
+        let field = |key: &str| -> Result<&Json, SimError> {
+            value
+                .get(key)
+                .ok_or_else(|| SimError::Spec(format!("cell needs `{key}`")))
+        };
+        Ok(Self {
+            scenario: Scenario::from_json(field("scenario")?)?,
+            cell_seed: jsonio::big_u64(field("cell_seed")?, "cell_seed")?,
+            outcome: EvalOutcome::from_json(field("outcome")?)?,
+        })
+    }
 }
 
 /// All matrix cells in grid order, plus shared context.
@@ -690,6 +770,75 @@ impl PartialEq for MatrixResults {
 }
 
 impl MatrixResults {
+    /// JSON form: cells in grid order plus the shared context — the
+    /// wire shape the serving protocol returns for `cell` and `matrix`
+    /// requests. The optional `engine` stats block is included when
+    /// present (remember equality ignores it).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(MatrixCell::to_json).collect()),
+            ),
+            ("baseline_accuracy", Json::Num(self.baseline_accuracy)),
+            ("n_poison", Json::Num(self.n_poison as f64)),
+            ("strength", Json::Num(self.strength)),
+        ];
+        if let Some(stats) = &self.engine {
+            fields.push(("engine", stats.to_json()));
+        }
+        Json::obj(fields)
+    }
+
+    /// Render as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse the JSON form produced by [`MatrixResults::to_json`] (an
+    /// absent `engine` block parses to `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on missing or wrongly-typed fields.
+    pub fn from_json(value: &Json) -> Result<Self, SimError> {
+        jsonio::check_keys(
+            value,
+            "matrix results",
+            &[
+                "cells",
+                "baseline_accuracy",
+                "n_poison",
+                "strength",
+                "engine",
+            ],
+        )?;
+        let field = |key: &str| -> Result<&Json, SimError> {
+            value
+                .get(key)
+                .ok_or_else(|| SimError::Spec(format!("matrix results need `{key}`")))
+        };
+        let cells = field("cells")?
+            .as_array()
+            .ok_or_else(|| SimError::Spec("`cells` must be an array".into()))?
+            .iter()
+            .map(MatrixCell::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            cells,
+            baseline_accuracy: jsonio::require_num(
+                field("baseline_accuracy")?,
+                "baseline_accuracy",
+            )?,
+            n_poison: jsonio::require_u64(field("n_poison")?, "n_poison")? as usize,
+            strength: jsonio::require_num(field("strength")?, "strength")?,
+            engine: value
+                .get("engine")
+                .map(EngineStats::from_json)
+                .transpose()?,
+        })
+    }
+
     /// Cells ranked by accuracy under attack, best first (ties keep
     /// grid order).
     pub fn ranked(&self) -> Vec<&MatrixCell> {
@@ -967,6 +1116,45 @@ mod tests {
         for pair in ranked.windows(2) {
             assert!(pair[0].outcome.accuracy >= pair[1].outcome.accuracy);
         }
+    }
+
+    #[test]
+    fn matrix_results_json_round_trips_bit_exactly() {
+        let config = quick_config();
+        let matrix = ScenarioMatrix {
+            attacks: vec![AttackSpec::Boundary, AttackSpec::LabelFlip],
+            defenses: vec![DefenseSpec::Knn { k: 5 }],
+            learners: vec![LearnerSpec::Svm],
+            ..ScenarioMatrix::default()
+        };
+        let mut results = run_matrix(&config, &matrix).unwrap();
+        results.engine = Some(EngineStats {
+            prep_hits: 1,
+            prep_misses: 2,
+            cells: 2,
+            elapsed_micros: 123_456,
+        });
+        let wire = results.to_json_string();
+        let back = MatrixResults::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, results);
+        assert_eq!(back.engine, results.engine);
+        for (a, b) in back.cells.iter().zip(&results.cells) {
+            assert_eq!(
+                a.outcome.accuracy.to_bits(),
+                b.outcome.accuracy.to_bits(),
+                "accuracies must survive the wire bit-exactly"
+            );
+            assert_eq!(a.cell_seed, b.cell_seed);
+        }
+        // Without an engine block the field is absent, and parses back
+        // to None.
+        results.engine = None;
+        let wire = results.to_json_string();
+        assert!(!wire.contains("engine"));
+        assert!(MatrixResults::from_json(&Json::parse(&wire).unwrap())
+            .unwrap()
+            .engine
+            .is_none());
     }
 
     #[test]

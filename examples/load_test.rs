@@ -1,0 +1,230 @@
+//! Closed-loop load generator for `poisongame-serve`: N connections ×
+//! M requests of a mixed workload (`cell`, `solve`, `estimate`),
+//! verifying zero dropped and zero mismatched responses, and
+//! reporting latency percentiles plus the server's cache hit rate.
+//!
+//! Every connection issues the *same* deterministic request sequence,
+//! so response `i` must be byte-identical across connections — any
+//! divergence is a determinism bug and fails the run.
+//!
+//! ```sh
+//! cargo run --release --example load_test                     # in-process server, 4×25
+//! cargo run --release --example load_test -- --addr 127.0.0.1:7979 \
+//!     --connections 4 --requests 25 --shutdown
+//! ```
+//!
+//! Options: `--addr HOST:PORT` (absent: spawn an in-process server on
+//! an ephemeral port), `--connections N`, `--requests M`,
+//! `--shutdown` (ask the server to drain at the end; implied for the
+//! in-process server).
+
+use poisongame::serve::client::Client;
+use poisongame::serve::protocol::{CellRequest, EstimateRequest, RequestKind, SolveRequest};
+use poisongame::serve::server::{Server, ServerConfig};
+use poisongame::sim::pipeline::{DataSource, ExperimentConfig};
+use poisongame::sim::scenario::{DefenseSpec, LearnerSpec, Scenario};
+use std::time::Instant;
+
+fn quick_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        source: DataSource::SyntheticSpambase { rows: 300 },
+        epochs: 20,
+        ..ExperimentConfig::paper()
+    }
+}
+
+/// The deterministic mixed workload: request `i` is the same on every
+/// connection. Seeds cycle over a handful of values so the shared
+/// preparation cache sees both misses and hits.
+fn request_for(i: usize) -> RequestKind {
+    let seed = 100 + (i as u64 % 5);
+    match i % 4 {
+        0 => RequestKind::Cell(CellRequest {
+            config: quick_config(seed),
+            ..CellRequest::default()
+        }),
+        1 => RequestKind::Solve(SolveRequest {
+            effect_samples: vec![(0.0, 2.0e-4), (0.1, 9.0e-5), (0.3, 1.5e-5), (0.45, -1.0e-6)],
+            cost_samples: vec![(0.0, 0.0), (0.1, 0.009), (0.3, 0.04)],
+            n_points: 644,
+            resolution: 40,
+            ..SolveRequest::default()
+        }),
+        2 => RequestKind::Estimate(EstimateRequest {
+            config: quick_config(seed),
+            placements: vec![0.05, 0.2],
+            strengths: vec![0.0, 0.2],
+        }),
+        _ => RequestKind::Cell(CellRequest {
+            config: quick_config(seed),
+            scenario: Scenario::builder()
+                .defense(DefenseSpec::Knn { k: 5 })
+                .learner(LearnerSpec::LogReg)
+                .build(),
+            ..CellRequest::default()
+        }),
+    }
+}
+
+fn percentile(sorted_micros: &[u128], p: f64) -> u128 {
+    let index = ((sorted_micros.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_micros[index]
+}
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    requests: usize,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        addr: None,
+        connections: 4,
+        requests: 25,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("`{what}` needs a value"));
+        match flag.as_str() {
+            "--addr" => out.addr = Some(value("--addr")?),
+            "--connections" => {
+                out.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
+            }
+            "--requests" => {
+                out.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--shutdown" => out.shutdown = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if out.connections == 0 || out.requests == 0 {
+        return Err("--connections and --requests must both be at least 1".into());
+    }
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| {
+        eprintln!("usage error: {e} (see the doc comment at the top of examples/load_test.rs)");
+        e
+    })?;
+
+    // No --addr: bring up an in-process server on an ephemeral port.
+    let (addr, in_process) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(ServerConfig::default())?;
+            let addr = server.local_addr()?.to_string();
+            println!("spawned in-process server on {addr}");
+            (addr, Some(server.spawn()))
+        }
+    };
+
+    println!(
+        "load test: {} connections × {} requests (closed loop) against {addr}\n",
+        args.connections, args.requests
+    );
+    let started = Instant::now();
+
+    // One closed-loop client per connection: send, wait, repeat.
+    let mut threads = Vec::new();
+    for _ in 0..args.connections {
+        let addr = addr.clone();
+        let requests = args.requests;
+        threads.push(std::thread::spawn(
+            move || -> Result<(Vec<String>, Vec<u128>), String> {
+                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let mut results = Vec::with_capacity(requests);
+                let mut latencies = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let t0 = Instant::now();
+                    let result = client
+                        .call(request_for(i), None)
+                        .map_err(|e| format!("request {i}: {e}"))?;
+                    latencies.push(t0.elapsed().as_micros());
+                    results.push(result.render());
+                }
+                Ok((results, latencies))
+            },
+        ));
+    }
+
+    let mut per_connection: Vec<Vec<String>> = Vec::new();
+    let mut all_latencies: Vec<u128> = Vec::new();
+    for (c, thread) in threads.into_iter().enumerate() {
+        let (results, latencies) = thread
+            .join()
+            .map_err(|_| "client thread panicked")?
+            .map_err(|e| format!("connection {c}: {e}"))?;
+        per_connection.push(results);
+        all_latencies.extend(latencies);
+    }
+    let elapsed = started.elapsed();
+
+    // Zero dropped: every connection produced every response.
+    let total = args.connections * args.requests;
+    assert_eq!(all_latencies.len(), total, "dropped responses");
+    // Zero mismatched: response i is byte-identical across connections.
+    let mut mismatches = 0usize;
+    for i in 0..args.requests {
+        if !per_connection
+            .iter()
+            .all(|results| results[i] == per_connection[0][i])
+        {
+            mismatches += 1;
+            eprintln!("MISMATCH on request {i}");
+        }
+    }
+
+    all_latencies.sort_unstable();
+    println!(
+        "completed {total} requests in {:.2}s",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  throughput: {:.1} req/s | latency p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        total as f64 / elapsed.as_secs_f64(),
+        percentile(&all_latencies, 50.0) as f64 / 1000.0,
+        percentile(&all_latencies, 99.0) as f64 / 1000.0,
+        all_latencies[all_latencies.len() - 1] as f64 / 1000.0,
+    );
+
+    // Server-side view: cache traffic and admission counters.
+    let mut client = Client::connect(&addr)?;
+    let stats = client.stats()?;
+    println!(
+        "  server: received {} | completed {} | shed {} | expired {} | failed {}",
+        stats.received, stats.completed, stats.shed, stats.expired, stats.failed
+    );
+    println!(
+        "  prep cache: {:.0}% hit rate ({} hits / {} misses / {} evictions, {} resident, bound {})",
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_entries,
+        stats
+            .cache_capacity
+            .map_or("none".to_string(), |c| c.to_string()),
+    );
+    if args.shutdown || in_process.is_some() {
+        client.shutdown()?;
+        println!("  shutdown requested; server draining");
+    }
+    if let Some(handle) = in_process {
+        handle.join()?;
+        println!("  in-process server exited cleanly");
+    }
+
+    assert_eq!(mismatches, 0, "{mismatches} mismatched responses");
+    println!("\nzero dropped, zero mismatched responses — OK");
+    Ok(())
+}
