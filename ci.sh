@@ -53,6 +53,14 @@ fi
 wait "$SERVE_PID"   # clean exit after drain, or this fails the gate
 rm -f "$PORT_FILE"
 
+# Online-play smoke: short-horizon repeated game on the discretized
+# paper game plus the empirical engine-backed mode. The example
+# asserts regret shrinks, the averaged value lands within 1e-2 of the
+# static NE, and payoff queries hit the prep cache — a regression in
+# any of those fails the gate.
+echo "==> cargo run --release --example online_play"
+cargo run --release --example online_play
+
 # Bench binaries in --test smoke mode (one sample per bench): keeps
 # every bench compiling AND running without paying for statistics.
 # Scoped to the bench package so the arg reaches only the harness=false

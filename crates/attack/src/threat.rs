@@ -40,8 +40,8 @@ impl ThreatModel {
     }
 
     /// A validated threat model: the budget fraction is checked once
-    /// here instead of on every budget query (the historical
-    /// [`ThreatModel::poison_count`] re-validated per call).
+    /// here instead of on every budget query (the removed historical
+    /// `poison_count` re-validated per call).
     ///
     /// # Errors
     ///
@@ -74,21 +74,6 @@ impl ThreatModel {
             self.budget_fraction.clamp(0.0, 1.0)
         };
         (clean_len as f64 * fraction).round() as usize
-    }
-
-    /// Number of poison points, re-validating the fraction on every
-    /// call.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AttackError::BadParameter`] for a fraction outside
-    /// `[0, 1]`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "validate once via `ThreatModel::new` and use `budget_points`"
-    )]
-    pub fn poison_count(&self, clean_len: usize) -> Result<usize, AttackError> {
-        Self::new(self.budget_fraction, self.knowledge).map(|t| t.budget_points(clean_len))
     }
 }
 
@@ -134,16 +119,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_per_call_path_still_works() {
-        // The old fallible API keeps its contract: same counts on
-        // valid fractions, same error on invalid ones.
-        let t = ThreatModel::paper();
-        assert_eq!(t.poison_count(3220).unwrap(), 644);
-        let bad = ThreatModel {
-            budget_fraction: 1.5,
-            knowledge: Knowledge::Full,
-        };
-        assert!(bad.poison_count(10).is_err());
+    fn tampered_fractions_are_clamped_not_trusted() {
+        // The fields are public: a fraction mutated past validation is
+        // clamped by `budget_points` instead of producing a bogus
+        // budget (the contract the removed per-call `poison_count`
+        // used to enforce with an error).
+        let mut t = ThreatModel::paper();
+        t.budget_fraction = 1.5;
+        assert_eq!(t.budget_points(10), 10);
+        t.budget_fraction = f64::NAN;
+        assert_eq!(t.budget_points(10), 0);
     }
 }

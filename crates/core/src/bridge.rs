@@ -60,6 +60,18 @@ pub fn to_matrix_game(game: &PoisonGame, grid: &[f64]) -> MatrixGame {
     })
 }
 
+/// Discretize the continuous game onto the standard percentile grid:
+/// `(grid, matrix game)`. The convenience entry repeated-game
+/// simulation (`poisongame-online`) and the solve service share with
+/// the cross-check path below — both players' action `k` is the grid
+/// percentile `grid[k]`, with the attacker's extra final row the
+/// abstain action.
+pub fn discretized_game(game: &PoisonGame, resolution: usize) -> (Vec<f64>, MatrixGame) {
+    let grid = percentile_grid(resolution);
+    let matrix = to_matrix_game(game, &grid);
+    (grid, matrix)
+}
+
 /// Solve the discretized game exactly by LP.
 ///
 /// Shorthand for [`solve_discretized_with`] using
@@ -160,8 +172,7 @@ fn solve_discretized_inner(
     kind: SolverKind,
     coarse: bool,
 ) -> Result<DiscretizedSolution, CoreError> {
-    let grid = percentile_grid(resolution);
-    let matrix = to_matrix_game(game, &grid);
+    let (grid, matrix) = discretized_game(game, resolution);
     let solver = if coarse {
         kind.instantiate_coarse(&matrix)
     } else {

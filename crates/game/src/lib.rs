@@ -47,9 +47,9 @@ pub mod support_enum;
 pub use error::GameError;
 pub use fictitious::{solve_fictitious_play, FictitiousPlayConfig};
 pub use matrix_game::MatrixGame;
-pub use multiplicative::{solve_multiplicative_weights, MultiplicativeWeightsConfig};
+pub use multiplicative::{softmax, solve_multiplicative_weights, MultiplicativeWeightsConfig};
 pub use simplex::solve_lp;
 pub use solver::{
     FictitiousPlay, MultiplicativeWeights, SimplexLp, SolverKind, ZeroSumSolver, AUTO_EXACT_LIMIT,
 };
-pub use strategy::{MixedStrategy, Solution};
+pub use strategy::{sample_index, MixedStrategy, Solution};

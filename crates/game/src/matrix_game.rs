@@ -157,6 +157,47 @@ impl MatrixGame {
         Ok(out)
     }
 
+    /// [`MatrixGame::row_values`] against a plain probability slice —
+    /// no [`MixedStrategy`] construction or renormalization. The
+    /// per-round hot path of repeated-game simulation, where the
+    /// opponent's strategy is already a validated learner state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::DimensionMismatch`] on size mismatch.
+    pub fn row_values_slice(&self, y: &[f64]) -> Result<Vec<f64>, GameError> {
+        if y.len() != self.cols() {
+            return Err(GameError::DimensionMismatch {
+                expected: self.cols(),
+                found: y.len(),
+            });
+        }
+        Ok(self.payoffs.mul_vec(y))
+    }
+
+    /// [`MatrixGame::column_values`] against a plain probability slice
+    /// (see [`MatrixGame::row_values_slice`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::DimensionMismatch`] on size mismatch.
+    pub fn column_values_slice(&self, x: &[f64]) -> Result<Vec<f64>, GameError> {
+        if x.len() != self.rows() {
+            return Err(GameError::DimensionMismatch {
+                expected: self.rows(),
+                found: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols()];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            vector::axpy(xi, self.payoffs.row(i), &mut out);
+        }
+        Ok(out)
+    }
+
     /// The row player's best pure response to `y`: `(action, value)`.
     ///
     /// # Errors
@@ -366,6 +407,23 @@ mod tests {
         let (j, w) = g.best_column_response(&x).unwrap();
         assert_eq!(j, 0);
         assert_eq!(w, 1.5);
+    }
+
+    #[test]
+    fn slice_values_match_strategy_values() {
+        let g = with_saddle();
+        let y = MixedStrategy::new(vec![0.3, 0.7]).unwrap();
+        let x = MixedStrategy::new(vec![0.6, 0.4]).unwrap();
+        assert_eq!(
+            g.row_values_slice(y.probabilities()).unwrap(),
+            g.row_values(&y).unwrap()
+        );
+        assert_eq!(
+            g.column_values_slice(x.probabilities()).unwrap(),
+            g.column_values(&x).unwrap()
+        );
+        assert!(g.row_values_slice(&[1.0]).is_err());
+        assert!(g.column_values_slice(&[1.0, 0.0, 0.0]).is_err());
     }
 
     #[test]

@@ -114,8 +114,10 @@ pub fn solve_multiplicative_weights(
     })
 }
 
-/// Numerically stable softmax.
-fn softmax(log_weights: &[f64]) -> Vec<f64> {
+/// Numerically stable softmax: the probability distribution
+/// proportional to `exp(log_weights)`. Shared by the batch Hedge
+/// solver above and the online Hedge learner in `poisongame-online`.
+pub fn softmax(log_weights: &[f64]) -> Vec<f64> {
     let max = log_weights
         .iter()
         .copied()

@@ -155,15 +155,7 @@ impl MixedStrategy {
 
     /// Sample an action index.
     pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> usize {
-        let u = rng.next_f64();
-        let mut acc = 0.0;
-        for (i, &p) in self.probabilities.iter().enumerate() {
-            acc += p;
-            if u < acc {
-                return i;
-            }
-        }
-        self.probabilities.len() - 1
+        sample_index(&self.probabilities, rng)
     }
 
     /// Total-variation distance to another strategy of the same size.
@@ -191,6 +183,27 @@ impl fmt::Display for MixedStrategy {
             .collect();
         write!(f, "[{}]", cells.join(", "))
     }
+}
+
+/// Sample an index from a probability slice by walking the CDF
+/// (falling back to the last index if accumulated rounding leaves the
+/// draw above the cumulative sum). The one categorical sampler shared
+/// by [`MixedStrategy::sample`] and the online play loop.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn sample_index(probs: &[f64], rng: &mut Xoshiro256StarStar) -> usize {
+    assert!(!probs.is_empty(), "cannot sample from an empty slice");
+    let u = rng.next_f64();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
 }
 
 /// A solved zero-sum game: both equilibrium strategies and the value.

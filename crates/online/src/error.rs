@@ -1,0 +1,92 @@
+//! Error type for the repeated-game simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while simulating repeated play.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OnlineError {
+    /// A matrix-game operation failed (payoff assembly, reference NE
+    /// solve, strategy construction).
+    Game(poisongame_theory::GameError),
+    /// An empirical payoff evaluation failed (dataset preparation,
+    /// attack/filter/training).
+    Sim(poisongame_sim::SimError),
+    /// A simulation parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A serialized online spec or trace could not be understood.
+    Spec(String),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Game(e) => write!(f, "game: {e}"),
+            OnlineError::Sim(e) => write!(f, "sim: {e}"),
+            OnlineError::BadParameter { what, value } => {
+                write!(f, "parameter `{what}` out of range: {value}")
+            }
+            OnlineError::Spec(message) => write!(f, "spec: {message}"),
+        }
+    }
+}
+
+impl Error for OnlineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OnlineError::Game(e) => Some(e),
+            OnlineError::Sim(e) => Some(e),
+            OnlineError::BadParameter { .. } | OnlineError::Spec(_) => None,
+        }
+    }
+}
+
+impl From<poisongame_theory::GameError> for OnlineError {
+    fn from(e: poisongame_theory::GameError) -> Self {
+        OnlineError::Game(e)
+    }
+}
+
+impl From<poisongame_sim::SimError> for OnlineError {
+    fn from(e: poisongame_sim::SimError) -> Self {
+        OnlineError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: OnlineError = poisongame_theory::GameError::InvalidPayoffs {
+            message: "empty".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("game"));
+        assert!(e.source().is_some());
+        let e: OnlineError = poisongame_sim::SimError::Spec("bad".into()).into();
+        assert!(e.to_string().contains("sim"));
+        assert!(e.source().is_some());
+        let e = OnlineError::BadParameter {
+            what: "rounds",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("rounds"));
+        assert!(e.source().is_none());
+        let e = OnlineError::Spec("unknown learner".into());
+        assert!(e.to_string().contains("unknown learner"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OnlineError>();
+    }
+}

@@ -26,9 +26,11 @@
 
 use crate::error::ServeError;
 use crate::protocol::{
-    parse_response_line, read_frame, CellRequest, EstimateRequest, Frame, MatrixRequest, Request,
-    RequestKind, ResponseBody, ServerStats, SolveRequest, SolveResult, DEFAULT_MAX_LINE_BYTES,
+    parse_response_line, read_frame, CellRequest, EstimateRequest, Frame, MatrixRequest,
+    OnlineRequest, Request, RequestKind, ResponseBody, ServerStats, SolveRequest, SolveResult,
+    DEFAULT_MAX_LINE_BYTES,
 };
+use poisongame_online::OnlineTrace;
 use poisongame_sim::estimate::CurveEstimate;
 use poisongame_sim::jsonio::Json;
 use poisongame_sim::scenario::MatrixResults;
@@ -197,6 +199,17 @@ impl Client {
     pub fn estimate(&mut self, request: &EstimateRequest) -> Result<CurveEstimate, ServeError> {
         let result = self.call(RequestKind::Estimate(request.clone()), None)?;
         CurveEstimate::from_json(&result).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+
+    /// Play a repeated online game server-side and fetch its
+    /// convergence trace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`], plus result-shape errors.
+    pub fn online(&mut self, request: &OnlineRequest) -> Result<OnlineTrace, ServeError> {
+        let result = self.call(RequestKind::Online(request.clone()), None)?;
+        OnlineTrace::from_json(&result).map_err(|e| ServeError::Protocol(e.to_string()))
     }
 
     /// Fetch the server's statistics snapshot.

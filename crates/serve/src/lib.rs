@@ -7,9 +7,9 @@
 //! infrastructure for many concurrent clients:
 //!
 //! * [`protocol`] — the wire format: newline-delimited JSON over TCP,
-//!   request kinds `solve` / `cell` / `matrix` / `estimate` / `stats`
-//!   / `shutdown`, every response tagged with its request id so
-//!   clients can pipeline.
+//!   request kinds `solve` / `cell` / `matrix` / `estimate` /
+//!   `online` / `stats` / `shutdown`, every response tagged with its
+//!   request id so clients can pipeline.
 //! * [`server`] — the multi-threaded server: one process-wide
 //!   [`poisongame_sim::EvalEngine`] with a *bounded* preparation
 //!   cache, an admission layer with a bounded queue and explicit load
@@ -58,7 +58,7 @@ pub mod server;
 pub use client::Client;
 pub use error::ServeError;
 pub use protocol::{
-    CellRequest, ErrorCode, EstimateRequest, MatrixRequest, Request, RequestKind, Response,
-    ServerStats, SolveRequest, SolveResult,
+    CellRequest, ErrorCode, EstimateRequest, MatrixRequest, OnlineRequest, Request, RequestKind,
+    Response, ServerStats, SolveRequest, SolveResult,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -13,17 +13,21 @@
 //!
 //! * `id` — required non-negative integer (decimal string beyond
 //!   2^53). Echoed verbatim in the response.
-//! * `type` — one of `solve`, `cell`, `matrix`, `estimate`, `stats`,
-//!   `shutdown`.
+//! * `type` — one of `solve`, `cell`, `matrix`, `estimate`, `online`,
+//!   `stats`, `shutdown`.
 //! * `deadline_ms` — optional per-request deadline, measured from the
-//!   moment the server reads the request. An admitted request whose
-//!   deadline expires while queued is answered with a `deadline`
-//!   error instead of being evaluated (evaluation itself is never
-//!   preempted).
-//! * `seed` — optional, on `cell` / `matrix` / `estimate` only:
-//!   overrides the experiment config's master seed. Absent, the
-//!   config's own seed applies (itself defaulting to the paper seed,
-//!   exactly like [`ExperimentConfig`]).
+//!   moment the server reads the request; must be a **positive**
+//!   integer (`0` would expire before it could ever be met, so it is
+//!   rejected as `bad_request` rather than silently shedding the
+//!   request). An admitted request whose deadline expires while
+//!   queued is answered with a `deadline` error instead of being
+//!   evaluated (evaluation itself is never preempted).
+//! * `seed` — optional, on `cell` / `matrix` / `estimate` / `online`
+//!   only: overrides the experiment config's master seed. Must be a
+//!   non-negative integer (decimal string beyond 2^53) — negative,
+//!   fractional or non-finite values are `bad_request` errors, never
+//!   silently coerced. Absent, the config's own seed applies (itself
+//!   defaulting to the paper seed, exactly like [`ExperimentConfig`]).
 //!
 //! # Response envelope
 //!
@@ -38,6 +42,7 @@
 
 use crate::error::ServeError;
 use poisongame_core::SolverKind;
+use poisongame_online::OnlineSpec;
 use poisongame_sim::estimate::{default_placements, default_strengths};
 use poisongame_sim::jsonio::{self, Json};
 use poisongame_sim::pipeline::{solver_from_name, solver_name};
@@ -265,6 +270,21 @@ impl Default for EstimateRequest {
     }
 }
 
+/// Play a repeated online game: no-regret adaptive attacker and
+/// defender over the config's dataset, payoffs scored by actually
+/// running attack × defense × learner cells (shared through the
+/// server's preparation cache). The response is the serialized
+/// [`poisongame_online::OnlineTrace`] — deterministic for a fixed
+/// seed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OnlineRequest {
+    /// The experiment configuration (dataset, budget, scenario,
+    /// master seed).
+    pub config: ExperimentConfig,
+    /// The run description (learners, rounds, action grids).
+    pub spec: OnlineSpec,
+}
+
 /// The parsed payload of one request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestKind {
@@ -276,6 +296,8 @@ pub enum RequestKind {
     Matrix(MatrixRequest),
     /// Curve estimation.
     Estimate(EstimateRequest),
+    /// A repeated online game.
+    Online(OnlineRequest),
     /// Server/engine statistics.
     Stats,
     /// Graceful drain: stop admitting, finish in-flight work, exit.
@@ -290,6 +312,7 @@ impl RequestKind {
             RequestKind::Cell(_) => "cell",
             RequestKind::Matrix(_) => "matrix",
             RequestKind::Estimate(_) => "estimate",
+            RequestKind::Online(_) => "online",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
         }
@@ -342,6 +365,10 @@ impl Request {
                 fields.push(("config", req.config.to_json()));
                 fields.push(("placements", Json::nums(&req.placements)));
                 fields.push(("strengths", Json::nums(&req.strengths)));
+            }
+            RequestKind::Online(req) => {
+                fields.push(("config", req.config.to_json()));
+                fields.push(("spec", req.spec.to_json()));
             }
             RequestKind::Stats | RequestKind::Shutdown => {}
         }
@@ -408,6 +435,16 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
         .map(|v| jsonio::big_u64(v, "deadline_ms"))
         .transpose()
         .map_err(spec)?;
+    // A zero deadline can never be met: every admitted request would
+    // be shed at evaluation time. Reject it up front as the protocol
+    // error it is instead of silently accepting a poison pill.
+    if deadline_ms == Some(0) {
+        return Err(fail("`deadline_ms` must be a positive integer".into()));
+    }
+    // `big_u64` already rejects negative, fractional and non-finite
+    // seeds (JSON itself cannot carry NaN/Inf — they parse as errors
+    // or `null`, both refused here) — nothing out-of-domain reaches
+    // the config.
     let seed = value
         .get("seed")
         .map(|v| jsonio::big_u64(v, "seed"))
@@ -525,6 +562,18 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
                 config: config_with_seed(&value).map_err(spec)?,
                 placements: grid("placements", default_placements())?,
                 strengths: grid("strengths", default_strengths())?,
+            })
+        }
+        "online" => {
+            jsonio::check_keys(&value, "online request", &with_seed(&["config", "spec"]))
+                .map_err(spec)?;
+            let online_spec = match value.get("spec") {
+                None => OnlineSpec::default(),
+                Some(v) => OnlineSpec::from_json(v).map_err(|e| fail(e.to_string()))?,
+            };
+            RequestKind::Online(OnlineRequest {
+                config: config_with_seed(&value).map_err(spec)?,
+                spec: online_spec,
             })
         }
         "stats" | "shutdown" => {
@@ -966,6 +1015,79 @@ mod tests {
         assert!(e.message.contains("unknown request type"));
         let e = parse_request_line(r#"{"id": 9, "type": "stats", "x": 1}"#).unwrap_err();
         assert_eq!(e.id, Some(9));
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_up_front() {
+        let e = parse_request_line(r#"{"id": 3, "type": "stats", "deadline_ms": 0}"#).unwrap_err();
+        assert_eq!(e.id, Some(3));
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("positive"), "{}", e.message);
+        // A positive deadline still parses.
+        let req = parse_request_line(r#"{"id": 3, "type": "stats", "deadline_ms": 1}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(1));
+        // Fractional and negative deadlines are structured errors too.
+        for bad in [
+            r#"{"id": 3, "type": "stats", "deadline_ms": 1.5}"#,
+            r#"{"id": 3, "type": "stats", "deadline_ms": -2}"#,
+        ] {
+            let e = parse_request_line(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_seed_overrides_are_structured_errors() {
+        // Negative, fractional, boolean and oversized-float seeds must
+        // all be refused — never coerced into the config.
+        for bad in [
+            r#"{"id": 5, "type": "cell", "seed": -1}"#,
+            r#"{"id": 5, "type": "cell", "seed": 1.25}"#,
+            r#"{"id": 5, "type": "cell", "seed": true}"#,
+            r#"{"id": 5, "type": "cell", "seed": null}"#,
+            r#"{"id": 5, "type": "cell", "seed": "not a number"}"#,
+            r#"{"id": 5, "type": "cell", "seed": 1e400}"#, // parses as out-of-range JSON
+        ] {
+            let e = parse_request_line(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");
+        }
+        // String-form big seeds remain the sanctioned path.
+        let req =
+            parse_request_line(r#"{"id": 5, "type": "cell", "seed": "18446744073709551615"}"#)
+                .unwrap();
+        match req.kind {
+            RequestKind::Cell(cell) => assert_eq!(cell.config.seed, u64::MAX),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn online_requests_parse_with_defaults_and_seed_override() {
+        let req = parse_request_line(r#"{"id": 8, "type": "online", "seed": 42}"#).unwrap();
+        match req.kind {
+            RequestKind::Online(online) => {
+                assert_eq!(online.config.seed, 42);
+                assert_eq!(online.spec, OnlineSpec::default());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let req = parse_request_line(
+            r#"{"id": 8, "type": "online", "spec": {"rounds": 64, "attacker": {"type": "hedge"}}}"#,
+        )
+        .unwrap();
+        match req.kind {
+            RequestKind::Online(online) => {
+                assert_eq!(online.spec.rounds, 64);
+                assert_eq!(online.spec.attacker, poisongame_online::LearnerKind::Hedge);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Malformed specs and unknown keys are addressable errors.
+        let e = parse_request_line(r#"{"id": 8, "type": "online", "spec": {"rounds": "x"}}"#)
+            .unwrap_err();
+        assert_eq!(e.id, Some(8));
+        let e = parse_request_line(r#"{"id": 8, "type": "online", "matrix": {}}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
     }
 
     #[test]

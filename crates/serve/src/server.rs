@@ -34,6 +34,7 @@ use crate::protocol::{
 };
 use poisongame_core::bridge::solve_discretized_with;
 use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
+use poisongame_online::run_online_prepared;
 use poisongame_sim::engine::{config_prep_key, EvalEngine, PrepKey};
 use poisongame_sim::estimate::estimate_curves_prepared;
 use poisongame_sim::exec::prepare_then_map;
@@ -419,6 +420,7 @@ fn prep_key_of(request: &Request) -> Option<PrepKey> {
         RequestKind::Cell(req) => Some(config_prep_key(&req.config)),
         RequestKind::Matrix(req) => Some(config_prep_key(&req.config)),
         RequestKind::Estimate(req) => Some(config_prep_key(&req.config)),
+        RequestKind::Online(req) => Some(config_prep_key(&req.config)),
         RequestKind::Solve(_) | RequestKind::Stats | RequestKind::Shutdown => None,
     }
 }
@@ -524,6 +526,18 @@ fn execute(inner: &Inner, job: &Job, prep: &BatchPrep) -> Response {
             let prepared = Prepared::from_shared(data, &req.config)?;
             estimate_curves_prepared(&prepared, &req.config, &req.placements, &req.strengths)
                 .map(|estimate| estimate.to_json())
+        }),
+        RequestKind::Online(req) => shared().and_then(|data| {
+            let prepared = Prepared::from_shared(data, &req.config)?;
+            run_online_prepared(&prepared, &req.config, &req.spec, &inner.eval_policy)
+                .map(|trace| trace.to_json())
+                // Online play has its own error domain; unwrap the
+                // pipeline errors it carries and flatten the rest into
+                // the evaluation error the wire already speaks.
+                .map_err(|e| match e {
+                    poisongame_online::OnlineError::Sim(e) => e,
+                    other => SimError::Spec(other.to_string()),
+                })
         }),
         RequestKind::Stats | RequestKind::Shutdown => {
             // Handled inline by the reader; nothing enqueues these.

@@ -165,6 +165,71 @@ fn results_are_deterministic_across_worker_counts_and_orderings() {
 }
 
 #[test]
+fn online_round_trips_end_to_end_and_matches_local_play() {
+    use poisongame_online::{LearnerKind, OnlineSpec};
+    use poisongame_serve::protocol::OnlineRequest;
+
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let request = OnlineRequest {
+        config: quick_config(17),
+        spec: OnlineSpec {
+            rounds: 300,
+            attacker: LearnerKind::Hedge,
+            defender: LearnerKind::RegretMatching,
+            placements: vec![0.02, 0.15, 0.30],
+            strengths: vec![0.0, 0.10, 0.25],
+            ..OnlineSpec::default()
+        },
+    };
+
+    let mut client = Client::connect(addr).expect("connect");
+    let served = client.online(&request).expect("online trace");
+    // Deterministic for a fixed seed: the same request answers with
+    // the same trace, and a typed re-request round-trips identically.
+    let again = client.online(&request).expect("online trace again");
+    assert_eq!(served, again, "online responses must be deterministic");
+
+    // And the served trace is byte-identical to the local pipeline.
+    let engine = poisongame_sim::EvalEngine::new();
+    let local = poisongame_online::run_online(
+        &engine,
+        &request.config,
+        &request.spec,
+        &poisongame_sim::ExecPolicy::sequential(),
+    )
+    .expect("local online run");
+    assert_eq!(
+        served.to_json_string(),
+        local.trace.to_json_string(),
+        "served online play must equal the batch pipeline"
+    );
+    assert_eq!(served.rounds, 300);
+    assert_eq!(served.attacker, "hedge");
+
+    // A seed override changes the play stream (and therefore the trace
+    // of a sampled-feedback run would differ; with expected feedback
+    // the payoff grid itself changes with the data seed).
+    let mut reseeded = request.clone();
+    reseeded.config.seed = 18;
+    let other = client.online(&reseeded).expect("reseeded trace");
+    assert_ne!(served, other, "a different seed must change the run");
+
+    // An invalid spec surfaces as a structured eval error, not a hang.
+    let mut bad = request.clone();
+    bad.spec.placements = vec![];
+    match client.online(&bad).expect_err("empty grid must fail") {
+        ServeError::Server { code, .. } => assert_eq!(code, ErrorCode::EvalFailed),
+        other => panic!("expected eval_failed, got {other}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
 fn zero_capacity_queue_sheds_with_structured_busy() {
     let (addr, handle) = spawn_server(ServerConfig {
         queue_capacity: 0,
@@ -191,12 +256,34 @@ fn zero_capacity_queue_sheds_with_structured_busy() {
 
 #[test]
 fn expired_deadline_is_a_structured_error() {
-    let (addr, handle) = spawn_server(ServerConfig::default());
+    // `deadline_ms: 0` is a protocol error now, so force expiry the
+    // honest way: queue a 1 ms-deadline request behind a slow one on a
+    // single-worker server — it expires while waiting its turn. The
+    // slow request is deliberately heavy (large dataset, many epochs:
+    // hundreds of ms even in release) so the 1 ms deadline has orders
+    // of magnitude of margin, not a race.
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
     let mut client = Client::connect(addr).expect("connect");
-    let id = client
-        .send(RequestKind::Cell(quick_cell(1, Scenario::paper())), Some(0))
-        .expect("send");
-    match client.wait(id).expect_err("deadline must expire") {
+    let heavy = CellRequest {
+        config: ExperimentConfig {
+            seed: 1,
+            source: DataSource::SyntheticSpambase { rows: 2000 },
+            epochs: 400,
+            ..ExperimentConfig::paper()
+        },
+        ..CellRequest::default()
+    };
+    let slow = client
+        .send(RequestKind::Cell(heavy), None)
+        .expect("send slow");
+    let doomed = client
+        .send(RequestKind::Cell(quick_cell(2, Scenario::paper())), Some(1))
+        .expect("send doomed");
+    client.wait(slow).expect("slow request completes");
+    match client.wait(doomed).expect_err("deadline must expire") {
         ServeError::Server { code, .. } => assert_eq!(code, ErrorCode::Deadline),
         other => panic!("expected deadline, got {other}"),
     }

@@ -3,9 +3,10 @@
 //! silent drop) for malformed, unknown, oversized and truncated
 //! frames against a live server.
 
+use poisongame_online::{LearnerKind, OnlineSpec};
 use poisongame_serve::protocol::{
     parse_request_line, parse_response_line, CellRequest, ErrorCode, EstimateRequest,
-    MatrixRequest, Request, RequestKind, Response, ResponseBody, SolveRequest,
+    MatrixRequest, OnlineRequest, Request, RequestKind, Response, ResponseBody, SolveRequest,
 };
 use poisongame_serve::server::{Server, ServerConfig};
 use poisongame_sim::jsonio::Json;
@@ -78,6 +79,21 @@ fn one_of_each() -> Vec<Request> {
             id: 5,
             deadline_ms: None,
             kind: RequestKind::Stats,
+        },
+        Request {
+            id: 7,
+            deadline_ms: Some(5_000),
+            kind: RequestKind::Online(OnlineRequest {
+                config: quick_config(),
+                spec: OnlineSpec {
+                    rounds: 128,
+                    attacker: LearnerKind::Hedge,
+                    defender: LearnerKind::FixedPure { action: 1 },
+                    placements: vec![0.02, 0.2],
+                    strengths: vec![0.0, 0.15],
+                    ..OnlineSpec::default()
+                },
+            }),
         },
         Request {
             id: 6,
@@ -240,6 +256,41 @@ fn truncated_frame_is_rejected_not_silently_dropped() {
     let response = parse_response_line(line.trim_end()).expect("structured response");
     let message = expect_error(&response, ErrorCode::BadRequest);
     assert!(message.contains("truncated"), "{message}");
+    shutdown_server(addr, handle);
+}
+
+#[test]
+fn zero_deadline_and_bad_seed_overrides_are_rejected_live() {
+    let (addr, handle) = spawn(ServerConfig::default());
+
+    // deadline_ms: 0 could never be met — the live server answers a
+    // structured bad_request carrying the id, before any evaluation.
+    let response = raw_round_trip(
+        addr,
+        b"{\"id\": 21, \"type\": \"cell\", \"deadline_ms\": 0}\n",
+    );
+    assert_eq!(response.id, Some(21));
+    let message = expect_error(&response, ErrorCode::BadRequest);
+    assert!(message.contains("positive"), "{message}");
+
+    // Out-of-domain seed overrides are refused, never coerced.
+    for (payload, expect_id) in [
+        (&b"{\"id\": 22, \"type\": \"cell\", \"seed\": -7}\n"[..], 22),
+        (
+            &b"{\"id\": 23, \"type\": \"estimate\", \"seed\": 0.5}\n"[..],
+            23,
+        ),
+        (
+            &b"{\"id\": 24, \"type\": \"online\", \"seed\": \"minus one\"}\n"[..],
+            24,
+        ),
+    ] {
+        let response = raw_round_trip(addr, payload);
+        assert_eq!(response.id, Some(expect_id));
+        let message = expect_error(&response, ErrorCode::BadRequest);
+        assert!(message.contains("seed"), "{message}");
+    }
+
     shutdown_server(addr, handle);
 }
 

@@ -441,9 +441,8 @@ impl Prepared {
         data: Arc<PreparedData>,
         config: &ExperimentConfig,
     ) -> Result<Self, SimError> {
-        // Validate the budget once at construction; the per-call check
-        // in the deprecated `ThreatModel::poison_count` is no longer
-        // paid.
+        // Validate the budget once at construction; `budget_points`
+        // itself is infallible.
         let threat = config.threat_model();
         let n_poison = ThreatModel::new(threat.budget_fraction, threat.knowledge)?
             .budget_points(data.train.len());

@@ -140,6 +140,51 @@ fn cached_engine_is_byte_identical_to_cold_evaluation() {
     }
 }
 
+/// Online play is a sequential loop over a payoff grid materialized
+/// in parallel: the trace (regrets, exploitability, averaged
+/// strategies — all floats) must be byte-identical at any worker
+/// count, on both the batch and the lazy engine-backed routes.
+#[test]
+fn online_traces_are_byte_identical_across_worker_counts() {
+    use poisongame_online::{run_online, run_online_engine, LearnerKind, OnlineSpec};
+
+    let config = tiny_config();
+    let spec = OnlineSpec {
+        rounds: 500,
+        attacker: LearnerKind::Hedge,
+        defender: LearnerKind::RegretMatching,
+        placements: vec![0.02, 0.15, 0.30],
+        strengths: vec![0.0, 0.10, 0.25],
+        ..OnlineSpec::default()
+    };
+
+    let reports: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let engine = EvalEngine::new();
+            let outcome = run_online(&engine, &config, &spec, &ExecPolicy::with_threads(threads))
+                .expect("online run");
+            outcome.trace.to_json_string()
+        })
+        .collect();
+    for (threads, report) in THREAD_COUNTS.iter().zip(&reports).skip(1) {
+        assert_eq!(
+            report.as_bytes(),
+            reports[0].as_bytes(),
+            "online trace diverged at {threads} threads"
+        );
+    }
+
+    // The lazy engine-backed schedule produces the same bytes too.
+    let engine = EvalEngine::new();
+    let lazy = run_online_engine(&engine, &config, &spec).expect("lazy online run");
+    assert_eq!(
+        lazy.trace.to_json_string().as_bytes(),
+        reports[0].as_bytes(),
+        "lazy route diverged from the parallel route"
+    );
+}
+
 #[test]
 fn monte_carlo_results_are_byte_identical_across_thread_counts() {
     let effect = EffectCurve::from_samples(&[

@@ -174,16 +174,15 @@ fn engine_cells_match_pre_engine_hardcoded_pipeline() {
 
 #[test]
 fn poison_budget_unchanged_by_threat_model_refactor() {
-    // `prepare` now validates the budget once via `ThreatModel::new`;
-    // the derived count must match the historical per-call path.
+    // `prepare` validates the budget once via `ThreatModel::new`; the
+    // derived count must match the direct `budget_points` query (the
+    // numbers the deprecated-and-removed `poison_count` produced).
     let config = config();
     let prepared = prepare(&config).unwrap();
-    #[allow(deprecated)]
-    let old = config
-        .threat_model()
-        .poison_count(prepared.train().len())
-        .unwrap();
-    assert_eq!(prepared.n_poison, old);
+    assert_eq!(
+        prepared.n_poison,
+        config.threat_model().budget_points(prepared.train().len())
+    );
     assert_eq!(
         prepared.n_poison,
         (prepared.train().len() as f64 * 0.2).round() as usize

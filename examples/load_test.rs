@@ -16,14 +16,18 @@
 //! Options: `--addr HOST:PORT` (absent: spawn an in-process server on
 //! an ephemeral port), `--connections N`, `--requests M`,
 //! `--shutdown` (ask the server to drain at the end; implied for the
-//! in-process server).
+//! in-process server), `--json PATH` (additionally write the
+//! throughput/latency/cache summary as machine-readable JSON — the
+//! seed of the `BENCH_*.json` perf trajectory).
 
 use poisongame::serve::client::Client;
+use poisongame::serve::protocol::ServerStats;
 use poisongame::serve::protocol::{CellRequest, EstimateRequest, RequestKind, SolveRequest};
 use poisongame::serve::server::{Server, ServerConfig};
+use poisongame::sim::jsonio::{self, Json};
 use poisongame::sim::pipeline::{DataSource, ExperimentConfig};
 use poisongame::sim::scenario::{DefenseSpec, LearnerSpec, Scenario};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn quick_config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
@@ -72,11 +76,63 @@ fn percentile(sorted_micros: &[u128], p: f64) -> u128 {
     sorted_micros[index]
 }
 
+/// The machine-readable run summary `--json` writes: the seed of the
+/// `BENCH_*.json` perf trajectory, so successive PRs can chart
+/// throughput/latency/cache-rate over time.
+fn summary_json(
+    args: &Args,
+    elapsed: Duration,
+    sorted_micros: &[u128],
+    stats: &ServerStats,
+) -> Json {
+    let total = args.connections * args.requests;
+    let ms = |micros: u128| micros as f64 / 1000.0;
+    Json::obj(vec![
+        ("connections", Json::Num(args.connections as f64)),
+        ("requests_per_connection", Json::Num(args.requests as f64)),
+        ("total_requests", Json::Num(total as f64)),
+        ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
+        (
+            "throughput_rps",
+            Json::Num(total as f64 / elapsed.as_secs_f64()),
+        ),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("p50", Json::Num(ms(percentile(sorted_micros, 50.0)))),
+                ("p99", Json::Num(ms(percentile(sorted_micros, 99.0)))),
+                ("max", Json::Num(ms(sorted_micros[sorted_micros.len() - 1]))),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj(vec![
+                ("received", jsonio::big_u64_to_json(stats.received)),
+                ("completed", jsonio::big_u64_to_json(stats.completed)),
+                ("shed", jsonio::big_u64_to_json(stats.shed)),
+                ("expired", jsonio::big_u64_to_json(stats.expired)),
+                ("failed", jsonio::big_u64_to_json(stats.failed)),
+            ]),
+        ),
+        (
+            "prep_cache",
+            Json::obj(vec![
+                ("hits", jsonio::big_u64_to_json(stats.cache_hits)),
+                ("misses", jsonio::big_u64_to_json(stats.cache_misses)),
+                ("evictions", jsonio::big_u64_to_json(stats.cache_evictions)),
+                ("hit_rate", Json::Num(stats.cache_hit_rate())),
+                ("entries", Json::Num(stats.cache_entries as f64)),
+            ]),
+        ),
+    ])
+}
+
 struct Args {
     addr: Option<String>,
     connections: usize,
     requests: usize,
     shutdown: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
         connections: 4,
         requests: 25,
         shutdown: false,
+        json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -102,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--requests: {e}"))?
             }
             "--shutdown" => out.shutdown = true,
+            "--json" => out.json = Some(value("--json")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -215,6 +273,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cache_capacity
             .map_or("none".to_string(), |c| c.to_string()),
     );
+    if let Some(path) = &args.json {
+        let doc = summary_json(&args, elapsed, &all_latencies, &stats);
+        std::fs::write(path, format!("{}\n", doc.render()))?;
+        println!("  wrote JSON summary to {path}");
+    }
     if args.shutdown || in_process.is_some() {
         client.shutdown()?;
         println!("  shutdown requested; server draining");

@@ -19,6 +19,7 @@
 //! | [`defense`] | sphere filter (global & per-class), robust centroids, slab & kNN baselines |
 //! | [`core`] | the game model: `E(p)`, `Γ(p)`, BRF analysis, NE conditions, Algorithm 1 |
 //! | [`sim`] | the experiment harness: Figure 1, Table 1, scaling, Monte-Carlo validation |
+//! | [`online`] | the repeated game: no-regret adaptive attackers/defenders, convergence to the static NE |
 //! | [`serve`] | the evaluation service: NDJSON-over-TCP server, admission/load-shedding, client |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use poisongame_data as data;
 pub use poisongame_defense as defense;
 pub use poisongame_linalg as linalg;
 pub use poisongame_ml as ml;
+pub use poisongame_online as online;
 pub use poisongame_serve as serve;
 pub use poisongame_sim as sim;
 pub use poisongame_theory as theory;
