@@ -25,6 +25,12 @@ cargo test -q
 echo "==> cargo run --release --example scenario_matrix"
 cargo run --release --example scenario_matrix
 
+# The same grid on the batched training path: minibatch fit kernel +
+# fused cross-cell evaluation. Keeps the PR-6 throughput shape from
+# rotting while the bit-exact default path stays the test baseline.
+echo "==> cargo run --release --example scenario_matrix -- minibatch"
+cargo run --release --example scenario_matrix -- minibatch
+
 # Server smoke: boot the serve daemon on an ephemeral port, drive a
 # small mixed workload (solve + cell + estimate + stats) through the
 # client, request shutdown, and assert a clean drain-and-exit.
@@ -42,16 +48,32 @@ if [ ! -s "$PORT_FILE" ]; then
   kill "$SERVE_PID" 2>/dev/null || true
   exit 1
 fi
-if ! ./target/release/examples/load_test --addr "$(cat "$PORT_FILE")" --connections 1 --requests 4 --shutdown; then
+JSON_FILE=$(mktemp)
+if ! ./target/release/examples/load_test --addr "$(cat "$PORT_FILE")" --connections 1 --requests 4 --shutdown --json "$JSON_FILE"; then
   # Don't orphan the daemon when the client side fails.
   kill "$SERVE_PID" 2>/dev/null || true
   wait "$SERVE_PID" 2>/dev/null || true
-  rm -f "$PORT_FILE"
+  rm -f "$PORT_FILE" "$JSON_FILE"
   echo "serve smoke failed" >&2
   exit 1
 fi
 wait "$SERVE_PID"   # clean exit after drain, or this fails the gate
 rm -f "$PORT_FILE"
+# The --json summary is the seed of the BENCH_*.json perf trajectory;
+# an empty or key-less file means the reporting path silently broke.
+if [ ! -s "$JSON_FILE" ]; then
+  echo "load_test --json wrote an empty summary" >&2
+  rm -f "$JSON_FILE"
+  exit 1
+fi
+for key in throughput_rps latency_ms prep_cache training; do
+  if ! grep -q "\"$key\"" "$JSON_FILE"; then
+    echo "load_test --json summary is missing \"$key\"" >&2
+    rm -f "$JSON_FILE"
+    exit 1
+  fi
+done
+rm -f "$JSON_FILE"
 
 # Online-play smoke: short-horizon repeated game on the discretized
 # paper game plus the empirical engine-backed mode. The example
@@ -60,6 +82,11 @@ rm -f "$PORT_FILE"
 # any of those fails the gate.
 echo "==> cargo run --release --example online_play"
 cargo run --release --example online_play
+
+# Training-kernel bench in smoke mode, named explicitly: row SGD vs
+# the blocked minibatch fit, plus the 24-cell grid with fused eval.
+echo "==> cargo bench -p poisongame-bench --bench train_kernel -- --test (smoke)"
+cargo bench -p poisongame-bench --bench train_kernel -- --test
 
 # Bench binaries in --test smoke mode (one sample per bench): keeps
 # every bench compiling AND running without paying for statistics.

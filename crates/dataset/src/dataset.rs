@@ -233,9 +233,12 @@ impl Dataset {
     /// Per-column summary `(min, max, mean, std)` — handy for scaling
     /// and for sanity-checking synthetic data.
     pub fn column_summary(&self) -> Vec<ColumnSummary> {
+        let mut col = Vec::with_capacity(self.len());
         (0..self.dim())
             .map(|c| {
-                let col = self.features.column(c);
+                // One reused buffer across columns instead of one
+                // allocation per column.
+                self.features.column_into(c, &mut col);
                 ColumnSummary {
                     min: col.iter().copied().fold(f64::INFINITY, f64::min),
                     max: col.iter().copied().fold(f64::NEG_INFINITY, f64::max),

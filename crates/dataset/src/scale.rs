@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn standard_scaler_zero_mean_unit_std() {
         let (scaled, _) = StandardScaler::fit_transform(&toy()).unwrap();
-        let sum0 = scaled.features().column(0).iter().sum::<f64>();
+        let sum0 = scaled.features().column_iter(0).sum::<f64>();
         assert!(sum0.abs() < 1e-12);
         let s = scaled.column_summary();
         assert!((s[0].std_dev - 1.0).abs() < 1e-12);

@@ -25,6 +25,7 @@
 
 pub mod curve;
 pub mod error;
+pub mod gemm;
 pub mod matrix;
 pub mod numeric;
 pub mod rng;

@@ -122,18 +122,47 @@ impl Matrix {
 
     /// Copy column `c` into a new vector.
     ///
+    /// Allocates per call; prefer [`Matrix::column_iter`] or
+    /// [`Matrix::column_into`] in loops over many columns.
+    ///
     /// # Panics
     ///
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<f64> {
+        self.column_iter(c).collect()
+    }
+
+    /// Iterate column `c` top to bottom without allocating — a strided
+    /// walk of the row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column_iter(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(
             c < self.cols,
             "column index {c} out of bounds ({})",
             self.cols
         );
-        (0..self.rows)
-            .map(|r| self.data[r * self.cols + c])
-            .collect()
+        // `get` handles the zero-row matrix, whose buffer is empty.
+        self.data
+            .get(c..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.cols.max(1))
+            .copied()
+    }
+
+    /// Copy column `c` into `out`, clearing it first but keeping its
+    /// allocation — the reusable-buffer form of [`Matrix::column`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column_into(&self, c: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.rows);
+        out.extend(self.column_iter(c));
     }
 
     /// Entry at `(r, c)`.
@@ -167,14 +196,16 @@ impl Matrix {
         (0..self.rows).map(move |r| self.row(r))
     }
 
-    /// Matrix-vector product `self * x`.
+    /// Matrix-vector product `self * x`, via the blocked
+    /// [`crate::gemm::gemv`] kernel (bit-identical to a per-row
+    /// [`vector::dot`] loop).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
-        self.iter_rows().map(|row| vector::dot(row, x)).collect()
+        crate::gemm::gemv(self, x).expect("dimensions checked above")
     }
 
     /// Transpose into a new matrix.
@@ -306,6 +337,22 @@ mod tests {
         assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(m.column(2), vec![3.0, 6.0]);
         assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn column_iter_and_column_into_match_column() {
+        let m = sample();
+        for c in 0..m.cols() {
+            assert_eq!(m.column_iter(c).collect::<Vec<_>>(), m.column(c));
+        }
+        let mut buf = vec![99.0; 8];
+        m.column_into(1, &mut buf);
+        assert_eq!(buf, vec![2.0, 5.0]);
+        // Zero-row matrices yield empty columns, not panics.
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(empty.column_iter(2).count(), 0);
+        empty.column_into(1, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

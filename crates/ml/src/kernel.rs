@@ -1,0 +1,101 @@
+//! Shared machinery for the minibatch (GEMM) fit path.
+//!
+//! The three SGD learners opt into
+//! [`FitKernel::Minibatch`](crate::model::FitKernel) through the same
+//! scratch object: rows are gathered from the [`DataView`] in shuffle
+//! order into a contiguous [`RowPanel`], their margins computed in one
+//! fused pass, and the aggregated subgradient applied with one fused
+//! scale-then-accumulate update. All buffers are recycled across
+//! batches and epochs, so a whole fit allocates a handful of vectors
+//! once.
+
+use poisongame_data::DataView;
+use poisongame_linalg::gemm::{self, RowPanel};
+
+/// Reusable per-batch buffers for the minibatch fit path.
+pub(crate) struct BatchScratch {
+    /// Gathered batch rows, contiguous in shuffle order.
+    panel: RowPanel,
+    /// Signed labels of the gathered rows (`labels[j]` pairs with
+    /// `panel.row(j)`).
+    pub labels: Vec<f64>,
+    /// Margins `y ⊙ (Xw + b)` of the gathered rows, refreshed by
+    /// [`BatchScratch::compute_margins`].
+    pub margins: Vec<f64>,
+    /// Panel-row indices participating in the aggregated update.
+    pub picked: Vec<usize>,
+    /// Update coefficient per picked row (in lockstep with `picked`).
+    pub coeffs: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Scratch sized for batches of up to `batch` rows of width `dim`.
+    pub fn new(dim: usize, batch: usize) -> Self {
+        Self {
+            panel: RowPanel::with_capacity(batch, dim),
+            labels: Vec::with_capacity(batch),
+            margins: Vec::with_capacity(batch),
+            picked: Vec::with_capacity(batch),
+            coeffs: Vec::with_capacity(batch),
+        }
+    }
+
+    /// Copy the rows at `idx` (and their signed labels) into the
+    /// contiguous panel, replacing the previous batch.
+    pub fn gather(&mut self, data: &dyn DataView, idx: &[usize]) {
+        self.panel.clear();
+        self.labels.clear();
+        for &i in idx {
+            self.panel.push(data.point(i));
+            self.labels.push(data.label(i).to_signed());
+        }
+    }
+
+    /// Refresh `margins` with `y ⊙ (Xw + b)` over the gathered batch.
+    pub fn compute_margins(&mut self, w: &[f64], bias: f64) {
+        gemm::fused_margins(&self.panel, &self.labels, w, bias, &mut self.margins)
+            .expect("gathered batch dimensions are consistent");
+    }
+
+    /// Apply `w ← shrink·w + Σ coeffs·rows[picked]` in one fused pass.
+    /// Pass `shrink = 1.0` to skip the scale.
+    pub fn apply(&self, shrink: f64, w: &mut [f64]) {
+        gemm::scale_accumulate(shrink, &self.panel, &self.picked, &self.coeffs, w)
+            .expect("picked/coeffs are built in lockstep over panel rows");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poisongame_data::{Dataset, Label};
+
+    #[test]
+    fn gather_margins_apply_round_trip() {
+        let data = Dataset::from_rows(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+            vec![Label::Positive, Label::Negative, Label::Positive],
+        )
+        .unwrap();
+        let mut scratch = BatchScratch::new(2, 2);
+        scratch.gather(&data, &[2, 0]);
+        assert_eq!(scratch.labels, vec![1.0, 1.0]);
+        scratch.compute_margins(&[0.5, -0.5], 0.25);
+        assert_eq!(scratch.margins, vec![0.25, 0.75]);
+
+        scratch.picked.clear();
+        scratch.coeffs.clear();
+        scratch.picked.push(1);
+        scratch.coeffs.push(2.0);
+        let mut w = vec![1.0, 1.0];
+        // w ← 0.5·w + 2·row(1) = [0.5+2, 0.5+0]
+        scratch.apply(0.5, &mut w);
+        assert_eq!(w, vec![2.5, 0.5]);
+
+        // Buffers recycle: the next gather replaces everything.
+        scratch.gather(&data, &[1]);
+        assert_eq!(scratch.labels, vec![-1.0]);
+        scratch.compute_margins(&[1.0, 0.0], 0.0);
+        assert_eq!(scratch.margins, vec![-0.0]);
+    }
+}

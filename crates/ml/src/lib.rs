@@ -24,7 +24,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod error;
+mod kernel;
 pub mod logreg;
 pub mod loss;
 pub mod metrics;
@@ -35,4 +37,4 @@ pub mod svm;
 pub mod validate;
 
 pub use error::MlError;
-pub use model::{Classifier, LinearState, TrainConfig};
+pub use model::{Classifier, FitKernel, LinearState, TrainConfig};

@@ -5,8 +5,11 @@
 //! accuracy curves.
 
 use crate::error::MlError;
+use crate::kernel::BatchScratch;
 use crate::loss;
-use crate::model::{check_trainable, check_warm_start, Classifier, LinearState, TrainConfig};
+use crate::model::{
+    check_trainable, check_warm_start, Classifier, FitKernel, LinearState, TrainConfig,
+};
 use poisongame_data::DataView;
 use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
 use poisongame_linalg::vector;
@@ -88,24 +91,57 @@ impl LogisticRegression {
         };
         let mut rng = Xoshiro256StarStar::seed_from_u64(self.config.seed);
         let mut t: u64 = 0;
+        let mut scratch = match self.config.kernel {
+            FitKernel::Minibatch { batch } => Some((batch, BatchScratch::new(dim, batch.min(n)))),
+            FitKernel::RowSgd => None,
+        };
 
         for epoch in 0..self.config.epochs {
             let order = shuffled_indices(n, &mut rng);
-            for &i in &order {
-                t += 1;
-                let eta = self.config.schedule.rate(t);
-                let x = data.point(i);
-                let y = data.label(i).to_signed();
-                let margin = y * (vector::dot(&w, x) + b);
-                // dL/dw = logistic_grad(margin) * y * x + lambda * w
-                let g = loss::logistic_grad(margin) * y;
-                let shrink = 1.0 - eta * self.config.lambda;
-                if shrink > 0.0 {
-                    vector::scale(shrink, &mut w);
+            match scratch.as_mut() {
+                None => {
+                    for &i in &order {
+                        t += 1;
+                        let eta = self.config.schedule.rate(t);
+                        let x = data.point(i);
+                        let y = data.label(i).to_signed();
+                        let margin = y * (vector::dot(&w, x) + b);
+                        // dL/dw = logistic_grad(margin) * y * x + lambda * w
+                        let g = loss::logistic_grad(margin) * y;
+                        let shrink = 1.0 - eta * self.config.lambda;
+                        if shrink > 0.0 {
+                            vector::scale(shrink, &mut w);
+                        }
+                        vector::axpy(-eta * g, x, &mut w);
+                        if self.config.fit_bias {
+                            b -= eta * g;
+                        }
+                    }
                 }
-                vector::axpy(-eta * g, x, &mut w);
-                if self.config.fit_bias {
-                    b -= eta * g;
+                Some((batch, scratch)) => {
+                    // One schedule step per batch; every row contributes
+                    // its logistic gradient, averaged over the batch.
+                    for chunk in order.chunks(*batch) {
+                        t += 1;
+                        let eta = self.config.schedule.rate(t);
+                        scratch.gather(data, chunk);
+                        scratch.compute_margins(&w, b);
+                        let blen = chunk.len() as f64;
+                        scratch.picked.clear();
+                        scratch.coeffs.clear();
+                        let mut grad_sum = 0.0;
+                        for j in 0..chunk.len() {
+                            let g = loss::logistic_grad(scratch.margins[j]) * scratch.labels[j];
+                            scratch.picked.push(j);
+                            scratch.coeffs.push(-eta * g / blen);
+                            grad_sum += g;
+                        }
+                        let shrink = 1.0 - eta * self.config.lambda;
+                        scratch.apply(if shrink > 0.0 { shrink } else { 1.0 }, &mut w);
+                        if self.config.fit_bias {
+                            b -= eta * grad_sum / blen;
+                        }
+                    }
                 }
             }
             if !vector::all_finite(&w) || !b.is_finite() {
@@ -219,5 +255,23 @@ mod tests {
     fn rejects_untrainable_sets() {
         let mut m = LogisticRegression::with_defaults();
         assert!(m.fit(&Dataset::empty(2)).is_err());
+    }
+
+    #[test]
+    fn minibatch_kernel_learns_like_row_sgd() {
+        let data = blobs(24);
+        let cfg = TrainConfig {
+            epochs: 60,
+            ..TrainConfig::default()
+        };
+        let mut row = LogisticRegression::new(cfg.clone());
+        row.fit(&data).unwrap();
+        let mut mb = LogisticRegression::new(TrainConfig {
+            kernel: FitKernel::Minibatch { batch: 16 },
+            ..cfg
+        });
+        mb.fit(&data).unwrap();
+        let (ra, ma) = (row.accuracy_on(&data), mb.accuracy_on(&data));
+        assert!((ra - ma).abs() <= 0.03, "row {ra} vs minibatch {ma}");
     }
 }

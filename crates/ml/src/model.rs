@@ -5,6 +5,29 @@ use crate::schedule::Schedule;
 use poisongame_data::{DataView, Label};
 use serde::{Deserialize, Serialize};
 
+/// Selects the inner training loop of the SGD learners.
+///
+/// [`FitKernel::RowSgd`] is the historical row-at-a-time loop and the
+/// bit-exact golden reference; every recorded experiment byte was
+/// produced by it and it stays the default. [`FitKernel::Minibatch`]
+/// gathers `batch` shuffled rows per step, computes their margins in
+/// one pass through the blocked [`poisongame_linalg::gemm`] kernels
+/// and applies the aggregated (averaged) subgradient. The two paths
+/// visit rows in the *same* shuffled order from the *same* seed, but
+/// aggregation changes the update sequence, so minibatch results are
+/// equivalent in accuracy (tolerance-pinned by tests), not in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FitKernel {
+    /// Row-at-a-time SGD — the bit-exact golden reference (default).
+    #[default]
+    RowSgd,
+    /// Aggregated subgradient over GEMM-computed batch margins.
+    Minibatch {
+        /// Rows per batch (must be ≥ 1; the tail batch may be smaller).
+        batch: usize,
+    },
+}
+
 /// Shared configuration for the SGD-trained linear models.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -20,6 +43,8 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Whether to fit an intercept term.
     pub fit_bias: bool,
+    /// Which inner training loop to run (row-at-a-time by default).
+    pub kernel: FitKernel,
 }
 
 impl Default for TrainConfig {
@@ -30,6 +55,7 @@ impl Default for TrainConfig {
             schedule: Schedule::default(),
             seed: 0x5eed,
             fit_bias: true,
+            kernel: FitKernel::RowSgd,
         }
     }
 }
@@ -66,6 +92,14 @@ impl TrainConfig {
                 what: "schedule",
                 value: f64::NAN,
             });
+        }
+        if let FitKernel::Minibatch { batch } = self.kernel {
+            if batch == 0 {
+                return Err(MlError::BadHyperparameter {
+                    what: "batch",
+                    value: 0.0,
+                });
+            }
         }
         Ok(())
     }
@@ -238,6 +272,16 @@ mod tests {
             ..TrainConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = TrainConfig {
+            kernel: FitKernel::Minibatch { batch: 0 },
+            ..TrainConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TrainConfig {
+            kernel: FitKernel::Minibatch { batch: 32 },
+            ..TrainConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! deterministic per-epoch shuffling.
 
 use crate::error::MlError;
+use crate::kernel::BatchScratch;
 use crate::loss;
-use crate::model::{check_trainable, check_warm_start, Classifier, LinearState, TrainConfig};
+use crate::model::{
+    check_trainable, check_warm_start, Classifier, FitKernel, LinearState, TrainConfig,
+};
 use poisongame_data::{DataView, Dataset};
 use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
 use poisongame_linalg::vector;
@@ -103,25 +106,61 @@ impl LinearSvm {
         };
         let mut rng = Xoshiro256StarStar::seed_from_u64(self.config.seed);
         let mut t: u64 = 0;
+        let mut scratch = match self.config.kernel {
+            FitKernel::Minibatch { batch } => Some((batch, BatchScratch::new(dim, batch.min(n)))),
+            FitKernel::RowSgd => None,
+        };
 
         for epoch in 0..self.config.epochs {
             let order = shuffled_indices(n, &mut rng);
-            for &i in &order {
-                t += 1;
-                let eta = self.config.schedule.rate(t);
-                let x = data.point(i);
-                let y = data.label(i).to_signed();
-                let margin = y * (vector::dot(&w, x) + b);
-                // L2 shrinkage applies on every step; the hinge
-                // subgradient only inside the margin.
-                let shrink = 1.0 - eta * self.config.lambda;
-                if shrink > 0.0 {
-                    vector::scale(shrink, &mut w);
+            match scratch.as_mut() {
+                None => {
+                    for &i in &order {
+                        t += 1;
+                        let eta = self.config.schedule.rate(t);
+                        let x = data.point(i);
+                        let y = data.label(i).to_signed();
+                        let margin = y * (vector::dot(&w, x) + b);
+                        // L2 shrinkage applies on every step; the hinge
+                        // subgradient only inside the margin.
+                        let shrink = 1.0 - eta * self.config.lambda;
+                        if shrink > 0.0 {
+                            vector::scale(shrink, &mut w);
+                        }
+                        if margin < 1.0 {
+                            vector::axpy(eta * y, x, &mut w);
+                            if self.config.fit_bias {
+                                b += eta * y;
+                            }
+                        }
+                    }
                 }
-                if margin < 1.0 {
-                    vector::axpy(eta * y, x, &mut w);
-                    if self.config.fit_bias {
-                        b += eta * y;
+                Some((batch, scratch)) => {
+                    // One schedule step per batch: margins for the whole
+                    // batch in one fused pass, then the *averaged* hinge
+                    // subgradient of the violators in one fused update.
+                    for chunk in order.chunks(*batch) {
+                        t += 1;
+                        let eta = self.config.schedule.rate(t);
+                        scratch.gather(data, chunk);
+                        scratch.compute_margins(&w, b);
+                        let blen = chunk.len() as f64;
+                        scratch.picked.clear();
+                        scratch.coeffs.clear();
+                        let mut bias_step = 0.0;
+                        for j in 0..chunk.len() {
+                            if scratch.margins[j] < 1.0 {
+                                let y = scratch.labels[j];
+                                scratch.picked.push(j);
+                                scratch.coeffs.push(eta * y / blen);
+                                bias_step += y;
+                            }
+                        }
+                        let shrink = 1.0 - eta * self.config.lambda;
+                        scratch.apply(if shrink > 0.0 { shrink } else { 1.0 }, &mut w);
+                        if self.config.fit_bias {
+                            b += eta * bias_step / blen;
+                        }
                     }
                 }
             }
@@ -380,6 +419,53 @@ mod tests {
             MlError::DimensionMismatch { .. }
         ));
         assert!(svm.linear_state().is_none(), "failed fit must not fit");
+    }
+
+    #[test]
+    fn minibatch_kernel_learns_like_row_sgd() {
+        let data = blobs(14);
+        let mut row = LinearSvm::new(quick_config());
+        row.fit(&data).unwrap();
+        for batch in [1, 8, 32, 1000] {
+            let mut mb = LinearSvm::new(TrainConfig {
+                kernel: FitKernel::Minibatch { batch },
+                ..quick_config()
+            });
+            mb.fit(&data).unwrap();
+            let (ra, ma) = (row.accuracy_on(&data), mb.accuracy_on(&data));
+            assert!(
+                (ra - ma).abs() <= 0.03,
+                "batch {batch}: row {ra} vs minibatch {ma}"
+            );
+        }
+    }
+
+    #[test]
+    fn minibatch_kernel_is_deterministic() {
+        let data = blobs(15);
+        let config = TrainConfig {
+            kernel: FitKernel::Minibatch { batch: 16 },
+            ..quick_config()
+        };
+        let mut a = LinearSvm::new(config.clone());
+        let mut b = LinearSvm::new(config);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    fn minibatch_rejects_zero_batch() {
+        let data = blobs(16);
+        let mut svm = LinearSvm::new(TrainConfig {
+            kernel: FitKernel::Minibatch { batch: 0 },
+            ..quick_config()
+        });
+        assert!(matches!(
+            svm.fit(&data).unwrap_err(),
+            MlError::BadHyperparameter { what: "batch", .. }
+        ));
     }
 
     #[test]

@@ -851,6 +851,13 @@ pub struct ServerStats {
     pub cache_entries: usize,
     /// Preparation-cache bound (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Cumulative microseconds spent preparing datasets
+    /// (process-global; see `poisongame_sim::timing`).
+    pub prep_micros: u64,
+    /// Cumulative microseconds spent fitting models.
+    pub fit_micros: u64,
+    /// Cumulative microseconds spent evaluating fitted models.
+    pub eval_micros: u64,
 }
 
 impl ServerStats {
@@ -892,6 +899,14 @@ impl ServerStats {
                     ),
                 ]),
             ),
+            (
+                "timing",
+                Json::obj(vec![
+                    ("prep_micros", jsonio::big_u64_to_json(self.prep_micros)),
+                    ("fit_micros", jsonio::big_u64_to_json(self.fit_micros)),
+                    ("eval_micros", jsonio::big_u64_to_json(self.eval_micros)),
+                ]),
+            ),
         ])
     }
 
@@ -912,6 +927,9 @@ impl ServerStats {
         let cache = value
             .get("cache")
             .ok_or_else(|| bad("stats need `cache`".into()))?;
+        let timing = value
+            .get("timing")
+            .ok_or_else(|| bad("stats need `timing`".into()))?;
         Ok(Self {
             uptime_micros: u64_field(value, "uptime_micros")?,
             workers: u64_field(value, "workers")? as usize,
@@ -932,6 +950,9 @@ impl ServerStats {
                     jsonio::require_u64(v, "capacity").map_err(|e| bad(e.to_string()))? as usize,
                 ),
             },
+            prep_micros: u64_field(timing, "prep_micros")?,
+            fit_micros: u64_field(timing, "fit_micros")?,
+            eval_micros: u64_field(timing, "eval_micros")?,
         })
     }
 }
@@ -1140,6 +1161,9 @@ mod tests {
             cache_evictions: 4,
             cache_entries: 16,
             cache_capacity: Some(32),
+            prep_micros: 12_000,
+            fit_micros: 340_000,
+            eval_micros: 5_600,
         };
         let back = ServerStats::from_json(&stats.to_json()).unwrap();
         assert_eq!(back, stats);

@@ -206,6 +206,9 @@ impl Inner {
 
     fn stats(&self) -> ServerStats {
         let cache = self.engine.cache_stats();
+        // Process-global phase counters (never per-response: responses
+        // to identical requests must stay byte-identical).
+        let timing = poisongame_sim::timing::snapshot();
         ServerStats {
             uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             workers: self.workers,
@@ -221,6 +224,9 @@ impl Inner {
             cache_evictions: cache.evictions,
             cache_entries: self.engine.cached_preparations(),
             cache_capacity: self.engine.cache_capacity(),
+            prep_micros: timing.prep_micros,
+            fit_micros: timing.fit_micros,
+            eval_micros: timing.eval_micros,
         }
     }
 }

@@ -54,7 +54,7 @@ use crate::fig1::{run_fig1_prepared, run_fig1_warm, Fig1Config, Fig1Results};
 use crate::monte_carlo::{simulate_repeated_game_parallel, MonteCarloResults};
 use crate::pipeline::{prepare_data, DataSource, ExperimentConfig, Prepared, PreparedData};
 use crate::scaling::{run_scaling_with, ScalingResults};
-use crate::scenario::{run_matrix_prepared, EngineStats, MatrixResults, ScenarioMatrix};
+use crate::scenario::{run_matrix_prepared_opts, EngineStats, MatrixResults, ScenarioMatrix};
 use crate::table1::{run_table1_prepared, Table1Results};
 use poisongame_core::{Algorithm1Config, DefenderMixedStrategy, PoisonGame};
 use poisongame_data::{CacheStats, ContentHash, PrepCache};
@@ -180,6 +180,7 @@ pub struct EvalEngine {
     policy: ExecPolicy,
     store: PrepCache<PrepKey, PreparedData>,
     warm_start_sweep: bool,
+    fused_eval: bool,
 }
 
 impl EvalEngine {
@@ -232,6 +233,26 @@ impl EvalEngine {
     /// Whether warm-started sweeps are on.
     pub fn warm_start_enabled(&self) -> bool {
         self.warm_start_sweep
+    }
+
+    /// Opt in (or out) of fused cross-cell evaluation: matrix cells
+    /// only filter + train in the worker pool, and every cell's
+    /// [`poisongame_ml::LinearState`] is then evaluated against the
+    /// shared held-out features in one blocked multi-RHS GEMM (see
+    /// [`crate::scenario::run_matrix_prepared_opts`]). Results are
+    /// **bit-identical** to the per-cell path — the knob only
+    /// reschedules the evaluation flops — so unlike
+    /// [`EvalEngine::warm_start_sweep`] this is safe on golden paths;
+    /// it is still off by default to keep the default engine's
+    /// execution shape the historical one.
+    pub fn fused_eval(mut self, on: bool) -> Self {
+        self.fused_eval = on;
+        self
+    }
+
+    /// Whether fused cross-cell evaluation is on.
+    pub fn fused_eval_enabled(&self) -> bool {
+        self.fused_eval
     }
 
     /// Preparation-store hit/miss counters.
@@ -319,7 +340,8 @@ impl EvalEngine {
         let before = self.store.stats();
         let start = Instant::now();
         let prepared = self.prepare(config)?;
-        let mut results = run_matrix_prepared(&prepared, config, matrix, &self.policy)?;
+        let mut results =
+            run_matrix_prepared_opts(&prepared, config, matrix, &self.policy, self.fused_eval)?;
         let after = self.store.stats();
         results.engine = Some(EngineStats {
             prep_hits: after.hits - before.hits,
@@ -593,6 +615,31 @@ mod tests {
             warm.rows[0].accuracy_under_attack.to_bits(),
             cold.rows[0].accuracy_under_attack.to_bits()
         );
+    }
+
+    #[test]
+    fn fused_engine_matrix_is_byte_identical_to_default() {
+        let config = quick_config(13);
+        let matrix = ScenarioMatrix {
+            attacks: vec![
+                crate::scenario::AttackSpec::Boundary,
+                crate::scenario::AttackSpec::LabelFlip,
+            ],
+            ..ScenarioMatrix::default()
+        };
+        let plain = EvalEngine::new().run_matrix(&config, &matrix).unwrap();
+        let fused_engine = EvalEngine::new().fused_eval(true);
+        assert!(fused_engine.fused_eval_enabled());
+        let fused = fused_engine.run_matrix(&config, &matrix).unwrap();
+        assert_eq!(plain, fused);
+        for (a, b) in plain.cells.iter().zip(&fused.cells) {
+            assert_eq!(
+                a.outcome.accuracy.to_bits(),
+                b.outcome.accuracy.to_bits(),
+                "fused eval must be bit-identical"
+            );
+        }
+        assert!(!EvalEngine::new().fused_eval_enabled());
     }
 
     #[test]

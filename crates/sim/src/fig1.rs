@@ -9,14 +9,16 @@
 use crate::error::SimError;
 use crate::exec::{try_parallel_map, ExecPolicy};
 use crate::pipeline::{
-    attack_filter_train_eval, filter_train_eval, filter_train_eval_warm, hugging_placement,
-    prepare, run_cell_warm, ExperimentConfig, Prepared,
+    attack_filter_train_eval, filter_train_eval, filter_train_warm, hugging_placement, prepare,
+    run_cell_trained, ExperimentConfig, Prepared,
 };
 use poisongame_defense::FilterStrength;
 use poisongame_linalg::Xoshiro256StarStar;
+use poisongame_ml::batch::batched_accuracy;
 use poisongame_ml::LinearState;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Sweep configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -221,16 +223,18 @@ pub fn run_fig1_warm(
         config,
     )?;
 
-    let mut rows = Vec::with_capacity(sweep.strengths.len());
     // Two chains: the attacked and clean series each continue from
     // their own neighbour (mixing them would seed the clean model with
-    // poison-influenced weights).
+    // poison-influenced weights). The chain only needs each cell's
+    // *state* to seed the next fit, so held-out evaluation is deferred
+    // and the whole sweep evaluates in one blocked multi-RHS pass.
+    let mut trained = Vec::with_capacity(sweep.strengths.len());
     let mut warm_attacked: Option<LinearState> = None;
     let mut warm_clean: Option<LinearState> = None;
     for &theta in &sweep.strengths {
         let mut rng = point_rng(config, theta);
         let placement = hugging_placement(prepared, theta, sweep.placement_slack);
-        let (attacked, next_attacked) = run_cell_warm(
+        let attacked = run_cell_trained(
             prepared,
             &config.scenario,
             placement,
@@ -239,7 +243,7 @@ pub fn run_fig1_warm(
             &mut rng,
             warm_attacked.as_ref(),
         )?;
-        let (clean, next_clean) = filter_train_eval_warm(
+        let clean = filter_train_warm(
             prepared.train(),
             &[],
             prepared.test(),
@@ -248,15 +252,45 @@ pub fn run_fig1_warm(
             config,
             warm_clean.as_ref(),
         )?;
-        warm_attacked = next_attacked;
-        warm_clean = next_clean;
-        rows.push(Fig1Row {
-            removed_fraction: theta,
-            accuracy_under_attack: attacked.accuracy,
-            accuracy_clean: clean.accuracy,
-            poison_recall: attacked.accounting.poison_recall(),
-        });
+        warm_attacked = attacked.state.clone();
+        warm_clean = clean.state.clone();
+        trained.push((theta, attacked, clean));
     }
+
+    // One batched evaluation over every chained state (attacked then
+    // clean per sweep point) — bit-identical to per-cell evaluation.
+    let states: Vec<LinearState> = trained
+        .iter()
+        .flat_map(|(_, a, c)| [a.state.clone(), c.state.clone()])
+        .flatten()
+        .collect();
+    let started = Instant::now();
+    let batched = batched_accuracy(
+        prepared.test().features(),
+        prepared.test().labels(),
+        &states,
+    )?;
+    crate::timing::record_eval(started.elapsed());
+    let mut accuracies = batched.into_iter();
+    let rows = trained
+        .into_iter()
+        .map(|(theta, attacked, clean)| {
+            let accuracy_under_attack = match attacked.fallback_accuracy {
+                Some(acc) => acc,
+                None => accuracies.next().expect("one accuracy per stated cell"),
+            };
+            let accuracy_clean = match clean.fallback_accuracy {
+                Some(acc) => acc,
+                None => accuracies.next().expect("one accuracy per stated cell"),
+            };
+            Fig1Row {
+                removed_fraction: theta,
+                accuracy_under_attack,
+                accuracy_clean,
+                poison_recall: attacked.accounting.poison_recall(),
+            }
+        })
+        .collect();
 
     Ok(Fig1Results {
         rows,
@@ -272,6 +306,7 @@ mod tests {
     use crate::scenario::Scenario;
     use poisongame_core::SolverKind;
     use poisongame_defense::CentroidEstimator;
+    use poisongame_ml::FitKernel;
 
     fn quick_config() -> ExperimentConfig {
         ExperimentConfig {
@@ -283,6 +318,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            fit_kernel: FitKernel::RowSgd,
             scenario: Scenario::default(),
         }
     }

@@ -87,11 +87,16 @@ pub mod report;
 pub mod scaling;
 pub mod scenario;
 pub mod table1;
+pub mod timing;
 
 pub use engine::EvalEngine;
 pub use error::SimError;
 pub use exec::ExecPolicy;
 pub use pipeline::{DataSource, ExperimentConfig, Prepared, PreparedData};
+// Re-exported because `ExperimentConfig::fit_kernel` is part of the
+// config surface: downstream crates select kernels without a direct
+// `poisongame-ml` dependency.
+pub use poisongame_ml::FitKernel;
 pub use scenario::{
     AttackSpec, DefenseSpec, EngineStats, LearnerSpec, MatrixResults, Scenario, ScenarioBuilder,
     ScenarioMatrix,

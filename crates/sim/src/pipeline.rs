@@ -17,10 +17,12 @@ use poisongame_data::synth::{gaussian_blobs, spambase_like, SpambaseConfig};
 use poisongame_data::{DataView, Dataset, PoisonedView};
 use poisongame_defense::{CentroidEstimator, FilterAccounting, FilterStrength};
 use poisongame_linalg::Xoshiro256StarStar;
-use poisongame_ml::{LinearState, TrainConfig};
+use poisongame_ml::batch::batched_accuracy;
+use poisongame_ml::{FitKernel, LinearState, TrainConfig};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which dataset the experiment runs on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -85,6 +87,16 @@ pub struct ExperimentConfig {
     /// opted in.
     #[serde(default)]
     pub warm_start: bool,
+    /// Which training kernel every fit in this experiment uses.
+    /// Defaults to [`FitKernel::RowSgd`] — the historical
+    /// row-at-a-time loop, bit for bit — so configs that never mention
+    /// a kernel (including serialized ones with the field absent)
+    /// reproduce the paper's pipeline exactly. Opting into
+    /// [`FitKernel::Minibatch`] trades bit-identity for blocked-GEMM
+    /// throughput (tolerance-equivalent accuracy; see
+    /// `poisongame-ml`).
+    #[serde(default)]
+    pub fit_kernel: FitKernel,
     /// Which attack × defense × learner triple every cell of this
     /// experiment dispatches through. Defaults to the paper's triple
     /// (boundary attack, radius filter, linear SVM), so configs that
@@ -107,6 +119,7 @@ impl ExperimentConfig {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            fit_kernel: FitKernel::RowSgd,
             scenario: Scenario::paper(),
         }
     }
@@ -128,6 +141,7 @@ impl ExperimentConfig {
         TrainConfig {
             epochs: self.epochs,
             seed: self.seed ^ 0x7261_696e, // "rain" — decorrelate from data seed
+            kernel: self.fit_kernel,
             ..TrainConfig::default()
         }
     }
@@ -174,6 +188,7 @@ impl ExperimentConfig {
             ("centroid", centroid_to_json(self.centroid)),
             ("solver", Json::str(solver_name(self.solver))),
             ("warm_start", Json::Bool(self.warm_start)),
+            ("fit_kernel", fit_kernel_to_json(self.fit_kernel)),
             ("scenario", self.scenario.to_json()),
         ])
     }
@@ -220,6 +235,7 @@ impl ExperimentConfig {
                 "centroid",
                 "solver",
                 "warm_start",
+                "fit_kernel",
                 "scenario",
             ],
         )?;
@@ -249,6 +265,9 @@ impl ExperimentConfig {
         }
         if let Some(v) = value.get("warm_start") {
             config.warm_start = jsonio::require_bool(v, "warm_start")?;
+        }
+        if let Some(v) = value.get("fit_kernel") {
+            config.fit_kernel = fit_kernel_from_json(v)?;
         }
         if let Some(v) = value.get("scenario") {
             config.scenario = Scenario::from_json(v)?;
@@ -402,6 +421,42 @@ fn solver_from_json(value: &Json) -> Result<SolverKind, SimError> {
     }
 }
 
+fn fit_kernel_to_json(kernel: FitKernel) -> Json {
+    match kernel {
+        FitKernel::RowSgd => Json::str("row_sgd"),
+        FitKernel::Minibatch { batch } => Json::obj(vec![
+            ("type", Json::str("minibatch")),
+            ("batch", Json::Num(batch as f64)),
+        ]),
+    }
+}
+
+fn fit_kernel_from_json(value: &Json) -> Result<FitKernel, SimError> {
+    let kind = value
+        .as_str()
+        .or_else(|| value.get("type").and_then(Json::as_str))
+        .ok_or_else(|| SimError::Spec("fit_kernel must be a string or tagged object".into()))?;
+    let allowed: &[&str] = if kind == "minibatch" {
+        &["type", "batch"]
+    } else {
+        &["type"]
+    };
+    jsonio::check_keys(value, "fit_kernel", allowed)?;
+    match kind {
+        "row_sgd" => Ok(FitKernel::RowSgd),
+        "minibatch" => {
+            let batch = value.get("batch").and_then(Json::as_u64).ok_or_else(|| {
+                SimError::Spec("minibatch fit_kernel needs integer `batch`".into())
+            })? as usize;
+            if batch == 0 {
+                return Err(SimError::Spec("minibatch `batch` must be >= 1".into()));
+            }
+            Ok(FitKernel::Minibatch { batch })
+        }
+        other => Err(SimError::Spec(format!("unknown fit_kernel `{other}`"))),
+    }
+}
+
 /// The cacheable product of dataset preparation: everything derived
 /// from `(source, seed, test_fraction)` alone — no budget, no
 /// scenario. This is the unit the engine's preparation store keys by
@@ -477,6 +532,7 @@ pub fn prepare_data(
     seed: u64,
     test_fraction: f64,
 ) -> Result<PreparedData, SimError> {
+    let started = Instant::now();
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let full = match source {
         DataSource::SyntheticSpambase { rows } => spambase_like(
@@ -500,6 +556,7 @@ pub fn prepare_data(
     // distance geometry the radius filter and the game model live on.
     let (train, scaler) = StandardScaler::fit_transform(&train_raw)?;
     let test = scaler.transform(&test_raw)?;
+    crate::timing::record_prep(started.elapsed());
     Ok(PreparedData {
         train,
         test,
@@ -659,13 +716,116 @@ pub fn filter_train_eval_scenario(
     .map(|(outcome, _)| outcome)
 }
 
-/// The single filter → train → evaluate core every path funnels into.
+/// The filter → train product of one experiment cell, *before*
+/// held-out evaluation — what the engine's fused cross-cell evaluator
+/// collects from each cell so it can stack every cell's
+/// [`LinearState`] into one blocked multi-RHS margin computation.
+///
+/// All fields are plain data (`Send`), unlike the boxed model they
+/// came from, so trained cells cross the worker-pool boundary.
+#[derive(Debug, Clone)]
+pub struct TrainedCell {
+    /// Ground-truth poison/genuine accounting of the filter.
+    pub accounting: FilterAccounting,
+    /// Fraction of the (poisoned) training set the filter removed.
+    pub removed_fraction: f64,
+    /// The fitted model's linear state, when it exposes one (every
+    /// bundled learner does).
+    pub state: Option<LinearState>,
+    /// Accuracy computed inline for learners with no linear state —
+    /// those cells cannot join the batched evaluation.
+    pub fallback_accuracy: Option<f64>,
+}
+
+impl TrainedCell {
+    /// Evaluate this cell on `test` and assemble its [`EvalOutcome`]
+    /// plus the state warm-start sweeps chain on. The single-state
+    /// batched kernel accumulates each margin in the same order as the
+    /// historical per-point `accuracy_on`, so the result is
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches between the state and `test`.
+    pub fn into_outcome(
+        self,
+        test: &Dataset,
+    ) -> Result<(EvalOutcome, Option<LinearState>), SimError> {
+        let accuracy = match (self.fallback_accuracy, self.state.as_ref()) {
+            (Some(acc), _) => acc,
+            (None, Some(state)) => {
+                let started = Instant::now();
+                let acc =
+                    batched_accuracy(test.features(), test.labels(), std::slice::from_ref(state))?
+                        [0];
+                crate::timing::record_eval(started.elapsed());
+                acc
+            }
+            (None, None) => unreachable!("filter_train_warm sets fallback when state is absent"),
+        };
+        Ok((
+            EvalOutcome {
+                accuracy,
+                accounting: self.accounting,
+                removed_fraction: self.removed_fraction,
+            },
+            self.state,
+        ))
+    }
+}
+
+/// The single filter → train core every path funnels into, stopping
+/// short of held-out evaluation: callers either evaluate immediately
+/// ([`TrainedCell::into_outcome`], the per-cell path) or batch many
+/// cells' states into one blocked evaluation (the engine's fused
+/// path).
 ///
 /// `warm` optionally seeds training from a neighbouring cell's
 /// [`LinearState`] (the engine's opt-in warm-start sweeps); `None` is
 /// the cold golden path, bit-identical to the historical pipeline.
-/// Returns the outcome plus the fitted model's linear state so
-/// monotone sweeps can chain cells.
+///
+/// # Errors
+///
+/// Propagates spec-building, filtering and training failures.
+pub fn filter_train_warm(
+    train: &dyn DataView,
+    poison_indices: &[usize],
+    test: &Dataset,
+    strength: FilterStrength,
+    scenario: &Scenario,
+    config: &ExperimentConfig,
+    warm: Option<&LinearState>,
+) -> Result<TrainedCell, SimError> {
+    let filter = scenario.defense.build(strength, config.centroid)?;
+    let outcome = filter.split(train)?;
+    let kept = outcome.kept_dataset(train);
+    let mut model = scenario.learner.build(config.train_config());
+    let fit_started = Instant::now();
+    match warm {
+        Some(state) => model.fit_from(&kept, state)?,
+        None => model.fit(&kept)?,
+    }
+    crate::timing::record_fit(fit_started.elapsed());
+    let state = model.linear_state();
+    let fallback_accuracy = if state.is_none() {
+        let started = Instant::now();
+        let acc = model.accuracy_on(test);
+        crate::timing::record_eval(started.elapsed());
+        Some(acc)
+    } else {
+        None
+    };
+    Ok(TrainedCell {
+        accounting: outcome.account(poison_indices),
+        removed_fraction: outcome.removed_fraction(train),
+        state,
+        fallback_accuracy,
+    })
+}
+
+/// [`filter_train_warm`] plus immediate per-cell evaluation — the
+/// historical signature, bit-identical to the pre-`TrainedCell`
+/// pipeline.
 ///
 /// # Errors
 ///
@@ -679,23 +839,16 @@ pub fn filter_train_eval_warm(
     config: &ExperimentConfig,
     warm: Option<&LinearState>,
 ) -> Result<(EvalOutcome, Option<LinearState>), SimError> {
-    let filter = scenario.defense.build(strength, config.centroid)?;
-    let outcome = filter.split(train)?;
-    let kept = outcome.kept_dataset(train);
-    let mut model = scenario.learner.build(config.train_config());
-    match warm {
-        Some(state) => model.fit_from(&kept, state)?,
-        None => model.fit(&kept)?,
-    }
-    let state = model.linear_state();
-    Ok((
-        EvalOutcome {
-            accuracy: model.accuracy_on(test),
-            accounting: outcome.account(poison_indices),
-            removed_fraction: outcome.removed_fraction(train),
-        },
-        state,
-    ))
+    filter_train_warm(
+        train,
+        poison_indices,
+        test,
+        strength,
+        scenario,
+        config,
+        warm,
+    )?
+    .into_outcome(test)
 }
 
 /// The placement that "hugs" a strength-`theta` filter from inside,
@@ -770,11 +923,31 @@ pub fn run_cell_warm(
     rng: &mut Xoshiro256StarStar,
     warm: Option<&LinearState>,
 ) -> Result<(EvalOutcome, Option<LinearState>), SimError> {
+    run_cell_trained(prepared, scenario, placement, strength, config, rng, warm)?
+        .into_outcome(prepared.test())
+}
+
+/// [`run_cell_warm`] stopping short of held-out evaluation — the
+/// engine's fused cross-cell path collects these and evaluates every
+/// cell's state in one blocked multi-RHS operation.
+///
+/// # Errors
+///
+/// Propagates spec-building, attack, filtering and training failures.
+pub fn run_cell_trained(
+    prepared: &Prepared,
+    scenario: &Scenario,
+    placement: f64,
+    strength: FilterStrength,
+    config: &ExperimentConfig,
+    rng: &mut Xoshiro256StarStar,
+    warm: Option<&LinearState>,
+) -> Result<TrainedCell, SimError> {
     let attack = scenario.attack.build(placement, prepared.n_poison)?;
     let poison = attack.generate(prepared.train(), prepared.n_poison, rng)?;
     let poisoned = PoisonedView::new(prepared.train(), poison)?;
     let injected: Vec<usize> = poisoned.appended_indices().collect();
-    filter_train_eval_warm(
+    filter_train_warm(
         &poisoned,
         &injected,
         prepared.test(),
@@ -804,6 +977,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            fit_kernel: FitKernel::RowSgd,
             scenario: Scenario::default(),
         }
     }
@@ -820,6 +994,7 @@ mod tests {
             centroid: CentroidEstimator::CoordinateMedian,
             solver: SolverKind::Auto,
             warm_start: false,
+            fit_kernel: FitKernel::RowSgd,
             scenario: Scenario::default(),
         }
     }
@@ -1026,6 +1201,7 @@ mod tests {
             centroid: CentroidEstimator::Mean,
             solver: SolverKind::Auto,
             warm_start: false,
+            fit_kernel: FitKernel::RowSgd,
             scenario: Scenario::default(),
         };
         let p = prepare(&config).unwrap();

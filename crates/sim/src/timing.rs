@@ -1,0 +1,94 @@
+//! Process-global accounting of where evaluation time goes: dataset
+//! preparation vs model fitting vs held-out evaluation.
+//!
+//! The counters are cumulative, monotone atomics rather than
+//! per-request fields for a load-bearing reason: the serving tier
+//! asserts that responses to identical requests are *byte-identical*
+//! across connections, so wall-clock measurements must never ride on
+//! the response path. Callers (the server's `stats` request, the load
+//! generator's summary) read one [`snapshot`] at the end of a run and
+//! difference it against an earlier one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static PREP_MICROS: AtomicU64 = AtomicU64::new(0);
+static FIT_MICROS: AtomicU64 = AtomicU64::new(0);
+static EVAL_MICROS: AtomicU64 = AtomicU64::new(0);
+
+fn add(counter: &AtomicU64, elapsed: Duration) {
+    counter.fetch_add(
+        elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+        Ordering::Relaxed,
+    );
+}
+
+/// Credit `elapsed` to dataset preparation (generate → split → scale).
+pub fn record_prep(elapsed: Duration) {
+    add(&PREP_MICROS, elapsed);
+}
+
+/// Credit `elapsed` to model fitting.
+pub fn record_fit(elapsed: Duration) {
+    add(&FIT_MICROS, elapsed);
+}
+
+/// Credit `elapsed` to held-out evaluation.
+pub fn record_eval(elapsed: Duration) {
+    add(&EVAL_MICROS, elapsed);
+}
+
+/// A point-in-time reading of the cumulative phase counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingSnapshot {
+    /// Microseconds spent preparing datasets since process start.
+    pub prep_micros: u64,
+    /// Microseconds spent fitting models since process start.
+    pub fit_micros: u64,
+    /// Microseconds spent evaluating fitted models since process start.
+    pub eval_micros: u64,
+}
+
+impl TimingSnapshot {
+    /// Phase-wise difference against an earlier snapshot (saturating,
+    /// so a stale `earlier` cannot underflow).
+    pub fn since(&self, earlier: &TimingSnapshot) -> TimingSnapshot {
+        TimingSnapshot {
+            prep_micros: self.prep_micros.saturating_sub(earlier.prep_micros),
+            fit_micros: self.fit_micros.saturating_sub(earlier.fit_micros),
+            eval_micros: self.eval_micros.saturating_sub(earlier.eval_micros),
+        }
+    }
+}
+
+/// Read the cumulative counters. Concurrent recorders make this a
+/// momentary reading, not a consistent cut — fine for the coarse
+/// breakdown it feeds.
+pub fn snapshot() -> TimingSnapshot {
+    TimingSnapshot {
+        prep_micros: PREP_MICROS.load(Ordering::Relaxed),
+        fit_micros: FIT_MICROS.load(Ordering::Relaxed),
+        eval_micros: EVAL_MICROS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_difference() {
+        let before = snapshot();
+        record_prep(Duration::from_micros(5));
+        record_fit(Duration::from_micros(7));
+        record_eval(Duration::from_micros(11));
+        let delta = snapshot().since(&before);
+        // Other tests in the same process may also record; lower bounds
+        // are the only safe assertion.
+        assert!(delta.prep_micros >= 5);
+        assert!(delta.fit_micros >= 7);
+        assert!(delta.eval_micros >= 11);
+        // Saturating difference never underflows.
+        assert_eq!(before.since(&snapshot()).fit_micros, 0);
+    }
+}

@@ -6,6 +6,7 @@
 
 use poisongame_core::SolverKind;
 use poisongame_defense::CentroidEstimator;
+use poisongame_ml::FitKernel;
 use poisongame_sim::jsonio::Json;
 use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
 use poisongame_sim::scenario::{AttackSpec, DefenseSpec, LearnerSpec, Scenario, ScenarioMatrix};
@@ -171,6 +172,7 @@ fn config_round_trips_with_every_field() {
         centroid: CentroidEstimator::TrimmedMean { trim: 0.1 },
         solver: SolverKind::FictitiousPlay,
         warm_start: true,
+        fit_kernel: FitKernel::Minibatch { batch: 64 },
         scenario: Scenario {
             attack: AttackSpec::LabelFlip,
             defense: DefenseSpec::Knn { k: 5 },

@@ -1,7 +1,8 @@
 //! Closed-loop load generator for `poisongame-serve`: N connections ×
 //! M requests of a mixed workload (`cell`, `solve`, `estimate`),
 //! verifying zero dropped and zero mismatched responses, and
-//! reporting latency percentiles plus the server's cache hit rate.
+//! reporting latency percentiles, the server's cache hit rate, and a
+//! training-time breakdown (prep vs fit vs eval).
 //!
 //! Every connection issues the *same* deterministic request sequence,
 //! so response `i` must be byte-identical across connections — any
@@ -122,6 +123,14 @@ fn summary_json(
                 ("evictions", jsonio::big_u64_to_json(stats.cache_evictions)),
                 ("hit_rate", Json::Num(stats.cache_hit_rate())),
                 ("entries", Json::Num(stats.cache_entries as f64)),
+            ]),
+        ),
+        (
+            "training",
+            Json::obj(vec![
+                ("prep_micros", jsonio::big_u64_to_json(stats.prep_micros)),
+                ("fit_micros", jsonio::big_u64_to_json(stats.fit_micros)),
+                ("eval_micros", jsonio::big_u64_to_json(stats.eval_micros)),
             ]),
         ),
     ])
@@ -272,6 +281,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats
             .cache_capacity
             .map_or("none".to_string(), |c| c.to_string()),
+    );
+    // Where the server spent its training time (process-global
+    // counters, so this covers every cell the server has run).
+    let total_micros = stats.prep_micros + stats.fit_micros + stats.eval_micros;
+    let share = |micros: u64| {
+        if total_micros == 0 {
+            0.0
+        } else {
+            micros as f64 / total_micros as f64 * 100.0
+        }
+    };
+    println!(
+        "  training time: prep {:.1} ms ({:.0}%) | fit {:.1} ms ({:.0}%) | eval {:.1} ms ({:.0}%)",
+        stats.prep_micros as f64 / 1000.0,
+        share(stats.prep_micros),
+        stats.fit_micros as f64 / 1000.0,
+        share(stats.fit_micros),
+        stats.eval_micros as f64 / 1000.0,
+        share(stats.eval_micros),
     );
     if let Some(path) = &args.json {
         let doc = summary_json(&args, elapsed, &all_latencies, &stats);
