@@ -75,6 +75,63 @@ for key in throughput_rps latency_ms prep_cache training; do
 done
 rm -f "$JSON_FILE"
 
+# Sharded load smoke: in-process server with >=2 shards under a
+# concurrent closed-loop workload. load_test itself asserts zero
+# dropped and zero mismatched responses — a routing or affinity bug
+# fails the gate here.
+echo "==> sharded load_test (2 shards, 8 connections)"
+./target/release/examples/load_test --connections 8 --requests 8 --shards 2
+
+# Gateway smoke: boot serve + gateway on ephemeral ports, drive an
+# HTTP solve and stats through the gateway, then shut the whole stack
+# down over HTTP and assert both daemons exit cleanly.
+echo "==> gateway smoke (ephemeral ports, HTTP solve+stats+shutdown)"
+SERVE_PORT_FILE=$(mktemp) && rm -f "$SERVE_PORT_FILE"
+GW_PORT_FILE=$(mktemp) && rm -f "$GW_PORT_FILE"
+./target/release/examples/serve --addr 127.0.0.1:0 --shards 2 --port-file "$SERVE_PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SERVE_PORT_FILE" ]; then
+  echo "serve never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+./target/release/examples/gateway --addr 127.0.0.1:0 --backend "$(cat "$SERVE_PORT_FILE")" --port-file "$GW_PORT_FILE" &
+GW_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GW_PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$GW_PORT_FILE" ]; then
+  echo "gateway never published its port" >&2
+  kill "$GW_PID" "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+gateway_smoke_fail() {
+  echo "gateway smoke failed: $1" >&2
+  kill "$GW_PID" "$SERVE_PID" 2>/dev/null || true
+  wait "$GW_PID" "$SERVE_PID" 2>/dev/null || true
+  rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE" "$GW_JSON"
+  exit 1
+}
+# The load generator in --gateway mode: HTTP solve/cell/estimate via
+# POST /v1/*, GET /v1/stats, then POST /v1/shutdown to drain the
+# whole stack. Mismatched or dropped responses fail inside load_test.
+GW_JSON=$(mktemp)
+./target/release/examples/load_test --addr "$(cat "$GW_PORT_FILE")" --gateway \
+  --connections 2 --requests 4 --shutdown --json "$GW_JSON" \
+  || gateway_smoke_fail "HTTP workload through the gateway"
+grep -q '"transport":"http"' "$GW_JSON" || gateway_smoke_fail "summary missing http transport marker"
+grep -q '"shards"' "$GW_JSON" || gateway_smoke_fail "summary missing per-shard stats"
+# Clean exits, or the gate fails: shutdown drains serve through the
+# gateway and stops both processes.
+wait "$GW_PID" || gateway_smoke_fail "gateway did not exit cleanly"
+wait "$SERVE_PID" || gateway_smoke_fail "serve did not exit cleanly"
+rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE" "$GW_JSON"
+
 # Online-play smoke: short-horizon repeated game on the discretized
 # paper game plus the empirical engine-backed mode. The example
 # asserts regret shrinks, the averaged value lands within 1e-2 of the

@@ -1,0 +1,141 @@
+//! A minimal blocking HTTP/1.1 client for the gateway's API.
+//!
+//! One [`HttpClient`] wraps one keep-alive connection. It speaks
+//! exactly the subset the gateway serves — content-length framing,
+//! JSON bodies — and exists so tests, the CI smoke step and
+//! `load_test` can drive the gateway without an external HTTP stack.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The response body, verbatim.
+    pub body: String,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// A blocking keep-alive connection to a gateway.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connect to a gateway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<HttpClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(HttpClient { reader, writer })
+    }
+
+    /// Send a `GET` and read the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and framing failures.
+    pub fn get(&mut self, target: &str) -> io::Result<HttpResponse> {
+        self.send(&format!("GET {target} HTTP/1.1\r\nhost: gateway\r\n\r\n"))?;
+        self.read_response()
+    }
+
+    /// Send a `POST` with a JSON body and read the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and framing failures.
+    pub fn post(&mut self, target: &str, body: &str) -> io::Result<HttpResponse> {
+        self.send(&format!(
+            "POST {target} HTTP/1.1\r\nhost: gateway\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ))?;
+        self.read_response()
+    }
+
+    /// Write raw request bytes without reading a response — the
+    /// pipelining half; pair with [`HttpClient::read_response`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, raw: &str) -> io::Result<()> {
+        self.writer.write_all(raw.as_bytes())
+    }
+
+    /// Read one response off the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; framing violations surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split(' ');
+        let status = match (parts.next(), parts.next()) {
+            (Some(version), Some(code)) if version.starts_with("HTTP/1.") => code
+                .parse::<u16>()
+                .map_err(|_| invalid(format!("bad status line: `{status_line}`")))?,
+            _ => return Err(invalid(format!("bad status line: `{status_line}`"))),
+        };
+        let mut content_length: Option<usize> = None;
+        let mut keep_alive = true;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(invalid(format!("bad header line: `{line}`")));
+            };
+            let value = value.trim();
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| invalid(format!("bad content-length: `{value}`")))?,
+                    );
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+        let length =
+            content_length.ok_or_else(|| invalid("response without content-length".into()))?;
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body".into()))?;
+        Ok(HttpResponse {
+            status,
+            body,
+            keep_alive,
+        })
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}

@@ -1,0 +1,379 @@
+//! Minimal HTTP/1.1 message layer: request parsing with
+//! content-length framing, response serialization, structured JSON
+//! error bodies.
+//!
+//! The gateway speaks just enough HTTP for load balancers, `curl` and
+//! the in-repo client: request-line + headers + content-length body,
+//! keep-alive by default (HTTP/1.1 semantics; `Connection: close`
+//! honored), no chunked transfer, no TLS. Anything outside that
+//! subset is answered with a structured HTTP error rather than a
+//! dropped connection.
+
+use poisongame_sim::jsonio::Json;
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus all headers. Generous for any real
+/// client; stops a hostile peer from growing the header buffer
+/// without bound.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Request method, uppercase as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (`/v1/solve`); query strings are not split off.
+    pub target: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection survives this exchange
+    /// (HTTP/1.1 default, `Connection` header honored).
+    pub keep_alive: bool,
+}
+
+/// A structured HTTP-level error: status + machine-readable code +
+/// human-readable message, rendered as the same `{"error": {...}}`
+/// body shape the backend's NDJSON errors use.
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Machine-readable error class (mirrors the NDJSON `error.code`
+    /// vocabulary, extended with HTTP-only classes like `not_found`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether framing is lost and the connection must close after
+    /// the error response.
+    pub close: bool,
+}
+
+impl HttpError {
+    /// Build an error with every field explicit.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>, close: bool) -> Self {
+        Self {
+            status,
+            code,
+            message: message.into(),
+            close,
+        }
+    }
+
+    /// The JSON error body.
+    pub fn body(&self) -> String {
+        Json::obj(vec![(
+            "error",
+            Json::obj(vec![
+                ("code", Json::str(self.code)),
+                ("message", Json::str(&self.message)),
+            ]),
+        )])
+        .render()
+    }
+}
+
+/// Outcome of one attempt to read a request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(HttpRequest),
+    /// Clean EOF on a request boundary — the peer is done.
+    Closed,
+    /// The gateway is stopping; abandon the connection.
+    Stopped,
+    /// The peer violated the protocol; answer with this error.
+    Invalid(HttpError),
+}
+
+/// Read one request. `should_stop` is polled whenever the socket's
+/// read timeout fires, so an idle keep-alive connection notices a
+/// gateway shutdown promptly; mid-message timeouts keep waiting (the
+/// partial bytes already read are preserved).
+///
+/// # Errors
+///
+/// Propagates unexpected transport failures (timeouts and EOF are
+/// folded into [`ReadOutcome`]).
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+    should_stop: &dyn Fn() -> bool,
+) -> io::Result<ReadOutcome> {
+    let mut head = Vec::new();
+    // Request line.
+    let request_line = match read_line(reader, &mut head, should_stop)? {
+        Line::Text(line) => line,
+        Line::Eof => return Ok(ReadOutcome::Closed),
+        Line::Truncated => {
+            return Ok(ReadOutcome::Invalid(HttpError::new(
+                400,
+                "bad_request",
+                "truncated request line",
+                true,
+            )))
+        }
+        Line::Stopped => return Ok(ReadOutcome::Stopped),
+        Line::TooLong => return Ok(ReadOutcome::Invalid(head_too_large())),
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Ok(ReadOutcome::Invalid(HttpError::new(
+                400,
+                "bad_request",
+                format!("malformed request line: `{request_line}`"),
+                true,
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Ok(ReadOutcome::Invalid(HttpError::new(
+            400,
+            "bad_request",
+            format!("unsupported protocol version `{version}`"),
+            true,
+        )));
+    }
+    let mut keep_alive = version == "HTTP/1.1";
+    let method = method.to_string();
+    let target = target.to_string();
+
+    // Headers, until the blank line.
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = match read_line(reader, &mut head, should_stop)? {
+            Line::Text(line) => line,
+            Line::Eof | Line::Truncated => {
+                return Ok(ReadOutcome::Invalid(HttpError::new(
+                    400,
+                    "bad_request",
+                    "connection closed inside the header block",
+                    true,
+                )))
+            }
+            Line::Stopped => return Ok(ReadOutcome::Stopped),
+            Line::TooLong => return Ok(ReadOutcome::Invalid(head_too_large())),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Invalid(HttpError::new(
+                400,
+                "bad_request",
+                format!("malformed header line: `{line}`"),
+                true,
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if content_length.map_or(true, |prev| prev == n) => {
+                    content_length = Some(n);
+                }
+                _ => {
+                    return Ok(ReadOutcome::Invalid(HttpError::new(
+                        400,
+                        "bad_request",
+                        format!("invalid content-length `{value}`"),
+                        true,
+                    )))
+                }
+            },
+            "connection" => {
+                // Token list; `close` anywhere wins, `keep-alive`
+                // re-enables for HTTP/1.0 peers.
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => keep_alive = false,
+                        "keep-alive" => keep_alive = true,
+                        _ => {}
+                    }
+                }
+            }
+            "transfer-encoding" => {
+                return Ok(ReadOutcome::Invalid(HttpError::new(
+                    400,
+                    "bad_request",
+                    "transfer-encoding is not supported; send content-length",
+                    true,
+                )))
+            }
+            _ => {}
+        }
+    }
+
+    // Body framing: POST and friends require an explicit length.
+    let length = match content_length {
+        Some(length) => length,
+        None if method == "GET" || method == "HEAD" || method == "DELETE" => 0,
+        None => {
+            // Framing is intact (there is no body to skip), so the
+            // connection survives.
+            return Ok(ReadOutcome::Invalid(HttpError::new(
+                411,
+                "length_required",
+                format!("{method} requests must carry a content-length header"),
+                false,
+            )));
+        }
+    };
+    if length > max_body_bytes {
+        // The body is never read, so framing is lost: close.
+        return Ok(ReadOutcome::Invalid(HttpError::new(
+            413,
+            "body_too_large",
+            format!("content-length {length} exceeds the {max_body_bytes} byte cap"),
+            true,
+        )));
+    }
+    let mut body = vec![0u8; length];
+    let mut filled = 0;
+    while filled < length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Ok(ReadOutcome::Invalid(HttpError::new(
+                    400,
+                    "bad_request",
+                    "connection closed before the full body arrived",
+                    true,
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if should_stop() {
+                    return Ok(ReadOutcome::Stopped);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Request(HttpRequest {
+        method,
+        target,
+        body,
+        keep_alive,
+    }))
+}
+
+fn head_too_large() -> HttpError {
+    HttpError::new(
+        431,
+        "headers_too_large",
+        format!("request head exceeds the {MAX_HEAD_BYTES} byte cap"),
+        true,
+    )
+}
+
+enum Line {
+    /// A complete line, CRLF/LF stripped.
+    Text(String),
+    /// Clean EOF before any byte of this line.
+    Eof,
+    /// EOF in the middle of a line.
+    Truncated,
+    Stopped,
+    TooLong,
+}
+
+/// Read one CRLF/LF-terminated line, accounting its bytes against the
+/// shared `head` budget. Timeouts poll `should_stop` so an idle
+/// keep-alive connection notices a gateway shutdown promptly.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    head: &mut Vec<u8>,
+    should_stop: &dyn Fn() -> bool,
+) -> io::Result<Line> {
+    let start = head.len();
+    loop {
+        // Cap each read at the remaining head budget so a peer that
+        // never sends the newline cannot grow the buffer unboundedly.
+        let remaining = (MAX_HEAD_BYTES + 1).saturating_sub(head.len()) as u64;
+        if remaining == 0 {
+            return Ok(Line::TooLong);
+        }
+        match reader.by_ref().take(remaining).read_until(b'\n', head) {
+            Ok(0) => {
+                return Ok(if head.len() == start {
+                    Line::Eof
+                } else {
+                    Line::Truncated
+                })
+            }
+            Ok(_) => {
+                if head.last() != Some(&b'\n') {
+                    // Delimiter not reached: either the budget ran out
+                    // (retry shrinks `remaining` to 0 → TooLong) or
+                    // EOF cut the line short — distinguished by
+                    // whether another read yields bytes.
+                    continue;
+                }
+                if head.len() > MAX_HEAD_BYTES {
+                    return Ok(Line::TooLong);
+                }
+                let mut line = &head[start..head.len() - 1];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                return Ok(Line::Text(String::from_utf8_lossy(line).into_owned()));
+            }
+            Err(e) if is_timeout(&e) => {
+                if should_stop() {
+                    return Ok(Line::Stopped);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Serialize one response: status line, `Content-Type`,
+/// `Content-Length`, `Connection`, body.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {length}\r\nconnection: {connection}\r\n\r\n",
+        reason = reason_of(status),
+        length = body.len(),
+        connection = if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Canonical reason phrase for the statuses the gateway emits.
+pub fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}

@@ -1,0 +1,57 @@
+//! `poisongame-gateway` — a std-only HTTP/1.1 front end for the
+//! NDJSON defense-evaluation service.
+//!
+//! The serving tier speaks a pipelined NDJSON-over-TCP protocol
+//! (`poisongame-serve`), which is ideal for long-lived in-repo
+//! clients and useless for everything else. This crate puts a thin
+//! HTTP translation in front of it so standard tooling — `curl`,
+//! load balancers, HTTP health checks — can drive the service:
+//!
+//! * [`http`] — the minimal HTTP/1.1 message layer: content-length
+//!   framing, keep-alive, structured JSON error bodies; no chunked
+//!   transfer, no TLS.
+//! * [`server`] — the gateway itself: `POST
+//!   /v1/{solve,cell,matrix,estimate,online,resize}`, `GET
+//!   /v1/stats`, `POST /v1/shutdown`; bodies are forwarded to the
+//!   backend untouched (the gateway owns only the `id`/`type`
+//!   envelope), so backend validation, deadlines and seed overrides
+//!   work over HTTP verbatim, and a `200` body is byte-identical to
+//!   the NDJSON `result` document.
+//! * Backend connections are pooled and borrowed for one round trip
+//!   per HTTP request; broken connections are dropped and redialed,
+//!   so the gateway rides out backend restarts.
+//! * [`client`] — a tiny blocking HTTP client for tests and load
+//!   generation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use poisongame_gateway::client::HttpClient;
+//! use poisongame_gateway::server::{Gateway, GatewayConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gateway = Gateway::bind(GatewayConfig {
+//!     backend: "127.0.0.1:7979".into(),
+//!     ..GatewayConfig::default()
+//! })?;
+//! let addr = gateway.local_addr();
+//! let handle = gateway.spawn();
+//! let mut http = HttpClient::connect(addr)?;
+//! let stats = http.get("/v1/stats")?;
+//! println!("{} {}", stats.status, stats.body);
+//! let _ = http.post("/v1/shutdown", "");
+//! handle.join()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+mod pool;
+pub mod server;
+
+pub use client::{HttpClient, HttpResponse};
+pub use server::{Gateway, GatewayConfig, GatewayHandle};

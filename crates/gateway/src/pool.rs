@@ -1,0 +1,64 @@
+//! The backend connection pool.
+//!
+//! Every HTTP worker borrows one NDJSON connection for the duration
+//! of one round trip, so responses can never interleave across HTTP
+//! requests. Idle connections are kept (up to the configured
+//! capacity) and reused; a connection that suffers a transport or
+//! framing error is dropped instead of returned, and the next
+//! checkout dials a fresh one — the pool self-heals across backend
+//! restarts.
+
+use poisongame_serve::client::Client;
+use poisongame_serve::error::ServeError;
+use poisongame_sim::jsonio::Json;
+use std::io;
+use std::sync::Mutex;
+
+pub(crate) struct BackendPool {
+    backend: String,
+    idle: Mutex<Vec<Client>>,
+    /// Idle connections kept beyond this are closed on return.
+    capacity: usize,
+    max_line_bytes: usize,
+}
+
+impl BackendPool {
+    pub fn new(backend: String, capacity: usize, max_line_bytes: usize) -> Self {
+        Self {
+            backend,
+            idle: Mutex::new(Vec::new()),
+            capacity,
+            max_line_bytes,
+        }
+    }
+
+    fn checkout(&self) -> io::Result<Client> {
+        if let Some(client) = self.idle.lock().expect("pool poisoned").pop() {
+            return Ok(client);
+        }
+        Ok(Client::connect(self.backend.as_str())?.max_line_bytes(self.max_line_bytes))
+    }
+
+    fn give_back(&self, client: Client) {
+        let mut idle = self.idle.lock().expect("pool poisoned");
+        if idle.len() < self.capacity {
+            idle.push(client);
+        }
+    }
+
+    /// One raw round trip over a pooled connection. Structured server
+    /// errors keep the connection (the protocol is still in sync);
+    /// transport and framing errors drop it.
+    pub fn forward(&self, type_name: &str, fields: &[(String, Json)]) -> Result<Json, ServeError> {
+        let mut client = self.checkout()?;
+        let result = client.call_raw(type_name, fields);
+        match &result {
+            Ok(_) | Err(ServeError::Server { .. }) => self.give_back(client),
+            Err(ServeError::Io(_)) | Err(ServeError::Protocol(_)) => drop(client),
+            // ServeError is non_exhaustive; unknown classes are
+            // treated as fatal to the connection.
+            Err(_) => drop(client),
+        }
+        result
+    }
+}

@@ -1,0 +1,319 @@
+//! The gateway server: HTTP/1.1 in, NDJSON out.
+//!
+//! Routing is a fixed table over the backend's request vocabulary:
+//!
+//! | Route | Backend request |
+//! |---|---|
+//! | `POST /v1/solve` | `solve` |
+//! | `POST /v1/cell` | `cell` |
+//! | `POST /v1/matrix` | `matrix` |
+//! | `POST /v1/estimate` | `estimate` |
+//! | `POST /v1/online` | `online` |
+//! | `GET /v1/stats` | `stats` |
+//! | `POST /v1/resize` | `resize` |
+//! | `POST /v1/shutdown` | `shutdown`, then the gateway stops |
+//!
+//! A POST body is the backend request document minus the envelope:
+//! the gateway parses it as a JSON object, splices in its own `id`
+//! and the route's `type`, and forwards the fields untouched — so
+//! the backend's validation and optional envelope fields
+//! (`deadline_ms`, per-request `seed` overrides) work over HTTP
+//! exactly as over NDJSON, and a `200` body is byte-identical to the
+//! NDJSON response's `result` document. Structured backend errors map
+//! to HTTP statuses (`busy` → 503, `deadline` → 504, `eval_failed` →
+//! 422, `bad_request` → 400, `line_too_long` → 413, `shutting_down` →
+//! 503) with the NDJSON `{"error": {code, message}}` object as the
+//! body; backend transport failures are a 502.
+
+use crate::http::{read_request, write_response, HttpError, HttpRequest, ReadOutcome};
+use crate::pool::BackendPool;
+use poisongame_serve::error::ServeError;
+use poisongame_serve::protocol::{ErrorCode, DEFAULT_MAX_LINE_BYTES};
+use poisongame_sim::jsonio::Json;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// HTTP bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Backend NDJSON server address.
+    pub backend: String,
+    /// Idle backend connections kept for reuse (one is borrowed per
+    /// in-flight HTTP request; bursts beyond this dial extra
+    /// connections that are closed on return).
+    pub backend_pool: usize,
+    /// Request-body byte cap (bodies become NDJSON frames, so this
+    /// should not exceed the backend's line cap).
+    pub max_body_bytes: usize,
+    /// Response-frame byte cap when reading from the backend.
+    pub backend_max_line_bytes: usize,
+    /// Socket read-timeout granularity: how often an idle keep-alive
+    /// connection polls for gateway shutdown.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            backend: "127.0.0.1:7979".into(),
+            backend_pool: 8,
+            max_body_bytes: DEFAULT_MAX_LINE_BYTES,
+            backend_max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            poll_interval_ms: 50,
+        }
+    }
+}
+
+struct GatewayInner {
+    pool: BackendPool,
+    stop: AtomicBool,
+    max_body_bytes: usize,
+    poll_interval: Duration,
+    local_addr: SocketAddr,
+}
+
+/// A bound, not-yet-running gateway.
+pub struct Gateway {
+    listener: TcpListener,
+    inner: Arc<GatewayInner>,
+}
+
+impl Gateway {
+    /// Bind the HTTP listening socket. The backend is dialed lazily,
+    /// per pooled connection — binding succeeds even while the
+    /// backend is still starting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind(config: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Gateway {
+            listener,
+            inner: Arc::new(GatewayInner {
+                pool: BackendPool::new(
+                    config.backend,
+                    config.backend_pool,
+                    config.backend_max_line_bytes,
+                ),
+                stop: AtomicBool::new(false),
+                max_body_bytes: config.max_body_bytes,
+                poll_interval: Duration::from_millis(config.poll_interval_ms.max(1)),
+                local_addr,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Serve until a `POST /v1/shutdown` request stops the gateway
+    /// (after forwarding the shutdown to the backend). Joins every
+    /// connection thread before returning, so a clean exit implies
+    /// every accepted request was answered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection errors only
+    /// close that connection.
+    pub fn run(self) -> io::Result<()> {
+        let inner = self.inner;
+        let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+        for accepted in self.listener.incoming() {
+            if inner.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match accepted {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let inner = Arc::clone(&inner);
+            let mut workers = workers.lock().expect("worker handles poisoned");
+            // Reap finished connection threads so a long-running
+            // gateway does not accumulate dead handles.
+            workers.retain(|handle| !handle.is_finished());
+            workers.push(thread::spawn(move || serve_connection(&inner, stream)));
+        }
+        for handle in workers.lock().expect("worker handles poisoned").drain(..) {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// [`Gateway::run`] on a background thread.
+    pub fn spawn(self) -> GatewayHandle {
+        GatewayHandle {
+            thread: thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Handle of a [`Gateway::spawn`]ed gateway.
+pub struct GatewayHandle {
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl GatewayHandle {
+    /// Wait for the gateway to stop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the gateway's exit error (or a panic as an error).
+    pub fn join(self) -> io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("gateway thread panicked"))?
+    }
+}
+
+/// Serve one HTTP connection until it closes, errors, or the gateway
+/// stops.
+fn serve_connection(inner: &Arc<GatewayInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.poll_interval));
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let should_stop = || inner.stop.load(Ordering::SeqCst);
+    loop {
+        let request = match read_request(&mut reader, inner.max_body_bytes, &should_stop) {
+            Ok(ReadOutcome::Request(request)) => request,
+            Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Stopped) | Err(_) => return,
+            Ok(ReadOutcome::Invalid(error)) => {
+                let keep = !error.close;
+                let _ = write_response(&mut writer, error.status, &error.body(), keep);
+                if keep {
+                    continue;
+                }
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = handle_request(inner, &request);
+        if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Route one request to the backend; returns `(status, body)`.
+fn handle_request(inner: &GatewayInner, request: &HttpRequest) -> (u16, String) {
+    let route = match route_of(&request.method, &request.target) {
+        Ok(route) => route,
+        Err(error) => return (error.status, error.body()),
+    };
+    let fields = match route.takes_body {
+        true => match body_fields(&request.body) {
+            Ok(fields) => fields,
+            Err(error) => return (error.status, error.body()),
+        },
+        false => Vec::new(),
+    };
+    let outcome = inner.pool.forward(route.type_name, &fields);
+    if route.type_name == "shutdown" {
+        // Stop the gateway with its backend; the accept loop is woken
+        // by a self-connect so the drain cannot hang on `accept`.
+        inner.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(inner.local_addr);
+    }
+    match outcome {
+        Ok(result) => (200, result.render()),
+        Err(ServeError::Server { code, message }) => {
+            let error = HttpError::new(status_of(code), code.as_str(), message, false);
+            (error.status, error.body())
+        }
+        Err(e) => {
+            let error = HttpError::new(502, "bad_gateway", format!("backend: {e}"), false);
+            (error.status, error.body())
+        }
+    }
+}
+
+struct Route {
+    type_name: &'static str,
+    takes_body: bool,
+}
+
+/// The fixed routing table. Unknown paths are a 404; known paths with
+/// the wrong method are a 405.
+fn route_of(method: &str, target: &str) -> Result<Route, HttpError> {
+    let (expected_method, type_name, takes_body) = match target {
+        "/v1/solve" => ("POST", "solve", true),
+        "/v1/cell" => ("POST", "cell", true),
+        "/v1/matrix" => ("POST", "matrix", true),
+        "/v1/estimate" => ("POST", "estimate", true),
+        "/v1/online" => ("POST", "online", true),
+        "/v1/resize" => ("POST", "resize", true),
+        "/v1/shutdown" => ("POST", "shutdown", false),
+        "/v1/stats" => ("GET", "stats", false),
+        _ => {
+            return Err(HttpError::new(
+                404,
+                "not_found",
+                format!("no route for `{target}`"),
+                false,
+            ))
+        }
+    };
+    if method != expected_method {
+        return Err(HttpError::new(
+            405,
+            "method_not_allowed",
+            format!("`{target}` takes {expected_method}, not {method}"),
+            false,
+        ));
+    }
+    Ok(Route {
+        type_name,
+        takes_body,
+    })
+}
+
+/// Parse a POST body into the forwarded field list: a JSON object
+/// whose keys must not collide with the envelope the gateway owns.
+fn body_fields(body: &[u8]) -> Result<Vec<(String, Json)>, HttpError> {
+    let bad = |message: String| HttpError::new(400, "bad_request", message, false);
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad("request body is not valid UTF-8".into()))?;
+    let value = Json::parse(text).map_err(|e| bad(format!("request body: {e}")))?;
+    let Json::Obj(fields) = value else {
+        return Err(bad("request body must be a JSON object".into()));
+    };
+    for (key, _) in &fields {
+        if key == "id" || key == "type" {
+            return Err(bad(format!(
+                "request body must not set `{key}`; the gateway owns the envelope"
+            )));
+        }
+    }
+    Ok(fields)
+}
+
+/// HTTP status for each structured backend error class.
+fn status_of(code: ErrorCode) -> u16 {
+    match code {
+        ErrorCode::BadRequest => 400,
+        ErrorCode::Busy | ErrorCode::ShuttingDown => 503,
+        ErrorCode::Deadline => 504,
+        ErrorCode::EvalFailed => 422,
+        ErrorCode::LineTooLong => 413,
+        // ErrorCode is non_exhaustive; surface unknown classes as a
+        // gateway-side mapping failure rather than a success.
+        _ => 500,
+    }
+}

@@ -1,0 +1,275 @@
+//! Gateway conformance: structured HTTP errors for protocol
+//! violations, pipelined keep-alive, status mapping for backend
+//! errors, and one-to-one body equivalence with the NDJSON protocol.
+
+use poisongame_gateway::client::HttpClient;
+use poisongame_gateway::server::{Gateway, GatewayConfig};
+use poisongame_serve::client::Client;
+use poisongame_serve::protocol::ServerStats;
+use poisongame_serve::server::{Server, ServerConfig};
+use poisongame_sim::jsonio::Json;
+use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
+use std::net::SocketAddr;
+
+struct Stack {
+    backend: SocketAddr,
+    gateway: SocketAddr,
+    backend_handle: poisongame_serve::ServerHandle,
+    gateway_handle: poisongame_gateway::GatewayHandle,
+}
+
+fn spawn_stack(shards: usize) -> Stack {
+    let server = Server::bind(ServerConfig {
+        shards,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let backend = server.local_addr().expect("backend addr");
+    let backend_handle = server.spawn();
+    let gateway = Gateway::bind(GatewayConfig {
+        backend: backend.to_string(),
+        ..GatewayConfig::default()
+    })
+    .expect("bind gateway");
+    let gateway_addr = gateway.local_addr();
+    Stack {
+        backend,
+        gateway: gateway_addr,
+        backend_handle,
+        gateway_handle: gateway.spawn(),
+    }
+}
+
+impl Stack {
+    /// Shut down through the gateway and assert both tiers exit
+    /// cleanly.
+    fn shutdown(self) {
+        let mut http = HttpClient::connect(self.gateway).expect("connect for shutdown");
+        let response = http.post("/v1/shutdown", "").expect("shutdown");
+        assert_eq!(response.status, 200, "{}", response.body);
+        self.gateway_handle.join().expect("gateway exit");
+        self.backend_handle.join().expect("backend exit");
+    }
+}
+
+fn quick_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        source: DataSource::SyntheticSpambase { rows: 300 },
+        epochs: 20,
+        ..ExperimentConfig::paper()
+    }
+}
+
+fn cell_body(seed: u64) -> String {
+    Json::obj(vec![("config", quick_config(seed).to_json())]).render()
+}
+
+#[test]
+fn bodies_are_one_to_one_with_ndjson_responses() {
+    let stack = spawn_stack(2);
+
+    // The same document through both fronts: the gateway's 200 body
+    // must equal the NDJSON response's `result` render, byte for byte.
+    let fields = vec![("config".to_string(), quick_config(7).to_json())];
+    let mut ndjson = Client::connect(stack.backend).expect("connect backend");
+    let expected = ndjson.call_raw("cell", &fields).expect("ndjson cell");
+
+    let mut http = HttpClient::connect(stack.gateway).expect("connect gateway");
+    let response = http.post("/v1/cell", &cell_body(7)).expect("http cell");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(
+        response.body,
+        expected.render(),
+        "HTTP body must be byte-identical to the NDJSON result"
+    );
+
+    // Envelope fields (`deadline_ms`, `seed`) ride along in the body.
+    let with_seed = Json::obj(vec![
+        ("seed", Json::Num(4242.0)),
+        ("config", quick_config(7).to_json()),
+    ])
+    .render();
+    let expected_seeded = ndjson
+        .call_raw(
+            "cell",
+            &[
+                ("seed".to_string(), Json::Num(4242.0)),
+                ("config".to_string(), quick_config(7).to_json()),
+            ],
+        )
+        .expect("ndjson seeded cell");
+    let seeded = http.post("/v1/cell", &with_seed).expect("http seeded cell");
+    assert_eq!(seeded.status, 200);
+    assert_eq!(seeded.body, expected_seeded.render());
+    assert_ne!(seeded.body, response.body, "the seed override must bite");
+
+    // Stats flow through too, and parse as the typed wire form.
+    let stats = http.get("/v1/stats").expect("http stats");
+    assert_eq!(stats.status, 200);
+    let parsed = ServerStats::from_json(&Json::parse(&stats.body).expect("stats json"))
+        .expect("typed stats");
+    assert_eq!(parsed.shards.len(), 2, "per-shard stats over HTTP");
+
+    stack.shutdown();
+}
+
+#[test]
+fn protocol_violations_get_structured_errors() {
+    let stack = spawn_stack(1);
+
+    // Malformed request line: 400 and the connection closes (framing
+    // is unknowable).
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+    http.send("GARBAGE\r\n\r\n").expect("send garbage");
+    let response = http.read_response().expect("error response");
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("bad_request"), "{}", response.body);
+    assert!(!response.keep_alive);
+
+    // Missing content-length on POST: 411, and the connection
+    // survives (no body was in flight).
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+    http.send("POST /v1/cell HTTP/1.1\r\n\r\n").expect("send");
+    let response = http.read_response().expect("411 response");
+    assert_eq!(response.status, 411);
+    assert!(
+        response.body.contains("length_required"),
+        "{}",
+        response.body
+    );
+    let after = http.get("/v1/stats").expect("same connection still works");
+    assert_eq!(after.status, 200);
+
+    // Oversized content-length: 413, connection closes unread.
+    http.send("POST /v1/cell HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n")
+        .expect("send oversized");
+    let response = http.read_response().expect("413 response");
+    assert_eq!(response.status, 413);
+    assert!(
+        response.body.contains("body_too_large"),
+        "{}",
+        response.body
+    );
+    assert!(!response.keep_alive);
+
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+    // Unknown route: 404.
+    let response = http.post("/v2/anything", "{}").expect("404 response");
+    assert_eq!(response.status, 404);
+    assert!(response.body.contains("not_found"), "{}", response.body);
+    // Known route, wrong method: 405.
+    let response = http.get("/v1/solve").expect("405 response");
+    assert_eq!(response.status, 405);
+    assert!(
+        response.body.contains("method_not_allowed"),
+        "{}",
+        response.body
+    );
+    // Non-JSON body: 400 before anything reaches the backend.
+    let response = http.post("/v1/cell", "not json").expect("400 response");
+    assert_eq!(response.status, 400);
+    // The gateway owns the envelope: bodies must not set id/type.
+    let response = http
+        .post("/v1/cell", r#"{"id": 3, "config": {}}"#)
+        .expect("400 response");
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("envelope"), "{}", response.body);
+
+    stack.shutdown();
+}
+
+#[test]
+fn backend_errors_map_to_http_statuses() {
+    let stack = spawn_stack(1);
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+
+    // A well-formed but unsatisfiable solve: eval_failed → 422, with
+    // the NDJSON error object as the body.
+    let body = Json::obj(vec![
+        ("effect", Json::Arr(vec![Json::nums(&[1.5, 1.0])])),
+        ("cost", Json::Arr(vec![Json::nums(&[0.0, 0.0])])),
+        ("n_points", Json::Num(100.0)),
+    ])
+    .render();
+    let response = http.post("/v1/solve", &body).expect("422 response");
+    assert_eq!(response.status, 422, "{}", response.body);
+    let doc = Json::parse(&response.body).expect("error body is JSON");
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("eval_failed")
+    );
+
+    // Backend-side request validation: bad_request → 400.
+    let response = http
+        .post("/v1/cell", r#"{"config": {"epochs": "many"}}"#)
+        .expect("400 response");
+    assert_eq!(response.status, 400, "{}", response.body);
+    let doc = Json::parse(&response.body).expect("error body is JSON");
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    stack.shutdown();
+}
+
+#[test]
+fn keep_alive_pipelining_round_trips_in_order() {
+    let stack = spawn_stack(2);
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+
+    // Reference responses, sequentially.
+    let expected: Vec<String> = (0..3)
+        .map(|i| {
+            let response = http
+                .post("/v1/cell", &cell_body(40 + i))
+                .expect("sequential cell");
+            assert_eq!(response.status, 200);
+            response.body
+        })
+        .collect();
+
+    // The same three requests written back-to-back on one connection,
+    // responses read afterwards: same bodies, same order.
+    for i in 0..3 {
+        let body = cell_body(40 + i);
+        http.send(&format!(
+            "POST /v1/cell HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+        .expect("pipelined send");
+    }
+    for expected_body in &expected {
+        let response = http.read_response().expect("pipelined response");
+        assert_eq!(response.status, 200);
+        assert_eq!(&response.body, expected_body, "pipelined order preserved");
+    }
+
+    stack.shutdown();
+}
+
+#[test]
+fn resize_flows_through_the_gateway() {
+    let stack = spawn_stack(1);
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+    let response = http
+        .post("/v1/resize", r#"{"shards": 3}"#)
+        .expect("resize response");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let stats = http.get("/v1/stats").expect("stats");
+    let parsed = ServerStats::from_json(&Json::parse(&stats.body).expect("stats json"))
+        .expect("typed stats");
+    assert_eq!(parsed.shards.len(), 3, "resize took effect");
+    // Out-of-range counts surface as the backend's bad_request → 400.
+    let response = http
+        .post("/v1/resize", r#"{"shards": 0}"#)
+        .expect("rejected resize");
+    assert_eq!(response.status, 400, "{}", response.body);
+    stack.shutdown();
+}

@@ -222,6 +222,62 @@ impl Client {
         ServerStats::from_json(&result)
     }
 
+    /// Re-split the server's shard pool to `shards` engine shards.
+    /// In-flight and queued requests are drained by the old shards;
+    /// the new shards start with cold caches.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`] (out-of-range counts are a
+    /// structured `bad_request`).
+    pub fn resize(&mut self, shards: usize) -> Result<(), ServeError> {
+        self.call(RequestKind::Resize { shards }, None).map(|_| ())
+    }
+
+    /// Send a raw request envelope — `type` plus caller-provided
+    /// fields — without going through the typed [`RequestKind`]
+    /// parsers. The id is assigned like [`Client::send`]; `fields`
+    /// must not contain `id` or `type`.
+    ///
+    /// This is the passthrough the HTTP gateway uses: the request
+    /// document it received is forwarded untouched, so the server's
+    /// validation (and its structured errors) apply verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_raw(
+        &mut self,
+        type_name: &str,
+        fields: &[(String, Json)],
+    ) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut doc: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 2);
+        doc.push(("id".into(), Json::Num(id as f64)));
+        doc.push(("type".into(), Json::str(type_name)));
+        doc.extend(fields.iter().cloned());
+        let mut line = Json::Obj(doc).render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(id)
+    }
+
+    /// One raw round trip: [`Client::send_raw`], then wait for the
+    /// result document.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::send_raw`] and [`Client::wait`].
+    pub fn call_raw(
+        &mut self,
+        type_name: &str,
+        fields: &[(String, Json)],
+    ) -> Result<Json, ServeError> {
+        let id = self.send_raw(type_name, fields)?;
+        self.wait(id)
+    }
+
     /// Ask the server to drain and exit. Returns once the server acks
     /// (the drain itself finishes asynchronously; join the server
     /// handle to wait for it).

@@ -8,16 +8,22 @@
 //!
 //! * [`protocol`] — the wire format: newline-delimited JSON over TCP,
 //!   request kinds `solve` / `cell` / `matrix` / `estimate` /
-//!   `online` / `stats` / `shutdown`, every response tagged with its
-//!   request id so clients can pipeline.
-//! * [`server`] — the multi-threaded server: one process-wide
-//!   [`poisongame_sim::EvalEngine`] with a *bounded* preparation
-//!   cache, an admission layer with a bounded queue and explicit load
-//!   shedding (a structured `busy` error, never a hang), a dispatcher
-//!   that routes every admitted batch through
+//!   `online` / `stats` / `resize` / `shutdown`, every response
+//!   tagged with its request id so clients can pipeline.
+//! * [`server`] — the sharded server: a pool of N independent
+//!   [`poisongame_sim::EvalEngine`] shards (each with its own
+//!   *bounded* preparation cache, bounded admission queue with
+//!   explicit load shedding — a structured `busy` error, never a
+//!   hang — and dispatcher thread), requests routed by prep-key
+//!   affinity so cache locality survives sharding, every admitted
+//!   batch routed through
 //!   [`poisongame_sim::exec::prepare_then_map`] so concurrent
 //!   requests sharing a dataset prepare it once, per-request
-//!   deadlines, and graceful drain on shutdown.
+//!   deadlines, a live `resize` control path that re-splits the pool
+//!   without dropping in-flight requests, and graceful drain on
+//!   shutdown. Connections are served by a single poll-based
+//!   multiplexer thread (std-only nonblocking sockets), so idle
+//!   pipelined connections cost no threads.
 //! * [`client`] — the blocking client library: typed calls plus raw
 //!   pipelining (`send` ids now, `wait` for them later).
 //!
@@ -52,13 +58,15 @@
 
 pub mod client;
 pub mod error;
+mod mux;
 pub mod protocol;
 pub mod server;
+mod shard;
 
 pub use client::Client;
 pub use error::ServeError;
 pub use protocol::{
     CellRequest, ErrorCode, EstimateRequest, MatrixRequest, OnlineRequest, Request, RequestKind,
-    Response, ServerStats, SolveRequest, SolveResult,
+    Response, ServerStats, ShardStats, SolveRequest, SolveResult, MAX_SHARDS,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

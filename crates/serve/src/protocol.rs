@@ -14,7 +14,7 @@
 //! * `id` — required non-negative integer (decimal string beyond
 //!   2^53). Echoed verbatim in the response.
 //! * `type` — one of `solve`, `cell`, `matrix`, `estimate`, `online`,
-//!   `stats`, `shutdown`.
+//!   `stats`, `resize`, `shutdown`.
 //! * `deadline_ms` — optional per-request deadline, measured from the
 //!   moment the server reads the request; must be a **positive**
 //!   integer (`0` would expire before it could ever be met, so it is
@@ -59,6 +59,11 @@ pub const DEFAULT_MAX_LINE_BYTES: usize = 4 << 20;
 /// `O(resolution²)` entries and the exact LP `O(resolution³)` work, so
 /// an unbounded value would let one request monopolize the server.
 pub const MAX_SOLVE_RESOLUTION: usize = 512;
+
+/// Largest accepted shard count for a `resize` request: each shard
+/// carries its own engine, prep cache and dispatcher thread, so an
+/// unbounded value would let one control request exhaust the process.
+pub const MAX_SHARDS: usize = 256;
 
 /// Machine-readable error classes of the `error.code` response field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -300,6 +305,14 @@ pub enum RequestKind {
     Online(OnlineRequest),
     /// Server/engine statistics.
     Stats,
+    /// Re-split the engine shard pool to the given shard count
+    /// (1..=[`MAX_SHARDS`]). Old shards drain without dropping
+    /// in-flight requests; the same count re-splits in place
+    /// (a rebalance with fresh caches).
+    Resize {
+        /// The target shard count.
+        shards: usize,
+    },
     /// Graceful drain: stop admitting, finish in-flight work, exit.
     Shutdown,
 }
@@ -314,6 +327,7 @@ impl RequestKind {
             RequestKind::Estimate(_) => "estimate",
             RequestKind::Online(_) => "online",
             RequestKind::Stats => "stats",
+            RequestKind::Resize { .. } => "resize",
             RequestKind::Shutdown => "shutdown",
         }
     }
@@ -369,6 +383,9 @@ impl Request {
             RequestKind::Online(req) => {
                 fields.push(("config", req.config.to_json()));
                 fields.push(("spec", req.spec.to_json()));
+            }
+            RequestKind::Resize { shards } => {
+                fields.push(("shards", Json::Num(*shards as f64)));
             }
             RequestKind::Stats | RequestKind::Shutdown => {}
         }
@@ -575,6 +592,19 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
                 config: config_with_seed(&value).map_err(spec)?,
                 spec: online_spec,
             })
+        }
+        "resize" => {
+            let allowed: Vec<&str> = common.iter().copied().chain(["shards"]).collect();
+            jsonio::check_keys(&value, "resize request", &allowed).map_err(spec)?;
+            let shards = value
+                .get("shards")
+                .ok_or_else(|| fail("resize request needs `shards`".into()))
+                .and_then(|v| jsonio::require_u64(v, "shards").map_err(spec))?
+                as usize;
+            if !(1..=MAX_SHARDS).contains(&shards) {
+                return Err(fail(format!("`shards` must be in 1..={MAX_SHARDS}")));
+            }
+            RequestKind::Resize { shards }
         }
         "stats" | "shutdown" => {
             jsonio::check_keys(&value, kind_name, common).map_err(spec)?;
@@ -819,6 +849,125 @@ impl SolveResult {
     }
 }
 
+/// One engine shard's statistics: admission and evaluation counters
+/// of this shard *instance* (reset when a `resize` replaces the pool)
+/// plus its preparation-cache counters. Cache and timing numbers are
+/// labeled per shard here — the aggregate fields of [`ServerStats`]
+/// are sums over the current shard set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Position of this shard in the pool (also the routing target:
+    /// `prep-key content hash % shard count`).
+    pub index: usize,
+    /// Requests currently queued on this shard.
+    pub queue_depth: usize,
+    /// Evaluation requests admitted to this shard.
+    pub admitted: u64,
+    /// Evaluation requests answered successfully by this shard.
+    pub completed: u64,
+    /// Requests shed with `busy` (this shard's queue was full).
+    pub shed: u64,
+    /// Requests whose deadline expired before evaluation.
+    pub expired: u64,
+    /// Requests whose evaluation failed.
+    pub failed: u64,
+    /// Cumulative microseconds this shard's dispatcher spent
+    /// evaluating requests (its share of the timing picture).
+    pub busy_micros: u64,
+    /// This shard's preparation-cache hits.
+    pub cache_hits: u64,
+    /// This shard's preparation-cache misses.
+    pub cache_misses: u64,
+    /// This shard's preparation-cache evictions.
+    pub cache_evictions: u64,
+    /// Preparations resident in this shard's cache.
+    pub cache_entries: usize,
+    /// This shard's cache bound (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl ShardStats {
+    /// Cache hits as a fraction of this shard's lookups (`0.0` before
+    /// any).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("index", Json::Num(self.index as f64)),
+            ("queue_depth", Json::Num(self.queue_depth as f64)),
+            ("admitted", jsonio::big_u64_to_json(self.admitted)),
+            ("completed", jsonio::big_u64_to_json(self.completed)),
+            ("shed", jsonio::big_u64_to_json(self.shed)),
+            ("expired", jsonio::big_u64_to_json(self.expired)),
+            ("failed", jsonio::big_u64_to_json(self.failed)),
+            ("busy_micros", jsonio::big_u64_to_json(self.busy_micros)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", jsonio::big_u64_to_json(self.cache_hits)),
+                    ("misses", jsonio::big_u64_to_json(self.cache_misses)),
+                    ("evictions", jsonio::big_u64_to_json(self.cache_evictions)),
+                    ("entries", Json::Num(self.cache_entries as f64)),
+                    (
+                        "capacity",
+                        match self.cache_capacity {
+                            Some(n) => Json::Num(n as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form produced by [`ShardStats::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] on missing or wrongly-typed
+    /// fields.
+    pub fn from_json(value: &Json) -> Result<Self, ServeError> {
+        let bad = |message: String| ServeError::Protocol(message);
+        let u64_field = |obj: &Json, key: &str| -> Result<u64, ServeError> {
+            let v = obj
+                .get(key)
+                .ok_or_else(|| bad(format!("shard stats need `{key}`")))?;
+            jsonio::big_u64(v, key).map_err(|e| bad(e.to_string()))
+        };
+        let cache = value
+            .get("cache")
+            .ok_or_else(|| bad("shard stats need `cache`".into()))?;
+        Ok(Self {
+            index: u64_field(value, "index")? as usize,
+            queue_depth: u64_field(value, "queue_depth")? as usize,
+            admitted: u64_field(value, "admitted")?,
+            completed: u64_field(value, "completed")?,
+            shed: u64_field(value, "shed")?,
+            expired: u64_field(value, "expired")?,
+            failed: u64_field(value, "failed")?,
+            busy_micros: u64_field(value, "busy_micros")?,
+            cache_hits: u64_field(cache, "hits")?,
+            cache_misses: u64_field(cache, "misses")?,
+            cache_evictions: u64_field(cache, "evictions")?,
+            cache_entries: u64_field(cache, "entries")? as usize,
+            cache_capacity: match cache.get("capacity") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    jsonio::require_u64(v, "capacity").map_err(|e| bad(e.to_string()))? as usize,
+                ),
+            },
+        })
+    }
+}
+
 /// The result of a `stats` request: admission, evaluation and cache
 /// counters of the running server.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -841,16 +990,23 @@ pub struct ServerStats {
     pub expired: u64,
     /// Requests whose evaluation failed.
     pub failed: u64,
-    /// Preparation-cache hits.
+    /// Preparation-cache hits, summed over the current shards.
     pub cache_hits: u64,
-    /// Preparation-cache misses.
+    /// Preparation-cache misses, summed over the current shards.
     pub cache_misses: u64,
-    /// Preparation-cache evictions.
+    /// Preparation-cache evictions, summed over the current shards.
     pub cache_evictions: u64,
-    /// Preparations currently resident.
+    /// Preparations currently resident, summed over the current shards.
     pub cache_entries: usize,
-    /// Preparation-cache bound (`None` = unbounded).
+    /// Preparation-cache bound, summed over the current shards
+    /// (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Per-shard view: cache and timing numbers labeled by shard
+    /// rather than silently summed. A pre-sharding server omits the
+    /// key on the wire; [`ServerStats::from_json`] then synthesizes a
+    /// single shard from the aggregate fields, so old and new servers
+    /// parse alike.
+    pub shards: Vec<ShardStats>,
     /// Cumulative microseconds spent preparing datasets
     /// (process-global; see `poisongame_sim::timing`).
     pub prep_micros: u64,
@@ -907,6 +1063,10 @@ impl ServerStats {
                     ("eval_micros", jsonio::big_u64_to_json(self.eval_micros)),
                 ]),
             ),
+            (
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardStats::to_json).collect()),
+            ),
         ])
     }
 
@@ -930,7 +1090,7 @@ impl ServerStats {
         let timing = value
             .get("timing")
             .ok_or_else(|| bad("stats need `timing`".into()))?;
-        Ok(Self {
+        let mut stats = Self {
             uptime_micros: u64_field(value, "uptime_micros")?,
             workers: u64_field(value, "workers")? as usize,
             queue_capacity: u64_field(value, "queue_capacity")? as usize,
@@ -953,7 +1113,34 @@ impl ServerStats {
             prep_micros: u64_field(timing, "prep_micros")?,
             fit_micros: u64_field(timing, "fit_micros")?,
             eval_micros: u64_field(timing, "eval_micros")?,
-        })
+            shards: Vec::new(),
+        };
+        stats.shards = match value.get("shards") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(ShardStats::from_json)
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err(bad("`shards` must be an array".into())),
+            // A pre-sharding server: its single engine *is* the one
+            // shard; synthesize it from the aggregate fields so
+            // callers can treat `shards` as always-present.
+            None => vec![ShardStats {
+                index: 0,
+                queue_depth: stats.queue_depth,
+                admitted: 0,
+                completed: stats.completed,
+                shed: stats.shed,
+                expired: stats.expired,
+                failed: stats.failed,
+                busy_micros: 0,
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
+                cache_evictions: stats.cache_evictions,
+                cache_entries: stats.cache_entries,
+                cache_capacity: stats.cache_capacity,
+            }],
+        };
+        Ok(stats)
     }
 }
 
@@ -1164,6 +1351,28 @@ mod tests {
             prep_micros: 12_000,
             fit_micros: 340_000,
             eval_micros: 5_600,
+            shards: vec![
+                ShardStats {
+                    index: 0,
+                    queue_depth: 1,
+                    admitted: 48,
+                    completed: 44,
+                    shed: 3,
+                    expired: 1,
+                    failed: 2,
+                    busy_micros: 250_000,
+                    cache_hits: 60,
+                    cache_misses: 8,
+                    cache_evictions: 1,
+                    cache_entries: 7,
+                    cache_capacity: Some(16),
+                },
+                ShardStats {
+                    index: 1,
+                    cache_capacity: None,
+                    ..ShardStats::default()
+                },
+            ],
         };
         let back = ServerStats::from_json(&stats.to_json()).unwrap();
         assert_eq!(back, stats);

@@ -1,52 +1,64 @@
-//! The multi-threaded evaluation server.
+//! The sharded, multiplexed evaluation server.
 //!
 //! Architecture (all `std`, no external runtime):
 //!
-//! * **Connection readers** — one thread per accepted connection
-//!   parses frames and answers `stats`/`shutdown` inline (they stay
-//!   responsive even when evaluation is saturated). Evaluation
-//!   requests go through the admission layer.
-//! * **Admission** — a bounded queue. A full queue sheds the request
-//!   with a structured `busy` error immediately; the server never
-//!   buffers unboundedly and never blocks a reader on evaluation.
-//! * **Dispatcher** — drains the queue in batches and routes each
-//!   batch through [`prepare_then_map`]: distinct dataset preparations
-//!   (keyed like the engine's cache) are computed once per batch and
-//!   answered from the process-wide bounded [`EvalEngine`] store
-//!   across batches, then cells fan out across the worker pool. A
-//!   request's response is written from its evaluation task, so
-//!   cheap requests in a batch complete while expensive ones still
-//!   run.
+//! * **Multiplexer** — one readiness loop over nonblocking sockets
+//!   ([`crate::mux`]) replaces thread-per-connection: it accepts,
+//!   parses frames, answers `stats`/`resize`/`shutdown` inline (they
+//!   stay responsive even when evaluation is saturated) and flushes
+//!   worker-queued responses. Thousands of idle pipelined connections
+//!   cost one thread.
+//! * **Shard pool** — evaluation requests are admitted to one of N
+//!   independent engine shards ([`crate::shard`]), routed by
+//!   prep-key affinity (`content hash % N` — same preparation, same
+//!   shard, so cache locality survives sharding) with a least-loaded
+//!   fallback for requests carrying no preparation key (`solve`).
+//! * **Admission** — each shard's queue is bounded. A full queue sheds
+//!   the request with a structured `busy` error immediately; the
+//!   server never buffers unboundedly and never blocks the
+//!   multiplexer on evaluation.
+//! * **Dispatchers** — one per shard: each drains its queue in batches
+//!   and routes each batch through [`prepare_then_map`], so distinct
+//!   dataset preparations are computed once per batch and answered
+//!   from the shard's bounded prep cache across batches, then cells
+//!   fan out across the shard's worker pool. A request's response is
+//!   queued from its evaluation task, so cheap requests in a batch
+//!   complete while expensive ones still run.
 //! * **Deadlines** — checked when evaluation is about to start; an
 //!   expired request is answered with a `deadline` error instead of
 //!   being evaluated. Running evaluations are never preempted.
+//! * **Resize** — a `resize` request re-splits the pool: new shards
+//!   (cold caches) take over admission, old shards drain every queued
+//!   job before their dispatchers exit. No in-flight request is
+//!   dropped.
 //! * **Shutdown** — a `shutdown` request is acked, then the server
-//!   stops admitting, finishes every queued request, and `run`
-//!   returns. Responses in flight are delivered before exit.
+//!   stops admitting, finishes every queued request, flushes every
+//!   response, and `run` returns.
 //!
 //! Responses are pure functions of their request document: worker
-//! count, queue order and co-tenant requests never change a result
-//! (see `tests/loopback.rs`).
+//! count, shard count, queue order and co-tenant requests never
+//! change a result (see `tests/loopback.rs` and `tests/sharding.rs`).
 
+use crate::mux::{mux_loop, Conn, MuxWaker};
 use crate::protocol::{
-    parse_request_line, read_frame, ErrorCode, Frame, Request, RequestKind, Response, ServerStats,
+    parse_request_line, ErrorCode, Request, RequestKind, Response, ServerStats, ShardStats,
     SolveRequest, SolveResult, DEFAULT_MAX_LINE_BYTES,
 };
+use crate::shard::{Admission, Shard, ShardPool};
 use poisongame_core::bridge::solve_discretized_with;
 use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
 use poisongame_online::run_online_prepared;
-use poisongame_sim::engine::{config_prep_key, EvalEngine, PrepKey};
+use poisongame_sim::engine::{config_prep_key, PrepKey};
 use poisongame_sim::estimate::estimate_curves_prepared;
 use poisongame_sim::exec::prepare_then_map;
 use poisongame_sim::jsonio::Json;
 use poisongame_sim::pipeline::{Prepared, PreparedData};
 use poisongame_sim::scenario::run_matrix_prepared;
 use poisongame_sim::{ExecPolicy, SimError};
-use std::collections::VecDeque;
-use std::io::{self, BufReader, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -56,14 +68,19 @@ pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port (read it back
     /// via [`Server::local_addr`]).
     pub addr: String,
+    /// Engine shard count: independent evaluation engines, each with
+    /// its own bounded prep cache, admission queue and dispatcher.
+    /// Requests route by prep-key affinity. `0` is treated as 1.
+    pub shards: usize,
     /// Evaluation worker count — the fan-out width of one admitted
-    /// batch; `0` means one per hardware thread.
+    /// batch on one shard; `0` means one per hardware thread.
     pub workers: usize,
-    /// Admission queue bound: requests beyond it are shed with a
-    /// structured `busy` error.
+    /// Per-shard admission queue bound: requests beyond it are shed
+    /// with a structured `busy` error.
     pub queue_capacity: usize,
-    /// Preparation-cache bound (`None` = unbounded, like the batch
-    /// engine; the default keeps a long-lived process from leaking).
+    /// Per-shard preparation-cache bound (`None` = unbounded, like
+    /// the batch engine; the default keeps a long-lived process from
+    /// leaking).
     pub cache_capacity: Option<usize>,
     /// Worker threads *inside* one request's evaluation (a matrix's
     /// cells, never across requests). The default of `1` puts all
@@ -75,137 +92,166 @@ pub struct ServerConfig {
     /// Deadline applied to requests that carry none (`None` = no
     /// implicit deadline).
     pub default_deadline_ms: Option<u64>,
+    /// Multiplexer park interval in microseconds: the upper bound on
+    /// how long newly arrived bytes wait while every socket is idle.
+    pub poll_interval_micros: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
+            shards: 1,
             workers: 0,
             queue_capacity: 64,
             cache_capacity: Some(32),
             eval_threads: 1,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             default_deadline_ms: None,
+            poll_interval_micros: 500,
         }
     }
 }
 
-/// Monotonic admission/evaluation counters.
+/// Monotonic process-wide admission/evaluation counters (never reset,
+/// unlike the per-shard-instance counters a resize replaces).
 #[derive(Debug, Default)]
-struct Counters {
-    received: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    expired: AtomicU64,
-    failed: AtomicU64,
+pub(crate) struct Counters {
+    pub received: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed: AtomicU64,
+    pub expired: AtomicU64,
+    pub failed: AtomicU64,
 }
 
 impl Counters {
-    fn bump(counter: &AtomicU64) {
+    pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// The write half of one connection; workers share it via `Arc` and
-/// serialize whole frames under the lock, so pipelined responses never
-/// interleave.
-#[derive(Debug)]
-struct Conn {
-    stream: Mutex<TcpStream>,
-}
-
-impl Conn {
-    fn send(&self, response: &Response) {
-        let line = response.to_line();
-        let mut stream = self.stream.lock().expect("connection writer poisoned");
-        // A vanished client is its own problem; the server keeps going.
-        let _ = stream.write_all(line.as_bytes());
-    }
-}
-
 /// One admitted evaluation request.
-struct Job {
-    request: Request,
-    deadline: Option<Instant>,
+pub(crate) struct Job {
+    pub request: Request,
+    pub deadline: Option<Instant>,
     /// The dataset preparation this request needs (`None` for `solve`,
-    /// which prepares nothing) — precomputed so batch deduplication is
-    /// a hash away.
-    prep_key: Option<PrepKey>,
-    conn: Arc<Conn>,
+    /// which prepares nothing) — precomputed so affinity routing and
+    /// batch deduplication are a hash away.
+    pub prep_key: Option<PrepKey>,
+    pub conn: Arc<Conn>,
 }
 
-/// State shared by the acceptor, readers and the dispatcher.
-struct Inner {
-    engine: EvalEngine,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
-    queue_capacity: usize,
-    worker_policy: ExecPolicy,
-    eval_policy: ExecPolicy,
-    workers: usize,
-    max_line_bytes: usize,
-    default_deadline_ms: Option<u64>,
-    shutdown: AtomicBool,
-    local_addr: SocketAddr,
-    started: Instant,
-    counters: Counters,
+/// State shared by the multiplexer and the shard dispatchers.
+pub(crate) struct Inner {
+    pub pool: ShardPool,
+    pub worker_policy: ExecPolicy,
+    pub eval_policy: ExecPolicy,
+    pub workers: usize,
+    pub queue_capacity: usize,
+    pub max_line_bytes: usize,
+    pub default_deadline_ms: Option<u64>,
+    pub shutdown: AtomicBool,
+    pub started: Instant,
+    pub counters: Counters,
+    pub waker: Arc<MuxWaker>,
+    pub poll_interval: Duration,
 }
 
 impl Inner {
-    /// Admit a job or answer it with a structured rejection. Admission
-    /// and the shutdown flag are read under the queue lock, so a job
-    /// is either rejected or guaranteed to be drained by the
-    /// dispatcher — never silently dropped.
-    fn admit(&self, job: Job) {
-        let mut queue = self.queue.lock().expect("admission queue poisoned");
+    /// Wake the multiplexer (a worker queued a response, or a
+    /// dispatcher exited during a drain).
+    pub fn wake_mux(&self) {
+        self.waker.wake();
+    }
+
+    /// Route a job to its shard and admit it, or answer it with a
+    /// structured rejection. Admission runs only on the multiplexer
+    /// thread — the same thread that flips the shutdown flag and
+    /// swaps the shard set — so an admitted job is always drained by
+    /// its shard's dispatcher, never stranded.
+    fn admit(&self, mut job: Job) {
         if self.shutdown.load(Ordering::SeqCst) {
             let response = Response::err(
                 Some(job.request.id),
                 ErrorCode::ShuttingDown,
                 "server is draining and admits no new work",
             );
-            drop(queue);
             job.conn.send(&response);
-        } else if queue.len() >= self.queue_capacity {
-            Counters::bump(&self.counters.shed);
-            let response = Response::err(
-                Some(job.request.id),
-                ErrorCode::Busy,
-                format!("admission queue full ({} queued); retry later", queue.len()),
-            );
-            drop(queue);
-            job.conn.send(&response);
-        } else {
-            queue.push_back(job);
-            self.queue_cv.notify_all();
+            return;
+        }
+        loop {
+            let shards = self.pool.current();
+            let shard = match &job.prep_key {
+                // Prep-key affinity: same preparation key, same shard,
+                // so PrepCache locality survives sharding.
+                Some(key) => {
+                    let index = (key.content_hash() % shards.len() as u64) as usize;
+                    Arc::clone(&shards[index])
+                }
+                // No preparation to keep local (`solve`): fall back to
+                // the least-loaded shard, ties to the lowest index.
+                None => shards
+                    .iter()
+                    .min_by_key(|shard| (shard.queue_depth(), shard.index))
+                    .map(Arc::clone)
+                    .expect("shard pool is never empty"),
+            };
+            match shard.admit(job) {
+                Admission::Queued => return,
+                Admission::Full(job) => {
+                    Counters::bump(&self.counters.shed);
+                    let response = Response::err(
+                        Some(job.request.id),
+                        ErrorCode::Busy,
+                        format!(
+                            "shard {} admission queue full (bound {}); retry later",
+                            shard.index, shard.queue_capacity
+                        ),
+                    );
+                    job.conn.send(&response);
+                    return;
+                }
+                // A concurrent resize retired the shard between the
+                // snapshot and the admit; re-route against the fresh
+                // pool.
+                Admission::Retired(returned) => job = returned,
+            }
         }
     }
 
-    /// Flip to draining: reject new admissions, wake the dispatcher so
-    /// it can finish the backlog and exit, and unblock the acceptor.
+    /// Flip to draining: reject new admissions and wake every shard
+    /// dispatcher so the backlog drains and the multiplexer can
+    /// finish. Called on the multiplexer thread, so no admission can
+    /// race the flag.
     fn begin_shutdown(&self) {
-        {
-            let _queue = self.queue.lock().expect("admission queue poisoned");
-            self.shutdown.store(true, Ordering::SeqCst);
-        }
-        self.queue_cv.notify_all();
-        // `accept` has no timeout; a loopback touch wakes it so the
-        // acceptor can observe the flag. A wildcard bind (0.0.0.0 /
-        // ::) is not connectable on every platform, so aim the touch
-        // at the loopback of the same family instead.
-        let mut wake = self.local_addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.pool.notify_all();
+        self.wake_mux();
     }
 
-    fn stats(&self) -> ServerStats {
-        let cache = self.engine.cache_stats();
+    pub(crate) fn stats(&self) -> ServerStats {
+        let shards = self.pool.current();
+        let per: Vec<ShardStats> = shards
+            .iter()
+            .map(|shard| {
+                let cache = shard.engine.cache_stats();
+                ShardStats {
+                    index: shard.index,
+                    queue_depth: shard.queue_depth(),
+                    admitted: shard.counters.admitted.load(Ordering::Relaxed),
+                    completed: shard.counters.completed.load(Ordering::Relaxed),
+                    shed: shard.counters.shed.load(Ordering::Relaxed),
+                    expired: shard.counters.expired.load(Ordering::Relaxed),
+                    failed: shard.counters.failed.load(Ordering::Relaxed),
+                    busy_micros: shard.counters.busy_micros.load(Ordering::Relaxed),
+                    cache_hits: cache.hits,
+                    cache_misses: cache.misses,
+                    cache_evictions: cache.evictions,
+                    cache_entries: shard.engine.cached_preparations(),
+                    cache_capacity: shard.engine.cache_capacity(),
+                }
+            })
+            .collect();
         // Process-global phase counters (never per-response: responses
         // to identical requests must stay byte-identical).
         let timing = poisongame_sim::timing::snapshot();
@@ -213,20 +259,23 @@ impl Inner {
             uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             workers: self.workers,
             queue_capacity: self.queue_capacity,
-            queue_depth: self.queue.lock().expect("admission queue poisoned").len(),
+            queue_depth: per.iter().map(|s| s.queue_depth).sum(),
             received: self.counters.received.load(Ordering::Relaxed),
             completed: self.counters.completed.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
             expired: self.counters.expired.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_evictions: cache.evictions,
-            cache_entries: self.engine.cached_preparations(),
-            cache_capacity: self.engine.cache_capacity(),
+            cache_hits: per.iter().map(|s| s.cache_hits).sum(),
+            cache_misses: per.iter().map(|s| s.cache_misses).sum(),
+            cache_evictions: per.iter().map(|s| s.cache_evictions).sum(),
+            cache_entries: per.iter().map(|s| s.cache_entries).sum(),
+            cache_capacity: per
+                .iter()
+                .try_fold(0usize, |sum, s| s.cache_capacity.map(|c| sum + c)),
             prep_micros: timing.prep_micros,
             fit_micros: timing.fit_micros,
             eval_micros: timing.eval_micros,
+            shards: per,
         }
     }
 }
@@ -238,8 +287,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listening socket and build the shared engine. The
-    /// server does not accept connections until [`Server::run`] (or
+    /// Bind the listening socket and build the shard pool. The server
+    /// does not accept connections until [`Server::run`] (or
     /// [`Server::spawn`]) is called.
     ///
     /// # Errors
@@ -247,30 +296,30 @@ impl Server {
     /// Propagates socket binding failures.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
         let eval_policy = ExecPolicy::with_threads(config.eval_threads);
-        let engine = match config.cache_capacity {
-            Some(capacity) => EvalEngine::with_policy(eval_policy).bound_cache(capacity),
-            None => EvalEngine::with_policy(eval_policy),
-        };
         let worker_policy = ExecPolicy::with_threads(config.workers);
         let workers = worker_policy.effective_threads(usize::MAX);
+        let pool = ShardPool::new(
+            config.shards.max(1),
+            config.queue_capacity,
+            config.cache_capacity,
+            eval_policy,
+        );
         Ok(Server {
             listener,
             inner: Arc::new(Inner {
-                engine,
-                queue: Mutex::new(VecDeque::new()),
-                queue_cv: Condvar::new(),
-                queue_capacity: config.queue_capacity,
+                pool,
                 worker_policy,
                 eval_policy,
                 workers,
+                queue_capacity: config.queue_capacity,
                 max_line_bytes: config.max_line_bytes,
                 default_deadline_ms: config.default_deadline_ms,
                 shutdown: AtomicBool::new(false),
-                local_addr,
                 started: Instant::now(),
                 counters: Counters::default(),
+                waker: Arc::new(MuxWaker::default()),
+                poll_interval: Duration::from_micros(config.poll_interval_micros.max(1)),
             }),
         })
     }
@@ -293,24 +342,9 @@ impl Server {
     /// close that connection.
     pub fn run(self) -> io::Result<ServerStats> {
         let inner = self.inner;
-        let dispatcher = {
-            let inner = Arc::clone(&inner);
-            thread::spawn(move || dispatch_loop(&inner))
-        };
-        for stream in self.listener.incoming() {
-            if inner.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                // Transient accept failure; keep serving.
-                continue;
-            };
-            let inner = Arc::clone(&inner);
-            thread::spawn(move || serve_connection(&inner, stream));
-        }
-        dispatcher
-            .join()
-            .map_err(|_| io::Error::other("dispatcher panicked"))?;
+        inner.pool.spawn_dispatchers(&inner);
+        mux_loop(&inner, &self.listener);
+        inner.pool.join_all();
         Ok(inner.stats())
     }
 
@@ -343,48 +377,12 @@ impl ServerHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Connection handling
+// Request handling (called from the multiplexer thread)
 // ---------------------------------------------------------------------------
 
-fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let conn = Arc::new(Conn {
-        stream: Mutex::new(write_half),
-    });
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_frame(&mut reader, inner.max_line_bytes) {
-            Err(_) | Ok(Frame::Eof) => break,
-            Ok(Frame::TooLong) => {
-                // Framing is lost beyond the cap: answer, then close.
-                conn.send(&Response::err(
-                    None,
-                    ErrorCode::LineTooLong,
-                    format!("frame exceeds the {} byte cap", inner.max_line_bytes),
-                ));
-                break;
-            }
-            Ok(Frame::Truncated) => {
-                conn.send(&Response::err(
-                    None,
-                    ErrorCode::BadRequest,
-                    "truncated frame: stream ended before the terminating newline",
-                ));
-                break;
-            }
-            Ok(Frame::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                handle_line(inner, &conn, &line);
-            }
-        }
-    }
-}
-
-fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
+/// Parse one frame and either answer it inline (control plane) or
+/// admit it to its shard.
+pub(crate) fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
     let request = match parse_request_line(line) {
         Err(e) => {
             conn.send(&Response::err(e.id, e.code, e.message));
@@ -394,9 +392,16 @@ fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
     };
     Counters::bump(&inner.counters.received);
     match &request.kind {
-        // Control-plane requests bypass the queue: they stay
+        // Control-plane requests bypass the queues: they stay
         // responsive even when evaluation is saturated.
         RequestKind::Stats => conn.send(&Response::ok(request.id, inner.stats().to_json())),
+        RequestKind::Resize { shards } => {
+            inner.pool.resize(inner, *shards);
+            conn.send(&Response::ok(
+                request.id,
+                Json::obj(vec![("shards", Json::Num(*shards as f64))]),
+            ));
+        }
         RequestKind::Shutdown => {
             conn.send(&Response::ok(
                 request.id,
@@ -420,61 +425,70 @@ fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
     }
 }
 
-/// The dataset preparation a request depends on (`None` for `solve`).
+/// The dataset preparation a request depends on (`None` for `solve`
+/// and the control plane).
 fn prep_key_of(request: &Request) -> Option<PrepKey> {
     match &request.kind {
         RequestKind::Cell(req) => Some(config_prep_key(&req.config)),
         RequestKind::Matrix(req) => Some(config_prep_key(&req.config)),
         RequestKind::Estimate(req) => Some(config_prep_key(&req.config)),
         RequestKind::Online(req) => Some(config_prep_key(&req.config)),
-        RequestKind::Solve(_) | RequestKind::Stats | RequestKind::Shutdown => None,
+        RequestKind::Solve(_)
+        | RequestKind::Stats
+        | RequestKind::Resize { .. }
+        | RequestKind::Shutdown => None,
     }
 }
 
 // ---------------------------------------------------------------------------
-// Dispatch
+// Dispatch (one loop per shard)
 // ---------------------------------------------------------------------------
 
 /// A batch's phase-1 product per job: nothing for `solve`, the shared
 /// (or failed) preparation otherwise.
 type BatchPrep = Option<Result<Arc<PreparedData>, SimError>>;
 
-fn dispatch_loop(inner: &Arc<Inner>) {
+pub(crate) fn dispatch_loop(inner: &Arc<Inner>, shard: &Arc<Shard>) {
     loop {
         let batch: Vec<Job> = {
-            let mut queue = inner.queue.lock().expect("admission queue poisoned");
+            let mut queue = shard.queue.lock().expect("shard queue poisoned");
             loop {
                 if !queue.is_empty() {
                     break queue.drain(..).collect();
                 }
-                if inner.shutdown.load(Ordering::SeqCst) {
+                // Exit only on an empty queue: every admitted job is
+                // drained, through shutdown and retirement alike.
+                if inner.shutdown.load(Ordering::SeqCst) || shard.retired.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = inner
-                    .queue_cv
-                    .wait(queue)
-                    .expect("admission queue poisoned");
+                queue = shard.queue_cv.wait(queue).expect("shard queue poisoned");
             }
         };
-        process_batch(inner, batch);
+        let start = Instant::now();
+        process_batch(inner, shard, batch);
+        shard.counters.busy_micros.fetch_add(
+            start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
     }
 }
 
 /// Route one admitted batch through the two-phase task graph: distinct
-/// preparations once (answered from the engine's store when warm),
-/// then every job evaluated across the worker pool, each writing its
-/// own response as it finishes.
+/// preparations once (answered from the shard's store when warm), then
+/// every job evaluated across the shard's worker pool, each queueing
+/// its own response as it finishes.
 ///
 /// Jobs whose deadline already expired while queued are rejected up
 /// front — before phase 1 — so a dead request never pays for (or
 /// pollutes the bounded cache with) a dataset preparation.
-fn process_batch(inner: &Inner, batch: Vec<Job>) {
+fn process_batch(inner: &Inner, shard: &Shard, batch: Vec<Job>) {
     let now = Instant::now();
     let (live, expired): (Vec<Job>, Vec<Job>) = batch
         .into_iter()
         .partition(|job| job.deadline.map_or(true, |deadline| now <= deadline));
     for job in &expired {
         Counters::bump(&inner.counters.expired);
+        Counters::bump(&shard.counters.expired);
         job.conn.send(&Response::err(
             Some(job.request.id),
             ErrorCode::Deadline,
@@ -485,9 +499,9 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
         &inner.worker_policy,
         &live,
         |job| job.prep_key.clone(),
-        |key: &Option<PrepKey>| Ok(key.as_ref().map(|k| inner.engine.prepare_shared(k))),
+        |key: &Option<PrepKey>| Ok(key.as_ref().map(|k| shard.engine.prepare_shared(k))),
         |_, job, prep: &BatchPrep| {
-            job.conn.send(&execute(inner, job, prep));
+            job.conn.send(&execute(inner, shard, job, prep));
             Ok(())
         },
     );
@@ -495,11 +509,12 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
 }
 
 /// Evaluate one job into its response (deadline gate first).
-fn execute(inner: &Inner, job: &Job, prep: &BatchPrep) -> Response {
+fn execute(inner: &Inner, shard: &Shard, job: &Job, prep: &BatchPrep) -> Response {
     let id = job.request.id;
     if let Some(deadline) = job.deadline {
         if Instant::now() > deadline {
             Counters::bump(&inner.counters.expired);
+            Counters::bump(&shard.counters.expired);
             return Response::err(
                 Some(id),
                 ErrorCode::Deadline,
@@ -545,18 +560,20 @@ fn execute(inner: &Inner, job: &Job, prep: &BatchPrep) -> Response {
                     other => SimError::Spec(other.to_string()),
                 })
         }),
-        RequestKind::Stats | RequestKind::Shutdown => {
-            // Handled inline by the reader; nothing enqueues these.
+        RequestKind::Stats | RequestKind::Resize { .. } | RequestKind::Shutdown => {
+            // Handled inline by the multiplexer; nothing enqueues these.
             Err(SimError::Spec("internal: control request in queue".into()))
         }
     };
     match result {
         Ok(json) => {
             Counters::bump(&inner.counters.completed);
+            Counters::bump(&shard.counters.completed);
             Response::ok(id, json)
         }
         Err(e) => {
             Counters::bump(&inner.counters.failed);
+            Counters::bump(&shard.counters.failed);
             Response::err(Some(id), ErrorCode::EvalFailed, e.to_string())
         }
     }

@@ -1,0 +1,254 @@
+//! The engine shard pool.
+//!
+//! One [`EvalEngine`] behind one bounded queue serializes every
+//! preparation-cache lookup and admission decision through a single
+//! dispatcher. The pool splits the engine into N independent shards —
+//! each with its own bounded prep cache, bounded admission queue and
+//! dispatcher thread — and routes requests by **prep-key affinity**:
+//!
+//! * A request with a preparation key (everything except `solve`) is
+//!   routed to shard `content_hash(key) % N`, so every request for the
+//!   same dataset preparation lands on the same shard and PrepCache
+//!   locality survives sharding. Eviction pressure on one shard can
+//!   never evict another shard's entries.
+//! * A request with no preparation key (`solve`) has no locality to
+//!   protect; the documented fallback policy is **least-loaded**:
+//!   the shard with the shortest queue, ties broken by lowest index.
+//!
+//! [`ShardPool::resize`] re-splits the pool without dropping in-flight
+//! requests: new shards (fresh engines, cold caches) are spawned and
+//! swapped in, then the old shards are retired — their dispatchers
+//! finish every queued job and exit. Admission and retirement of a
+//! shard are serialized through its queue lock, so a job is always
+//! either drained by its shard's dispatcher or re-routed to the new
+//! pool — never stranded.
+//!
+//! Responses are pure functions of their request documents, so the
+//! shard count (like the worker count) never changes a result; see
+//! `tests/sharding.rs` for the pinned byte-identity.
+
+use crate::server::{Inner, Job};
+use poisongame_sim::engine::EvalEngine;
+use poisongame_sim::ExecPolicy;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+
+/// Per-shard-instance monotonic counters (reset when a resize replaces
+/// the shard).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub admitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed: AtomicU64,
+    pub expired: AtomicU64,
+    pub failed: AtomicU64,
+    pub busy_micros: AtomicU64,
+}
+
+/// One engine shard: an independent evaluation engine (own bounded
+/// prep cache), a bounded admission queue, and the state its
+/// dispatcher thread runs on.
+pub(crate) struct Shard {
+    pub index: usize,
+    pub engine: EvalEngine,
+    pub queue: Mutex<VecDeque<Job>>,
+    pub queue_cv: Condvar,
+    pub queue_capacity: usize,
+    /// Set (under the queue lock) when a resize replaces this shard:
+    /// the dispatcher drains the backlog and exits, and admission
+    /// re-routes to the new pool.
+    pub retired: AtomicBool,
+    pub counters: ShardCounters,
+}
+
+impl Shard {
+    fn new(index: usize, queue_capacity: usize, engine: EvalEngine) -> Self {
+        Self {
+            index,
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity,
+            retired: AtomicBool::new(false),
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// Snapshot of this shard's queue depth (locking; used by routing
+    /// and stats).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("shard queue poisoned").len()
+    }
+}
+
+/// Outcome of one admission attempt on a single shard.
+pub(crate) enum Admission {
+    /// Queued; the dispatcher will answer it.
+    Queued,
+    /// The shard's queue is full; the job is handed back for a `busy`
+    /// response.
+    Full(Job),
+    /// The shard was retired by a concurrent resize before the job
+    /// could be queued; the caller must re-route against the current
+    /// pool.
+    Retired(Job),
+}
+
+impl Shard {
+    /// Try to queue a job. Admission and retirement are serialized
+    /// through the queue lock: a queued job is guaranteed to be
+    /// drained by this shard's dispatcher (which only exits on an
+    /// empty queue).
+    pub fn admit(&self, job: Job) -> Admission {
+        let mut queue = self.queue.lock().expect("shard queue poisoned");
+        if self.retired.load(Ordering::SeqCst) {
+            return Admission::Retired(job);
+        }
+        if queue.len() >= self.queue_capacity {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Admission::Full(job);
+        }
+        queue.push_back(job);
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+        Admission::Queued
+    }
+
+    /// Retire this shard (under its queue lock) and wake its
+    /// dispatcher so it drains and exits.
+    fn retire(&self) {
+        let _queue = self.queue.lock().expect("shard queue poisoned");
+        self.retired.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// The pool: the current shard set behind a read-mostly lock, plus the
+/// dispatcher thread handles of every shard generation (current and
+/// retired — all joined at shutdown).
+pub(crate) struct ShardPool {
+    shards: RwLock<Arc<Vec<Arc<Shard>>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Dispatchers that have not exited yet (current + still-draining
+    /// retired ones). The multiplexer waits for zero before finishing
+    /// a drain.
+    active_dispatchers: AtomicUsize,
+    queue_capacity: usize,
+    cache_capacity: Option<usize>,
+    eval_policy: ExecPolicy,
+}
+
+impl ShardPool {
+    /// Build the pool's state with `shards` cold shards. Dispatchers
+    /// are not running yet — call [`ShardPool::spawn_dispatchers`]
+    /// once the shared server state exists.
+    pub fn new(
+        shards: usize,
+        queue_capacity: usize,
+        cache_capacity: Option<usize>,
+        eval_policy: ExecPolicy,
+    ) -> Self {
+        let pool = Self {
+            shards: RwLock::new(Arc::new(Vec::new())),
+            handles: Mutex::new(Vec::new()),
+            active_dispatchers: AtomicUsize::new(0),
+            queue_capacity,
+            cache_capacity,
+            eval_policy,
+        };
+        *pool.shards.write().expect("shard set poisoned") = Arc::new(pool.build_shards(shards));
+        pool
+    }
+
+    fn build_shards(&self, n: usize) -> Vec<Arc<Shard>> {
+        (0..n)
+            .map(|index| {
+                let engine = match self.cache_capacity {
+                    Some(capacity) => {
+                        EvalEngine::with_policy(self.eval_policy).bound_cache(capacity)
+                    }
+                    None => EvalEngine::with_policy(self.eval_policy),
+                };
+                Arc::new(Shard::new(index, self.queue_capacity, engine))
+            })
+            .collect()
+    }
+
+    /// The current shard set (cheap `Arc` snapshot).
+    pub fn current(&self) -> Arc<Vec<Arc<Shard>>> {
+        Arc::clone(&self.shards.read().expect("shard set poisoned"))
+    }
+
+    /// Dispatchers still running (current plus retired-but-draining).
+    pub fn active_dispatchers(&self) -> usize {
+        self.active_dispatchers.load(Ordering::SeqCst)
+    }
+
+    /// Spawn one dispatcher thread per current shard.
+    pub fn spawn_dispatchers(&self, inner: &Arc<Inner>) {
+        let shards = self.current();
+        let mut handles = self.handles.lock().expect("dispatcher handles poisoned");
+        for shard in shards.iter() {
+            handles.push(self.spawn_one(inner, shard));
+        }
+    }
+
+    fn spawn_one(&self, inner: &Arc<Inner>, shard: &Arc<Shard>) -> JoinHandle<()> {
+        self.active_dispatchers.fetch_add(1, Ordering::SeqCst);
+        let inner = Arc::clone(inner);
+        let shard = Arc::clone(shard);
+        thread::spawn(move || {
+            crate::server::dispatch_loop(&inner, &shard);
+            inner.pool.active_dispatchers.fetch_sub(1, Ordering::SeqCst);
+            // A drain may be waiting on the dispatcher count.
+            inner.wake_mux();
+        })
+    }
+
+    /// Re-split the pool to `n` shards: spawn the new generation, swap
+    /// it in, retire the old one. Retired dispatchers finish every
+    /// queued job before exiting, so no in-flight request is dropped;
+    /// their caches are released with them (a resize to the same count
+    /// is therefore a rebalance with fresh caches).
+    pub fn resize(&self, inner: &Arc<Inner>, n: usize) {
+        let fresh = self.build_shards(n);
+        {
+            let mut handles = self.handles.lock().expect("dispatcher handles poisoned");
+            for shard in &fresh {
+                handles.push(self.spawn_one(inner, shard));
+            }
+        }
+        let old = {
+            let mut shards = self.shards.write().expect("shard set poisoned");
+            std::mem::replace(&mut *shards, Arc::new(fresh))
+        };
+        for shard in old.iter() {
+            shard.retire();
+        }
+    }
+
+    /// Wake every current shard's dispatcher (used when the global
+    /// shutdown flag flips).
+    pub fn notify_all(&self) {
+        for shard in self.current().iter() {
+            let _queue = shard.queue.lock().expect("shard queue poisoned");
+            shard.queue_cv.notify_all();
+        }
+    }
+
+    /// Join every dispatcher thread ever spawned (call after the
+    /// shutdown drain).
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .expect("dispatcher handles poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}

@@ -96,6 +96,11 @@ fn one_of_each() -> Vec<Request> {
             }),
         },
         Request {
+            id: 8,
+            deadline_ms: None,
+            kind: RequestKind::Resize { shards: 4 },
+        },
+        Request {
             id: 6,
             deadline_ms: Some(1),
             kind: RequestKind::Shutdown,

@@ -1,0 +1,309 @@
+//! Sharded-serving guarantees: response byte-identity at any
+//! shard/worker count, prep-key-affine routing (same key → one
+//! shard's cache), eviction isolation between shards, and live
+//! resize without dropping in-flight requests.
+
+use poisongame_serve::client::Client;
+use poisongame_serve::protocol::{
+    CellRequest, EstimateRequest, OnlineRequest, RequestKind, SolveRequest,
+};
+use poisongame_serve::server::{Server, ServerConfig};
+use poisongame_sim::engine::config_prep_key;
+use poisongame_sim::jsonio::Json;
+use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
+use poisongame_sim::scenario::Scenario;
+use std::net::SocketAddr;
+
+fn quick_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        source: DataSource::SyntheticSpambase { rows: 300 },
+        epochs: 20,
+        ..ExperimentConfig::paper()
+    }
+}
+
+fn quick_cell(seed: u64) -> CellRequest {
+    CellRequest {
+        config: quick_config(seed),
+        scenario: Scenario::paper(),
+        ..CellRequest::default()
+    }
+}
+
+fn spawn(config: ServerConfig) -> (SocketAddr, poisongame_serve::ServerHandle) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    (addr, server.spawn())
+}
+
+/// A mixed request set: every evaluated kind, with distinct seeds so
+/// multiple preparations are in play.
+fn workload() -> Vec<RequestKind> {
+    vec![
+        RequestKind::Cell(quick_cell(7)),
+        RequestKind::Cell(quick_cell(8)),
+        RequestKind::Estimate(EstimateRequest {
+            config: quick_config(7),
+            placements: vec![0.05, 0.2],
+            strengths: vec![0.0, 0.2],
+        }),
+        RequestKind::Solve(SolveRequest {
+            effect_samples: vec![(0.0, 2.0e-4), (0.2, 4.0e-5), (0.45, -1.0e-6)],
+            cost_samples: vec![(0.0, 0.0), (0.2, 0.022), (0.4, 0.065)],
+            n_points: 644,
+            resolution: 40,
+            ..SolveRequest::default()
+        }),
+        RequestKind::Online(OnlineRequest {
+            config: quick_config(9),
+            spec: poisongame_online::OnlineSpec {
+                rounds: 100,
+                placements: vec![0.02, 0.2],
+                strengths: vec![0.0, 0.15],
+                ..poisongame_online::OnlineSpec::default()
+            },
+        }),
+    ]
+}
+
+#[test]
+fn responses_are_byte_identical_across_shard_and_worker_counts() {
+    // The same pipelined workload — typed requests plus a raw request
+    // with an explicit over-the-wire `seed` override — against every
+    // (shards, workers) combination. All responses must match the
+    // 1-shard/1-worker baseline byte for byte.
+    let requests = workload();
+    let mut renders: Vec<Vec<String>> = Vec::new();
+    for (shards, workers) in [(1, 1), (1, 4), (3, 1), (3, 4)] {
+        let (addr, handle) = spawn(ServerConfig {
+            shards,
+            workers,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let ids: Vec<u64> = requests
+            .iter()
+            .map(|kind| client.send(kind.clone(), None).expect("send"))
+            .collect();
+        let mut run: Vec<String> = ids
+            .iter()
+            .map(|&id| client.wait(id).expect("response").render())
+            .collect();
+        // The explicit-seed form: an envelope `seed` override on a
+        // raw cell request.
+        run.push(
+            client
+                .call_raw(
+                    "cell",
+                    &[
+                        ("seed".into(), Json::Num(4242.0)),
+                        ("config".into(), quick_config(7).to_json()),
+                    ],
+                )
+                .expect("seed-override cell")
+                .render(),
+        );
+        renders.push(run);
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.shards.len(), shards, "one entry per shard");
+        assert_eq!(stats.shed, 0);
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exit");
+    }
+    for run in &renders[1..] {
+        assert_eq!(
+            run, &renders[0],
+            "responses must not depend on shard or worker count"
+        );
+    }
+}
+
+#[test]
+fn same_prep_key_lands_on_exactly_one_shard() {
+    let (addr, handle) = spawn(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    // Five requests over one preparation key (same config, different
+    // scenarios would share it too — keep them identical for clarity).
+    let cell = quick_cell(77);
+    for _ in 0..5 {
+        client.cell(&cell).expect("cell");
+    }
+    let stats = client.stats().expect("stats");
+    let touched: Vec<_> = stats
+        .shards
+        .iter()
+        .filter(|shard| shard.cache_hits + shard.cache_misses > 0)
+        .collect();
+    assert_eq!(
+        touched.len(),
+        1,
+        "one preparation key must touch exactly one shard's cache: {stats:?}"
+    );
+    let shard = touched[0];
+    // Affinity is the documented content-hash rule.
+    let expected = (config_prep_key(&cell.config).content_hash() % 4) as usize;
+    assert_eq!(shard.index, expected, "routing must follow the prep hash");
+    assert_eq!(shard.cache_misses, 1, "first request prepares");
+    assert_eq!(shard.cache_hits, 4, "the rest hit the shard's cache");
+    assert_eq!(shard.completed, 5);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn eviction_pressure_is_isolated_per_shard() {
+    // Per-shard cache bound of 1. Alternating between a key pinned on
+    // one shard and a churning set of keys on another shard must never
+    // evict the pinned entry — eviction pressure cannot cross shards.
+    let shards = 2u64;
+    let pinned = quick_cell(1);
+    let pinned_shard = config_prep_key(&pinned.config).content_hash() % shards;
+    // Collect seeds whose preparations all land on the *other* shard.
+    let churn: Vec<CellRequest> = (2..200)
+        .map(quick_cell)
+        .filter(|cell| config_prep_key(&cell.config).content_hash() % shards != pinned_shard)
+        .take(3)
+        .collect();
+    assert_eq!(churn.len(), 3, "seed search must find off-shard keys");
+
+    let (addr, handle) = spawn(ServerConfig {
+        shards: shards as usize,
+        cache_capacity: Some(1),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    client.cell(&pinned).expect("prime the pinned shard");
+    for cell in &churn {
+        client.cell(cell).expect("churn cell");
+        client.cell(&pinned).expect("pinned cell");
+    }
+    let stats = client.stats().expect("stats");
+    let pinned_stats = &stats.shards[pinned_shard as usize];
+    let churn_stats = &stats.shards[(1 - pinned_shard) as usize];
+    assert_eq!(
+        pinned_stats.cache_misses, 1,
+        "the pinned key must be prepared exactly once: {stats:?}"
+    );
+    assert_eq!(pinned_stats.cache_hits, 3, "every revisit hits");
+    assert_eq!(pinned_stats.cache_evictions, 0, "no cross-shard eviction");
+    assert_eq!(
+        churn_stats.cache_misses, 3,
+        "each churn key is its own preparation"
+    );
+    assert!(
+        churn_stats.cache_evictions >= 2,
+        "the churning shard must actually be evicting: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn resize_preserves_byte_identity_and_drops_nothing() {
+    let (addr, handle) = spawn(ServerConfig {
+        shards: 1,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let requests = workload();
+    let mut client = Client::connect(addr).expect("connect");
+    let before: Vec<String> = requests
+        .iter()
+        .map(|kind| client.call(kind.clone(), None).expect("response").render())
+        .collect();
+
+    // Resize mid-stream with the pipeline full: every request sent
+    // before and after the resize must be answered (nothing dropped),
+    // and re-evaluations must stay byte-identical.
+    let first_wave: Vec<u64> = requests
+        .iter()
+        .map(|kind| client.send(kind.clone(), None).expect("send"))
+        .collect();
+    let resize_id = client
+        .send(RequestKind::Resize { shards: 3 }, None)
+        .expect("send resize");
+    let second_wave: Vec<u64> = requests
+        .iter()
+        .map(|kind| client.send(kind.clone(), None).expect("send"))
+        .collect();
+    client.wait(resize_id).expect("resize ack");
+    let drained: Vec<String> = first_wave
+        .iter()
+        .map(|&id| client.wait(id).expect("pre-resize response").render())
+        .collect();
+    let rerouted: Vec<String> = second_wave
+        .iter()
+        .map(|&id| client.wait(id).expect("post-resize response").render())
+        .collect();
+    assert_eq!(drained, before, "pre-resize responses byte-identical");
+    assert_eq!(rerouted, before, "post-resize responses byte-identical");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 3, "the pool was re-split");
+    assert_eq!(stats.shed, 0, "resize must not shed");
+    // Global counters survive the resize even though the old shard's
+    // instance counters retired with it (resize itself is control
+    // plane and not counted).
+    assert_eq!(stats.completed as usize, 3 * requests.len());
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn resize_bounds_are_validated() {
+    let (addr, handle) = spawn(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    for bad in [0usize, poisongame_serve::MAX_SHARDS + 1] {
+        match client.resize(bad) {
+            Err(poisongame_serve::ServeError::Server { code, .. }) => {
+                assert_eq!(code, poisongame_serve::ErrorCode::BadRequest);
+            }
+            other => panic!("shards={bad} must be rejected, got {other:?}"),
+        }
+    }
+    // The pool is untouched by rejected resizes.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 1);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn stats_aggregates_equal_shard_sums() {
+    let (addr, handle) = spawn(ServerConfig {
+        shards: 3,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    for seed in 40..46 {
+        client.cell(&quick_cell(seed)).expect("cell");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.completed,
+        stats.shards.iter().map(|s| s.completed).sum::<u64>()
+    );
+    assert_eq!(
+        stats.cache_hits,
+        stats.shards.iter().map(|s| s.cache_hits).sum::<u64>()
+    );
+    assert_eq!(
+        stats.cache_misses,
+        stats.shards.iter().map(|s| s.cache_misses).sum::<u64>()
+    );
+    assert_eq!(
+        stats.cache_entries,
+        stats.shards.iter().map(|s| s.cache_entries).sum::<usize>()
+    );
+    let per_shard_capacity = stats.shards[0].cache_capacity.expect("bounded by default");
+    assert_eq!(stats.cache_capacity, Some(3 * per_shard_capacity));
+    // The wire form round-trips the shard list.
+    let parsed = poisongame_serve::ServerStats::from_json(&stats.to_json()).expect("round trip");
+    assert_eq!(parsed, stats);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}

@@ -1,0 +1,74 @@
+//! The `poisongame-gateway` daemon: an HTTP/1.1 front end translating
+//! `/v1/*` JSON requests to the NDJSON evaluation service.
+//!
+//! ```sh
+//! # Terminal 1: the backend
+//! cargo run --release --example serve -- --shards 4
+//! # Terminal 2: the gateway
+//! cargo run --release --example gateway -- --backend 127.0.0.1:7979
+//! # Anywhere: plain HTTP
+//! curl -s localhost:8080/v1/stats
+//! ```
+//!
+//! Options (all optional):
+//!
+//! * `--addr HOST:PORT` — HTTP bind address (default `127.0.0.1:8080`;
+//!   port `0` picks an ephemeral port, printed and written to
+//!   `--port-file`).
+//! * `--backend HOST:PORT` — the NDJSON server (default
+//!   `127.0.0.1:7979`).
+//! * `--port-file PATH` — write the bound `host:port` to `PATH` once
+//!   listening.
+//! * `--pool N` — idle backend connections kept for reuse.
+//!
+//! The process exits cleanly after `POST /v1/shutdown`, which also
+//! drains the backend.
+
+use poisongame::gateway::server::{Gateway, GatewayConfig};
+
+fn parse_args() -> Result<(GatewayConfig, Option<String>), String> {
+    let mut config = GatewayConfig {
+        addr: "127.0.0.1:8080".into(),
+        ..GatewayConfig::default()
+    };
+    let mut port_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("`{what}` needs a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--backend" => config.backend = value("--backend")?,
+            "--port-file" => port_file = Some(value("--port-file")?),
+            "--pool" => {
+                config.backend_pool = value("--pool")?
+                    .parse()
+                    .map_err(|e| format!("--pool: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((config, port_file))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (config, port_file) = parse_args().map_err(|e| {
+        eprintln!("usage error: {e} (see the doc comment at the top of examples/gateway.rs)");
+        e
+    })?;
+    let backend = config.backend.clone();
+    let pool = config.backend_pool;
+    let gateway = Gateway::bind(config)?;
+    let addr = gateway.local_addr();
+    println!("poisongame-gateway listening on http://{addr}");
+    println!("  backend: {backend} | idle backend connections kept: {pool}");
+    if let Some(path) = port_file {
+        std::fs::write(&path, addr.to_string())?;
+        println!("  bound address written to {path}");
+    }
+    println!("  POST /v1/{{solve,cell,matrix,estimate,online,resize}}, GET /v1/stats");
+    println!("  POST /v1/shutdown drains the backend and stops the gateway\n");
+
+    gateway.run()?;
+    println!("gateway stopped cleanly");
+    Ok(())
+}

@@ -1,34 +1,50 @@
-//! Closed-loop load generator for `poisongame-serve`: N connections ×
-//! M requests of a mixed workload (`cell`, `solve`, `estimate`),
-//! verifying zero dropped and zero mismatched responses, and
-//! reporting latency percentiles, the server's cache hit rate, and a
-//! training-time breakdown (prep vs fit vs eval).
+//! Closed-loop load generator for the serving tier: N connections ×
+//! (M requests | a wall-clock duration) of a mixed workload (`cell`,
+//! `solve`, `estimate`), against either the raw NDJSON port or the
+//! HTTP gateway, verifying zero dropped and zero mismatched responses
+//! and reporting latency percentiles, per-shard cache hit rates, and
+//! a training-time breakdown (prep vs fit vs eval).
 //!
-//! Every connection issues the *same* deterministic request sequence,
-//! so response `i` must be byte-identical across connections — any
-//! divergence is a determinism bug and fails the run.
+//! The workload is a deterministic 20-request cycle (4 kinds × 5
+//! seeds), identical on every connection — so every response is
+//! comparable against the canonical response for its cycle slot, and
+//! any divergence (across connections, shard counts or transports) is
+//! a determinism bug that fails the run.
 //!
 //! ```sh
 //! cargo run --release --example load_test                     # in-process server, 4×25
-//! cargo run --release --example load_test -- --addr 127.0.0.1:7979 \
-//!     --connections 4 --requests 25 --shutdown
+//! cargo run --release --example load_test -- --connections 40 --shards 4
+//! cargo run --release --example load_test -- --gateway --duration 10
+//! cargo run --release --example load_test -- --addr 127.0.0.1:7979 --shutdown
 //! ```
 //!
-//! Options: `--addr HOST:PORT` (absent: spawn an in-process server on
-//! an ephemeral port), `--connections N`, `--requests M`,
-//! `--shutdown` (ask the server to drain at the end; implied for the
-//! in-process server), `--json PATH` (additionally write the
-//! throughput/latency/cache summary as machine-readable JSON — the
-//! seed of the `BENCH_*.json` perf trajectory).
+//! Options: `--addr HOST:PORT` (absent: spawn an in-process server —
+//! and, with `--gateway`, an in-process gateway — on ephemeral
+//! ports), `--gateway` (drive HTTP through the gateway; with
+//! `--addr`, the address is the gateway's), `--connections N`,
+//! `--requests M`, `--duration SECS` (run until the wall clock
+//! instead of a fixed count; overrides `--requests`), `--shards N`
+//! (shard count for the in-process server), `--shutdown` (drain the
+//! server at the end; implied in-process), `--json PATH` (write the
+//! machine-readable summary — the seed of the `BENCH_*.json` perf
+//! trajectory).
 
+use poisongame::gateway::client::HttpClient;
+use poisongame::gateway::server::{Gateway, GatewayConfig};
 use poisongame::serve::client::Client;
-use poisongame::serve::protocol::ServerStats;
-use poisongame::serve::protocol::{CellRequest, EstimateRequest, RequestKind, SolveRequest};
+use poisongame::serve::protocol::{
+    CellRequest, EstimateRequest, Request, RequestKind, ServerStats, SolveRequest,
+};
 use poisongame::serve::server::{Server, ServerConfig};
 use poisongame::sim::jsonio::{self, Json};
 use poisongame::sim::pipeline::{DataSource, ExperimentConfig};
 use poisongame::sim::scenario::{DefenseSpec, LearnerSpec, Scenario};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Length of the deterministic request cycle: `request_for(i)` depends
+/// only on `i % CYCLE` (4 kinds × 5 seeds).
+const CYCLE: usize = 20;
 
 fn quick_config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
@@ -72,6 +88,78 @@ fn request_for(i: usize) -> RequestKind {
     }
 }
 
+/// One precomputed cycle slot, ready for either transport.
+struct Slot {
+    kind: RequestKind,
+    /// HTTP form: the gateway route and the request document minus
+    /// the `id`/`type` envelope the gateway owns.
+    route: String,
+    body: String,
+}
+
+fn build_slots() -> Vec<Slot> {
+    (0..CYCLE)
+        .map(|i| {
+            let kind = request_for(i);
+            let route = format!("/v1/{}", kind.type_name());
+            let doc = Request {
+                id: 0,
+                deadline_ms: None,
+                kind: kind.clone(),
+            }
+            .to_line();
+            let Json::Obj(fields) = Json::parse(doc.trim_end()).expect("request renders as JSON")
+            else {
+                unreachable!("request documents are objects")
+            };
+            let body = Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(key, _)| key != "id" && key != "type")
+                    .collect(),
+            )
+            .render();
+            Slot { kind, route, body }
+        })
+        .collect()
+}
+
+/// One load connection over either wire format. Both return the
+/// response's result document as a rendered string — byte-comparable
+/// across transports by construction.
+enum Transport {
+    Ndjson(Client),
+    Http(HttpClient),
+}
+
+impl Transport {
+    fn connect(addr: &str, gateway: bool) -> Result<Transport, String> {
+        Ok(if gateway {
+            Transport::Http(HttpClient::connect(addr).map_err(|e| e.to_string())?)
+        } else {
+            Transport::Ndjson(Client::connect(addr).map_err(|e| e.to_string())?)
+        })
+    }
+
+    fn call(&mut self, slot: &Slot) -> Result<String, String> {
+        match self {
+            Transport::Ndjson(client) => client
+                .call(slot.kind.clone(), None)
+                .map(|result| result.render())
+                .map_err(|e| e.to_string()),
+            Transport::Http(client) => {
+                let response = client
+                    .post(&slot.route, &slot.body)
+                    .map_err(|e| e.to_string())?;
+                if response.status != 200 {
+                    return Err(format!("HTTP {}: {}", response.status, response.body));
+                }
+                Ok(response.body)
+            }
+        }
+    }
+}
+
 fn percentile(sorted_micros: &[u128], p: f64) -> u128 {
     let index = ((sorted_micros.len() - 1) as f64 * p / 100.0).round() as usize;
     sorted_micros[index]
@@ -82,15 +170,47 @@ fn percentile(sorted_micros: &[u128], p: f64) -> u128 {
 /// throughput/latency/cache-rate over time.
 fn summary_json(
     args: &Args,
+    total: usize,
     elapsed: Duration,
     sorted_micros: &[u128],
     stats: &ServerStats,
 ) -> Json {
-    let total = args.connections * args.requests;
     let ms = |micros: u128| micros as f64 / 1000.0;
+    let shards: Vec<Json> = stats
+        .shards
+        .iter()
+        .map(|shard| {
+            Json::obj(vec![
+                ("index", Json::Num(shard.index as f64)),
+                ("completed", jsonio::big_u64_to_json(shard.completed)),
+                ("cache_hits", jsonio::big_u64_to_json(shard.cache_hits)),
+                ("cache_misses", jsonio::big_u64_to_json(shard.cache_misses)),
+                (
+                    "cache_evictions",
+                    jsonio::big_u64_to_json(shard.cache_evictions),
+                ),
+                ("cache_hit_rate", Json::Num(shard.cache_hit_rate())),
+                ("busy_micros", jsonio::big_u64_to_json(shard.busy_micros)),
+            ])
+        })
+        .collect();
     Json::obj(vec![
+        (
+            "transport",
+            Json::str(if args.gateway { "http" } else { "ndjson" }),
+        ),
         ("connections", Json::Num(args.connections as f64)),
-        ("requests_per_connection", Json::Num(args.requests as f64)),
+        (
+            "requests_per_connection",
+            match args.duration_secs {
+                Some(_) => Json::Null,
+                None => Json::Num(args.requests as f64),
+            },
+        ),
+        (
+            "duration_secs",
+            args.duration_secs.map_or(Json::Null, Json::Num),
+        ),
         ("total_requests", Json::Num(total as f64)),
         ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
         (
@@ -125,6 +245,7 @@ fn summary_json(
                 ("entries", Json::Num(stats.cache_entries as f64)),
             ]),
         ),
+        ("shards", Json::Arr(shards)),
         (
             "training",
             Json::obj(vec![
@@ -140,6 +261,9 @@ struct Args {
     addr: Option<String>,
     connections: usize,
     requests: usize,
+    duration_secs: Option<f64>,
+    gateway: bool,
+    shards: usize,
     shutdown: bool,
     json: Option<String>,
 }
@@ -149,6 +273,9 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         connections: 4,
         requests: 25,
+        duration_secs: None,
+        gateway: false,
+        shards: 1,
         shutdown: false,
         json: None,
     };
@@ -167,6 +294,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--requests: {e}"))?
             }
+            "--duration" => {
+                out.duration_secs = Some(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--gateway" => out.gateway = true,
+            "--shards" => {
+                out.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
             "--shutdown" => out.shutdown = true,
             "--json" => out.json = Some(value("--json")?),
             other => return Err(format!("unknown flag `{other}`")),
@@ -174,6 +314,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.connections == 0 || out.requests == 0 {
         return Err("--connections and --requests must both be at least 1".into());
+    }
+    if out.duration_secs.is_some_and(|secs| secs <= 0.0) {
+        return Err("--duration must be positive".into());
     }
     Ok(out)
 }
@@ -184,40 +327,86 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         e
     })?;
 
-    // No --addr: bring up an in-process server on an ephemeral port.
-    let (addr, in_process) = match &args.addr {
-        Some(addr) => (addr.clone(), None),
+    // No --addr: bring up an in-process server — and with --gateway,
+    // an in-process gateway in front of it — on ephemeral ports.
+    let mut server_handle = None;
+    let mut gateway_handle = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
         None => {
-            let server = Server::bind(ServerConfig::default())?;
-            let addr = server.local_addr()?.to_string();
-            println!("spawned in-process server on {addr}");
-            (addr, Some(server.spawn()))
+            let server = Server::bind(ServerConfig {
+                shards: args.shards,
+                ..ServerConfig::default()
+            })?;
+            let backend = server.local_addr()?.to_string();
+            println!(
+                "spawned in-process server on {backend} ({} shard{})",
+                args.shards,
+                if args.shards == 1 { "" } else { "s" }
+            );
+            server_handle = Some(server.spawn());
+            if args.gateway {
+                let gateway = Gateway::bind(GatewayConfig {
+                    backend: backend.clone(),
+                    backend_pool: args.connections.min(64),
+                    ..GatewayConfig::default()
+                })?;
+                let front = gateway.local_addr().to_string();
+                println!("spawned in-process gateway on http://{front}");
+                gateway_handle = Some(gateway.spawn());
+                front
+            } else {
+                backend
+            }
         }
     };
 
-    println!(
-        "load test: {} connections × {} requests (closed loop) against {addr}\n",
-        args.connections, args.requests
-    );
+    match args.duration_secs {
+        Some(secs) => println!(
+            "load test: {} connections × {secs:.1}s (closed loop, {}) against {addr}\n",
+            args.connections,
+            if args.gateway { "HTTP" } else { "NDJSON" },
+        ),
+        None => println!(
+            "load test: {} connections × {} requests (closed loop, {}) against {addr}\n",
+            args.connections,
+            args.requests,
+            if args.gateway { "HTTP" } else { "NDJSON" },
+        ),
+    }
+    let slots = Arc::new(build_slots());
     let started = Instant::now();
+    let stop_at = args
+        .duration_secs
+        .map(|secs| started + Duration::from_secs_f64(secs));
 
     // One closed-loop client per connection: send, wait, repeat.
     let mut threads = Vec::new();
     for _ in 0..args.connections {
         let addr = addr.clone();
+        let slots = Arc::clone(&slots);
         let requests = args.requests;
+        let gateway = args.gateway;
         threads.push(std::thread::spawn(
             move || -> Result<(Vec<String>, Vec<u128>), String> {
-                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let mut transport = Transport::connect(&addr, gateway)?;
                 let mut results = Vec::with_capacity(requests);
                 let mut latencies = Vec::with_capacity(requests);
-                for i in 0..requests {
+                let mut i = 0usize;
+                loop {
+                    match stop_at {
+                        Some(at) if Instant::now() >= at => break,
+                        Some(_) => {}
+                        None if i >= requests => break,
+                        None => {}
+                    }
                     let t0 = Instant::now();
-                    let result = client
-                        .call(request_for(i), None)
+                    let result = transport
+                        .call(&slots[i % CYCLE])
                         .map_err(|e| format!("request {i}: {e}"))?;
                     latencies.push(t0.elapsed().as_micros());
-                    results.push(result.render());
+                    results.push(result);
+                    i += 1;
                 }
                 Ok((results, latencies))
             },
@@ -235,19 +424,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         all_latencies.extend(latencies);
     }
     let elapsed = started.elapsed();
+    let total = all_latencies.len();
 
-    // Zero dropped: every connection produced every response.
-    let total = args.connections * args.requests;
-    assert_eq!(all_latencies.len(), total, "dropped responses");
-    // Zero mismatched: response i is byte-identical across connections.
+    // Zero dropped: in fixed-count mode every connection produced
+    // every response (duration mode has no fixed target; a dropped
+    // response there surfaces as a thread error above).
+    if args.duration_secs.is_none() {
+        assert_eq!(total, args.connections * args.requests, "dropped responses");
+    }
+    // Zero mismatched: every response must equal the canonical
+    // response for its cycle slot — across iterations, connections,
+    // shard counts and transports.
+    let mut canonical: Vec<Option<&String>> = vec![None; CYCLE];
     let mut mismatches = 0usize;
-    for i in 0..args.requests {
-        if !per_connection
-            .iter()
-            .all(|results| results[i] == per_connection[0][i])
-        {
-            mismatches += 1;
-            eprintln!("MISMATCH on request {i}");
+    for (c, results) in per_connection.iter().enumerate() {
+        for (i, result) in results.iter().enumerate() {
+            match canonical[i % CYCLE] {
+                None => canonical[i % CYCLE] = Some(result),
+                Some(expected) if expected == result => {}
+                Some(_) => {
+                    mismatches += 1;
+                    eprintln!("MISMATCH on connection {c}, request {i}");
+                }
+            }
         }
     }
 
@@ -264,9 +463,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         all_latencies[all_latencies.len() - 1] as f64 / 1000.0,
     );
 
-    // Server-side view: cache traffic and admission counters.
-    let mut client = Client::connect(&addr)?;
-    let stats = client.stats()?;
+    // Server-side view: admission counters and per-shard cache
+    // traffic, over whichever wire the run used.
+    let mut stats_client = Transport::connect(&addr, args.gateway)?;
+    let stats = match &mut stats_client {
+        Transport::Ndjson(client) => client.stats()?,
+        Transport::Http(client) => {
+            let response = client.get("/v1/stats")?;
+            ServerStats::from_json(&Json::parse(&response.body)?)?
+        }
+    };
     println!(
         "  server: received {} | completed {} | shed {} | expired {} | failed {}",
         stats.received, stats.completed, stats.shed, stats.expired, stats.failed
@@ -282,6 +488,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cache_capacity
             .map_or("none".to_string(), |c| c.to_string()),
     );
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: completed {} | {:.0}% cache hit rate ({} hits / {} misses / {} evictions) | busy {:.1} ms",
+            shard.index,
+            shard.completed,
+            shard.cache_hit_rate() * 100.0,
+            shard.cache_hits,
+            shard.cache_misses,
+            shard.cache_evictions,
+            shard.busy_micros as f64 / 1000.0,
+        );
+    }
     // Where the server spent its training time (process-global
     // counters, so this covers every cell the server has run).
     let total_micros = stats.prep_micros + stats.fit_micros + stats.eval_micros;
@@ -302,15 +520,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         share(stats.eval_micros),
     );
     if let Some(path) = &args.json {
-        let doc = summary_json(&args, elapsed, &all_latencies, &stats);
+        let doc = summary_json(&args, total, elapsed, &all_latencies, &stats);
         std::fs::write(path, format!("{}\n", doc.render()))?;
         println!("  wrote JSON summary to {path}");
     }
-    if args.shutdown || in_process.is_some() {
-        client.shutdown()?;
+    if args.shutdown || server_handle.is_some() {
+        match &mut stats_client {
+            Transport::Ndjson(client) => {
+                client.shutdown()?;
+            }
+            Transport::Http(client) => {
+                let response = client.post("/v1/shutdown", "")?;
+                assert_eq!(response.status, 200, "shutdown failed: {}", response.body);
+            }
+        }
         println!("  shutdown requested; server draining");
     }
-    if let Some(handle) = in_process {
+    if let Some(handle) = gateway_handle {
+        handle.join()?;
+        println!("  in-process gateway exited cleanly");
+    }
+    if let Some(handle) = server_handle {
         handle.join()?;
         println!("  in-process server exited cleanly");
     }

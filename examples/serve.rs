@@ -12,11 +12,15 @@
 //!   port (printed on stdout and written to `--port-file`).
 //! * `--port-file PATH` — write the bound `host:port` to `PATH` once
 //!   listening (for scripts that need to discover the port).
-//! * `--workers N` — evaluation worker count (`0` = hardware threads).
-//! * `--queue N` — admission queue bound (beyond it requests are shed
-//!   with a structured `busy` error).
-//! * `--cache N` — preparation-cache bound (`0` = cache nothing,
-//!   `unbounded` = no bound, like the batch engine).
+//! * `--shards N` — engine shard count (independent prep caches and
+//!   admission queues, prep-key-affine routing; resizable at runtime
+//!   via the `resize` request).
+//! * `--workers N` — per-shard evaluation worker count (`0` =
+//!   hardware threads).
+//! * `--queue N` — per-shard admission queue bound (beyond it
+//!   requests are shed with a structured `busy` error).
+//! * `--cache N` — per-shard preparation-cache bound (`0` = cache
+//!   nothing, `unbounded` = no bound, like the batch engine).
 //! * `--deadline-ms N` — implicit deadline for requests carrying none.
 //!
 //! The process exits cleanly after a client sends `shutdown`: the
@@ -37,6 +41,11 @@ fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
         match flag.as_str() {
             "--addr" => config.addr = value("--addr")?,
             "--port-file" => port_file = Some(value("--port-file")?),
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
             "--workers" => {
                 config.workers = value("--workers")?
                     .parse()
@@ -75,12 +84,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("usage error: {e} (see the doc comment at the top of examples/serve.rs)");
         e
     })?;
-    let (workers, queue, cache) = (config.workers, config.queue_capacity, config.cache_capacity);
+    let (shards, workers, queue, cache) = (
+        config.shards,
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+    );
     let server = Server::bind(config)?;
     let addr = server.local_addr()?;
     println!("poisongame-serve listening on {addr}");
     println!(
-        "  workers: {} | queue bound: {queue} | prep-cache bound: {}",
+        "  shards: {} | workers/shard: {} | queue bound/shard: {queue} | prep-cache bound/shard: {}",
+        shards.max(1),
         if workers == 0 {
             "auto".to_string()
         } else {
@@ -108,5 +123,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.cache_hit_rate() * 100.0,
         stats.cache_entries,
     );
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: completed {} | {:.0}% cache hit rate ({} hits / {} misses) | busy {:.1} ms",
+            shard.index,
+            shard.completed,
+            shard.cache_hit_rate() * 100.0,
+            shard.cache_hits,
+            shard.cache_misses,
+            shard.busy_micros as f64 / 1000.0,
+        );
+    }
     Ok(())
 }

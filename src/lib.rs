@@ -20,7 +20,8 @@
 //! | [`core`] | the game model: `E(p)`, `Γ(p)`, BRF analysis, NE conditions, Algorithm 1 |
 //! | [`sim`] | the experiment harness: Figure 1, Table 1, scaling, Monte-Carlo validation |
 //! | [`online`] | the repeated game: no-regret adaptive attackers/defenders, convergence to the static NE |
-//! | [`serve`] | the evaluation service: NDJSON-over-TCP server, admission/load-shedding, client |
+//! | [`serve`] | the evaluation service: sharded NDJSON-over-TCP server, admission/load-shedding, client |
+//! | [`gateway`] | the HTTP/1.1 front end: `/v1/*` JSON API over pooled backend connections |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use poisongame_attack as attack;
 pub use poisongame_core as core;
 pub use poisongame_data as data;
 pub use poisongame_defense as defense;
+pub use poisongame_gateway as gateway;
 pub use poisongame_linalg as linalg;
 pub use poisongame_ml as ml;
 pub use poisongame_online as online;
