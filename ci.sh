@@ -145,6 +145,13 @@ cargo run --release --example online_play
 echo "==> cargo bench -p poisongame-bench --bench train_kernel -- --test (smoke)"
 cargo bench -p poisongame-bench --bench train_kernel -- --test
 
+# Execution-runtime bench in smoke mode, named explicitly: per-call
+# scoped spawning vs the shared worker pool at 1/8/64-cell grids, and
+# serial vs pool-parallel gemm_nt (each iteration asserts bit-exact
+# checksums, so this also guards the parallel kernel's identity).
+echo "==> cargo bench -p poisongame-bench --bench exec_pool -- --test (smoke)"
+cargo bench -p poisongame-bench --bench exec_pool -- --test
+
 # Bench binaries in --test smoke mode (one sample per bench): keeps
 # every bench compiling AND running without paying for statistics.
 # Scoped to the bench package so the arg reaches only the harness=false

@@ -1,0 +1,81 @@
+//! The persistent execution runtime: a process-wide work-stealing
+//! worker pool replacing per-call thread spawn/join.
+//!
+//! Every parallel path in the workspace — simulation grids
+//! (`poisongame-sim`'s `exec` module), blocked GEMM row-block fan-out
+//! (`poisongame-linalg`), and the serving tier's per-batch evaluation —
+//! used to spawn a fresh `std::thread::scope` pool per call. Under a
+//! serving workload that happens once per drained batch per shard, so
+//! thread churn sits on the request hot path. This crate provides the
+//! replacement: one lazily-initialized [`WorkerPool`]
+//! ([`WorkerPool::global`]) whose workers are long-lived, with a
+//! global injector queue, per-worker stealable deques and condvar
+//! parking.
+//!
+//! Two properties carry every determinism guarantee upstream:
+//!
+//! * **Index-addressed tasks.** A batch is `n` tasks addressed by
+//!   index; each index runs exactly once and writes its own result
+//!   slot ([`OnceSlots`]). Scheduling decides only wall-clock time,
+//!   never which task computes what — so results are bit-identical at
+//!   any worker count, including zero.
+//! * **Participating submitters.** [`WorkerPool::run`] never parks the
+//!   submitting thread while claimable work remains: the submitter
+//!   claims indices alongside the workers and only sleeps once every
+//!   index is claimed and it is waiting for in-flight stragglers. A
+//!   task that itself calls `run` (nested parallelism) therefore
+//!   cannot deadlock — the inner batch is drained by its own
+//!   submitter even if every pool worker is busy or the pool has shut
+//!   down.
+//!
+//! # Example
+//!
+//! ```
+//! use poisongame_exec::{OnceSlots, WorkerPool};
+//!
+//! let items = [1u64, 2, 3, 4];
+//! let slots = OnceSlots::new(items.len());
+//! WorkerPool::global().run(items.len(), 4, &|i| slots.set(i, items[i] * 10));
+//! let out: Vec<u64> = slots.into_options().into_iter().flatten().collect();
+//! assert_eq!(out, vec![10, 20, 30, 40]);
+//! ```
+
+#![warn(missing_docs)]
+// The only unsafe in the workspace lives here (see `slots`); every
+// downstream crate keeps its `#![forbid(unsafe_code)]`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod pool;
+pub mod slots;
+
+pub use pool::{PoolStats, WorkerPool};
+pub use slots::OnceSlots;
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Hardware thread count, resolved once per process.
+///
+/// `std::thread::available_parallelism` is a syscall; callers on hot
+/// paths (per-batch policy resolution in the serving tier) read this
+/// cached value instead.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_threads_is_cached_and_positive() {
+        let first = hardware_threads();
+        assert!(first >= 1);
+        assert_eq!(hardware_threads(), first);
+    }
+}

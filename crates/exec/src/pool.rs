@@ -1,0 +1,634 @@
+//! The work-stealing worker pool.
+//!
+//! Topology: one global injector queue plus one stealable deque per
+//! worker. External submitters push participation tickets to the
+//! injector; a task running *on* a worker pushes its nested batch's
+//! tickets to that worker's own deque (LIFO — the deepest, hottest
+//! work first), where siblings can steal them (FIFO — oldest first).
+//! Idle workers park on a condvar; submission notifies under the same
+//! lock, so no wakeup is ever lost.
+//!
+//! A **batch** is `n` index-addressed tasks behind a shared claim
+//! counter. A **ticket** is an invitation to participate: whoever pops
+//! it (worker or thief) loops claiming indices until the counter is
+//! exhausted. The submitting thread holds an implicit ticket — it
+//! claims indices too, and only waits (on the batch's own condvar)
+//! for stragglers after every index is claimed. That participation is
+//! what makes nested `run` calls deadlock-free: a waiter only ever
+//! waits for indices that some live thread has claimed and is
+//! actively executing, and that execution terminates by induction on
+//! nesting depth.
+//!
+//! A panicking task panics the whole `run` call (resumed on the
+//! submitting thread, like a scoped spawn would), cancels the batch's
+//! unclaimed indices, and leaves the workers alive for the next batch.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::hardware_threads;
+
+/// One batch of `n` index-addressed tasks behind a claim counter.
+///
+/// The closure is type-erased to a raw context pointer plus a
+/// monomorphized trampoline so tickets can live in `'static` worker
+/// queues while the closure itself borrows the submitter's stack.
+struct Batch {
+    /// Next unclaimed index; claims at or above `n` are no-ops.
+    next: AtomicUsize,
+    /// Task count. The batch is complete when `done == n`.
+    n: usize,
+    /// Indices accounted for: executed, panicked, or cancelled.
+    done: AtomicUsize,
+    /// `&F` as a raw pointer. Only dereferenced for claims below `n`,
+    /// which the submitter outlives by waiting for `done == n`.
+    ctx: *const (),
+    /// Monomorphized trampoline restoring `ctx` to `&F`.
+    call: unsafe fn(*const (), usize),
+    /// First panic payload; resumed on the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion parking for the submitter.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` points at an `F: Fn(usize) + Sync` that the submitting
+// `run` frame keeps alive until `done == n`; `call` only produces `&F`
+// from it, and `&F` is shareable across threads by the `Sync` bound.
+// Every other field is inherently thread-safe.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// True once every index is accounted for.
+    fn complete(&self) -> bool {
+        // Acquire pairs with the AcqRel `fetch_add` in `account`: once
+        // the count reads `n`, every task's writes are visible.
+        self.done.load(Ordering::Acquire) >= self.n
+    }
+
+    /// Credit `count` indices as finished and wake the submitter on
+    /// the last one.
+    fn account(&self, count: usize) {
+        let prior = self.done.fetch_add(count, Ordering::AcqRel);
+        if prior + count >= self.n {
+            // Take the lock so the notify cannot slip between the
+            // submitter's re-check and its wait.
+            let _guard = self.done_lock.lock().expect("batch done lock poisoned");
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Run index `i` (already uniquely claimed). On panic: record the
+    /// payload, cancel all still-unclaimed indices, keep the thread.
+    fn execute(&self, i: usize) {
+        // SAFETY: `i < n` was claimed from `next` exactly once, so the
+        // submitter is still inside `run` and `ctx` is alive.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.ctx, i) }));
+        if let Err(payload) = outcome {
+            {
+                let mut slot = self.panic.lock().expect("batch panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            // Cancel: jump the claim counter to the end and account
+            // the indices nobody will ever claim. Claims are totally
+            // ordered, so each skipped index is accounted exactly once
+            // even with concurrent panics.
+            let prev = self.next.swap(self.n, Ordering::Relaxed);
+            if prev < self.n {
+                self.account(self.n - prev);
+            }
+        }
+        self.account(1);
+    }
+}
+
+/// A participation ticket: executing it means claiming indices from
+/// the batch until exhaustion.
+type Ticket = Arc<Batch>;
+
+/// Cumulative pool counters (process lifetime, never reset). Snapshot
+/// via [`WorkerPool::stats`]; the serving tier surfaces them through
+/// its `stats` request the same way `sim::timing` surfaces phase
+/// times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Indices executed by pool workers.
+    pub tasks: u64,
+    /// Indices executed inline by submitting threads participating in
+    /// their own batches.
+    pub inline: u64,
+    /// Tickets taken from another worker's deque.
+    pub steals: u64,
+    /// Times a worker parked on the idle condvar.
+    pub parks: u64,
+    /// Batches that went through the parallel path.
+    pub batches: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise difference against an earlier snapshot
+    /// (saturating, so a stale `earlier` cannot underflow).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            inline: self.inline.saturating_sub(earlier.inline),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+            batches: self.batches.saturating_sub(earlier.batches),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    tasks: AtomicU64,
+    inline: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct PoolInner {
+    /// External submissions land here.
+    injector: Mutex<VecDeque<Ticket>>,
+    /// One deque per worker; the owner pops LIFO, thieves steal FIFO.
+    deques: Vec<Mutex<VecDeque<Ticket>>>,
+    /// Idle parking. Submissions notify under this lock.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+impl PoolInner {
+    fn has_queued_work(&self) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.deques
+            .iter()
+            .any(|d| !d.lock().expect("worker deque poisoned").is_empty())
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` for pool worker threads, so a
+    /// nested submission can target its own deque.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// A persistent pool of worker threads executing index-addressed
+/// batches. One process-wide instance lives behind
+/// [`WorkerPool::global`]; tests construct private pools with
+/// [`WorkerPool::new`] and tear them down with
+/// [`WorkerPool::shutdown`].
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` long-lived worker threads (`0` is
+    /// treated as 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("poisongame-pool-{idx}"))
+                    .spawn(move || worker_loop(&inner, idx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The process-wide pool, created on first use with one worker per
+    /// hardware thread. It is never shut down; its workers park when
+    /// idle.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(hardware_threads()))
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Snapshot the cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.inner.counters;
+        PoolStats {
+            tasks: c.tasks.load(Ordering::Relaxed),
+            inline: c.inline.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute `task(i)` for every `i in 0..n`, blocking until all
+    /// have finished. At most `participants` threads work on the
+    /// batch concurrently: the submitting thread plus up to
+    /// `participants - 1` pool workers (fewer if the pool is smaller
+    /// or busy — the claim counter self-balances either way).
+    ///
+    /// Each index runs exactly once; which thread runs it is
+    /// unspecified, so `task` must make results index-addressed (write
+    /// slot `i`, derive randomness from `i`), never order-dependent.
+    /// Nested calls from inside a task are safe at any pool size —
+    /// the inner call's submitter participates instead of blocking.
+    /// With `participants <= 1`, or on a pool that has shut down, the
+    /// whole batch runs inline on the submitting thread.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, the first payload is resumed on the
+    /// submitting thread after the batch settles (remaining unclaimed
+    /// indices are cancelled). The pool itself survives.
+    pub fn run<F>(&self, n: usize, participants: usize, task: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if participants <= 1 || n == 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+
+        /// Restore the erased context to `&F` and call it.
+        unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+            // SAFETY: `ctx` was produced from `&F` in the enclosing
+            // `run` frame, which outlives every sub-`n` claim.
+            let f = unsafe { &*ctx.cast::<F>() };
+            f(i);
+        }
+
+        let batch: Ticket = Arc::new(Batch {
+            next: AtomicUsize::new(0),
+            n,
+            done: AtomicUsize::new(0),
+            ctx: (task as *const F).cast::<()>(),
+            call: trampoline::<F>,
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        self.inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+        // One ticket per invited co-worker; the submitter is the final
+        // participant. Tickets beyond the claimable work are pointless.
+        let tickets = participants.min(n).saturating_sub(1);
+        if tickets > 0 && !self.inner.shutdown.load(Ordering::SeqCst) {
+            self.submit(&batch, tickets);
+        }
+
+        // Participate: claim indices until exhausted.
+        loop {
+            let i = batch.next.fetch_add(1, Ordering::Relaxed);
+            if i >= batch.n {
+                break;
+            }
+            batch.execute(i);
+            self.inner.counters.inline.fetch_add(1, Ordering::Relaxed);
+        }
+        // Wait for in-flight stragglers claimed by other threads. They
+        // are actively executing on live threads, so this terminates.
+        if !batch.complete() {
+            let mut guard = batch.done_lock.lock().expect("batch done lock poisoned");
+            while !batch.complete() {
+                guard = batch.done_cv.wait(guard).expect("batch done lock poisoned");
+            }
+        }
+        let payload = batch
+            .panic
+            .lock()
+            .expect("batch panic slot poisoned")
+            .take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Split `data` into `chunk_len`-sized chunks and run
+    /// `f(chunk_index, chunk)` for each through the pool, blocking
+    /// until all complete. Each chunk is handed to exactly one task —
+    /// disjoint `&mut` access with no copies and no unsafe in the
+    /// caller (this is how the blocked GEMM fans its output row blocks
+    /// out). Participation semantics match [`WorkerPool::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`, and propagates task panics like
+    /// [`WorkerPool::run`].
+    pub fn for_each_chunk_mut<T, F>(
+        &self,
+        participants: usize,
+        data: &mut [T],
+        chunk_len: usize,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(
+            chunk_len > 0,
+            "for_each_chunk_mut: chunk_len must be positive"
+        );
+        if data.is_empty() {
+            return;
+        }
+        let n_chunks = data.len().div_ceil(chunk_len);
+        if participants <= 1 || n_chunks == 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // Hand each task exclusive ownership of its chunk through a
+        // one-shot slot; the lock is uncontended by construction (one
+        // taker per slot), so this stays safe without being hot.
+        let chunks: Vec<Mutex<Option<&mut [T]>>> = data
+            .chunks_mut(chunk_len)
+            .map(|chunk| Mutex::new(Some(chunk)))
+            .collect();
+        self.run(chunks.len(), participants, &|i| {
+            let chunk = chunks[i]
+                .lock()
+                .expect("chunk slot poisoned")
+                .take()
+                .expect("each chunk is claimed exactly once");
+            f(i, chunk);
+        });
+    }
+
+    /// Push `count` tickets for `batch`: onto this worker's own deque
+    /// when called from a pool worker (nested batch), onto the
+    /// injector otherwise — then wake parked workers.
+    fn submit(&self, batch: &Ticket, count: usize) {
+        let own_deque = CURRENT_WORKER
+            .with(|c| c.get())
+            .and_then(|(pool, idx)| (pool == Arc::as_ptr(&self.inner) as usize).then_some(idx));
+        {
+            let queue = match own_deque {
+                Some(idx) => &self.inner.deques[idx],
+                None => &self.inner.injector,
+            };
+            let mut queue = queue.lock().expect("submission queue poisoned");
+            for _ in 0..count {
+                queue.push_back(Arc::clone(batch));
+            }
+        }
+        // Notify under the sleep lock: a worker checks the queues
+        // while holding it before parking, so this wakeup cannot race
+        // past a parking decision.
+        let _guard = self.inner.sleep.lock().expect("sleep lock poisoned");
+        self.inner.wake.notify_all();
+    }
+
+    /// Stop the workers and join them. Queued tickets are drained
+    /// first (workers only exit when idle), and `run` keeps working
+    /// afterwards — it just executes inline. Intended for tests; the
+    /// global pool is never shut down.
+    pub fn shutdown(&self) {
+        {
+            let _guard = self.inner.sleep.lock().expect("sleep lock poisoned");
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+            self.inner.wake.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .expect("worker handles poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The worker body: drain work, steal when dry, park when idle.
+fn worker_loop(inner: &Arc<PoolInner>, idx: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((Arc::as_ptr(inner) as usize, idx))));
+    loop {
+        if let Some(ticket) = find_work(inner, idx) {
+            // Participate until the batch's claim counter is
+            // exhausted. A stale ticket (batch already finished)
+            // claims nothing and costs one atomic.
+            loop {
+                let i = ticket.next.fetch_add(1, Ordering::Relaxed);
+                if i >= ticket.n {
+                    break;
+                }
+                ticket.execute(i);
+                inner.counters.tasks.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        }
+        let guard = inner.sleep.lock().expect("sleep lock poisoned");
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Re-check under the lock: a submission between the failed
+        // `find_work` and this point already notified (or will notify
+        // only after we release the lock in `wait`).
+        if inner.has_queued_work() {
+            continue;
+        }
+        inner.counters.parks.fetch_add(1, Ordering::Relaxed);
+        drop(inner.wake.wait(guard).expect("sleep lock poisoned"));
+    }
+}
+
+/// Own deque first (LIFO — deepest nested work), then the injector
+/// (FIFO — oldest external batch), then steal round-robin from
+/// siblings (FIFO — their coldest end).
+fn find_work(inner: &PoolInner, idx: usize) -> Option<Ticket> {
+    if let Some(ticket) = inner.deques[idx]
+        .lock()
+        .expect("worker deque poisoned")
+        .pop_back()
+    {
+        return Some(ticket);
+    }
+    if let Some(ticket) = inner
+        .injector
+        .lock()
+        .expect("injector poisoned")
+        .pop_front()
+    {
+        return Some(ticket);
+    }
+    for offset in 1..inner.deques.len() {
+        let victim = (idx + offset) % inner.deques.len();
+        if let Some(ticket) = inner.deques[victim]
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+        {
+            inner.counters.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(ticket);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OnceSlots;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), 4, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::SeqCst), 1, "index {i}");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock_at_tiny_pool_sizes() {
+        for workers in [1, 2] {
+            let pool = WorkerPool::new(workers);
+            let total = AtomicUsize::new(0);
+            // Three levels of nesting, fan-out 3 each: 27 leaf tasks.
+            pool.run(3, 4, &|_| {
+                pool.run(3, 4, &|_| {
+                    pool.run(3, 4, &|_| {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 27, "{workers} workers");
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn run_works_inline_after_shutdown() {
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        let slots = OnceSlots::new(8);
+        pool.run(8, 4, &|i| slots.set(i, i * 2));
+        let out: Vec<usize> = slots.into_options().into_iter().flatten().collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, 4, &|i| {
+                if i == 7 {
+                    panic!("cell 7 exploded");
+                }
+            });
+        }));
+        let payload = outcome.expect_err("panic must propagate to the submitter");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "cell 7 exploded");
+        // The pool still works after a panicking batch.
+        let count = AtomicUsize::new(0);
+        pool.run(8, 4, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn counters_account_every_task() {
+        let pool = WorkerPool::new(2);
+        let before = pool.stats();
+        pool.run(64, 4, &|_| {});
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.tasks + delta.inline, 64, "every index accounted");
+        assert_eq!(delta.batches, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_all_chunks_with_remainder() {
+        let pool = WorkerPool::new(2);
+        let mut data: Vec<usize> = vec![0; 23];
+        pool.for_each_chunk_mut(4, &mut data, 5, |chunk_idx, chunk| {
+            // 23 / 5 → 4 full chunks + a 3-element remainder.
+            assert!(chunk.len() == 5 || (chunk_idx == 4 && chunk.len() == 3));
+            for (offset, value) in chunk.iter_mut().enumerate() {
+                *value = chunk_idx * 5 + offset;
+            }
+        });
+        let expected: Vec<usize> = (0..23).collect();
+        assert_eq!(data, expected);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn zero_and_one_sized_batches_are_trivial() {
+        let pool = WorkerPool::new(1);
+        pool.run(0, 8, &|_| unreachable!("no tasks in an empty batch"));
+        let ran = AtomicUsize::new(0);
+        pool.run(1, 8, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_external_submitters_share_the_pool() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    pool.run(25, 3, &|_| {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("submitter thread");
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 100);
+        pool.shutdown();
+    }
+}

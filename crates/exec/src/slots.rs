@@ -1,0 +1,230 @@
+//! Write-once result slots for index-addressed parallel maps.
+//!
+//! `parallel_map` used to collect results through
+//! `Vec<Mutex<Option<R>>>` — a lock per cell, even though each index
+//! is written by exactly one task and read only after the batch
+//! settles. [`OnceSlots`] keeps the same write-once discipline with a
+//! plain completion flag per slot: `set` is one uncontended atomic
+//! swap plus a move, and reading back is deferred to
+//! [`OnceSlots::into_options`], which requires `&mut`-level ownership
+//! and therefore cannot race with writers.
+
+use std::cell::UnsafeCell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A fixed-size array of write-once slots, shareable across the
+/// threads of one batch.
+///
+/// Safety protocol (all enforced at runtime):
+///
+/// * each slot is written at most once ([`OnceSlots::set`] panics on a
+///   second write to the same index, so no writer ever aliases
+///   another);
+/// * a slot's value only becomes readable through
+///   [`OnceSlots::into_options`], which consumes the collection —
+///   after every writer is done, in the `parallel_map` pattern,
+///   because the pool's `run` does not return until the batch settles.
+pub struct OnceSlots<T> {
+    values: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    written: Box<[AtomicBool]>,
+}
+
+// SAFETY: a slot is written by exactly one thread (enforced by the
+// `written` flag swap) and read only via `into_options`, which takes
+// the collection by value — ownership transfer is the synchronization
+// point. `T: Send` suffices because values only move across threads,
+// they are never shared by reference.
+unsafe impl<T: Send> Sync for OnceSlots<T> {}
+unsafe impl<T: Send> Send for OnceSlots<T> {}
+
+impl<T> OnceSlots<T> {
+    /// Allocate `n` empty slots.
+    pub fn new(n: usize) -> OnceSlots<T> {
+        OnceSlots {
+            values: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            written: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Slot count.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Write slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or the slot was already written —
+    /// a double write would alias a live value, so it is rejected
+    /// before any unsafe access happens.
+    pub fn set(&self, i: usize, value: T) {
+        // AcqRel: the Release half publishes the (about to happen)
+        // write ordering guard below; Acquire pairs with a racing
+        // writer's swap so the panic fires before both touch the cell.
+        let already = self.written[i].swap(true, Ordering::AcqRel);
+        assert!(!already, "OnceSlots::set: slot {i} written twice");
+        // SAFETY: the flag swap above guarantees this thread is the
+        // unique writer of slot `i`, and no reader exists until
+        // `into_options` takes ownership of `self`.
+        unsafe { (*self.values[i].get()).write(value) };
+        // Publish the value itself for the eventual reader: pool
+        // completion accounting (Acquire on the batch's `done`
+        // counter) synchronizes the transfer, and this Release store
+        // closes the window for memory-reordering of the write above.
+        self.written[i].store(true, Ordering::Release);
+    }
+
+    /// True if slot `i` has been written.
+    pub fn is_set(&self, i: usize) -> bool {
+        self.written[i].load(Ordering::Acquire)
+    }
+
+    /// Consume the slots, yielding `Some(value)` for written slots and
+    /// `None` for untouched ones (e.g. cells skipped after an error in
+    /// `try_parallel_map`).
+    pub fn into_options(self) -> Vec<Option<T>> {
+        // Take manual control of drop: each initialized value is moved
+        // out exactly once below, so the `Drop` impl must not run.
+        let this = ManuallyDrop::new(self);
+        // SAFETY: `this.values` and `this.written` are never touched
+        // again through `this` (reads below copy the boxes' contents
+        // out by value via ptr::read).
+        let values = unsafe { std::ptr::read(&this.values) };
+        let written = unsafe { std::ptr::read(&this.written) };
+        values
+            .into_vec()
+            .into_iter()
+            .zip(written.iter())
+            .map(|(cell, flag)| {
+                if flag.load(Ordering::Acquire) {
+                    // SAFETY: the flag says the slot was written, and
+                    // ownership of the whole collection means no
+                    // writer is live — the value is initialized and
+                    // moved out exactly once.
+                    Some(unsafe { cell.into_inner().assume_init() })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+impl<T> Drop for OnceSlots<T> {
+    fn drop(&mut self) {
+        if !std::mem::needs_drop::<T>() {
+            return;
+        }
+        for (cell, flag) in self.values.iter_mut().zip(self.written.iter()) {
+            if flag.load(Ordering::Acquire) {
+                // SAFETY: `&mut self` means no concurrent writer, and
+                // the flag says the slot holds an initialized value
+                // that was never moved out (`into_options` suppresses
+                // this Drop).
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_then_into_options_round_trips() {
+        let slots = OnceSlots::new(4);
+        slots.set(0, "a".to_string());
+        slots.set(2, "c".to_string());
+        assert!(slots.is_set(0));
+        assert!(!slots.is_set(1));
+        let out = slots.into_options();
+        assert_eq!(
+            out,
+            vec![Some("a".to_string()), None, Some("c".to_string()), None]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn double_set_panics() {
+        let slots = OnceSlots::new(2);
+        slots.set(1, 10);
+        slots.set(1, 11);
+    }
+
+    #[test]
+    fn dropping_unconsumed_slots_drops_written_values_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let slots = OnceSlots::new(3);
+            slots.set(0, Counted(Arc::clone(&drops)));
+            slots.set(2, Counted(Arc::clone(&drops)));
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn into_options_drops_nothing_extra() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let slots = OnceSlots::new(2);
+        slots.set(0, Counted(Arc::clone(&drops)));
+        let out = slots.into_options();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "no drop during conversion");
+        drop(out);
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "moved value drops once");
+    }
+
+    #[test]
+    fn concurrent_writers_fill_disjoint_slots() {
+        let slots = Arc::new(OnceSlots::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    for i in (t..64).step_by(4) {
+                        slots.set(i, i * 3);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("writer thread");
+        }
+        let slots = Arc::into_inner(slots).expect("sole owner");
+        let out: Vec<usize> = slots.into_options().into_iter().flatten().collect();
+        let expected: Vec<usize> = (0..64).map(|i| i * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_collection_behaves() {
+        let slots: OnceSlots<u8> = OnceSlots::new(0);
+        assert!(slots.is_empty());
+        assert_eq!(slots.len(), 0);
+        assert!(slots.into_options().is_empty());
+    }
+}

@@ -30,6 +30,8 @@ use crate::matrix::Matrix;
 use crate::vector;
 use crate::view::MatrixView;
 
+use poisongame_exec::{hardware_threads, WorkerPool};
+
 /// Rows of the left operand processed per cache block: a block of this
 /// many feature rows re-reads the packed right-hand panel while it is
 /// still resident.
@@ -183,6 +185,71 @@ pub fn pack_rows(src: &impl RowSource) -> RowPanel {
     panel
 }
 
+/// The macro-kernel: one `ROW_BLOCK`-sized band of the output.
+///
+/// Computes rows `i0 .. i0 + out.len() / n` of `C = A Bᵀ` into `out`
+/// (a flat row-major band, `n` columns per row). Each output entry is
+/// accumulated over the shared dimension in ascending order — the
+/// bit-identity contract — and the band is written by exactly one
+/// caller, so bands can be dispatched to parallel workers without any
+/// reduction reordering.
+fn gemm_nt_block(
+    a: &impl RowSource,
+    panel: &RowPanel,
+    k: usize,
+    n: usize,
+    i0: usize,
+    out: &mut [f64],
+) {
+    let band_rows = out.len() / n;
+    for j0 in (0..n).step_by(RHS_BLOCK) {
+        let j_end = (j0 + RHS_BLOCK).min(n);
+        for local_i in 0..band_rows {
+            let a_row = &a.row(i0 + local_i)[..k];
+            let c_row = &mut out[local_i * n..(local_i + 1) * n];
+            let mut j = j0;
+            // 4 RHS accumulators share each streamed a_row load.
+            while j + 4 <= j_end {
+                let b0 = &panel.row(j)[..k];
+                let b1 = &panel.row(j + 1)[..k];
+                let b2 = &panel.row(j + 2)[..k];
+                let b3 = &panel.row(j + 3)[..k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for (t, &av) in a_row.iter().enumerate() {
+                    s0 += av * b0[t];
+                    s1 += av * b1[t];
+                    s2 += av * b2[t];
+                    s3 += av * b3[t];
+                }
+                c_row[j] = s0;
+                c_row[j + 1] = s1;
+                c_row[j + 2] = s2;
+                c_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < j_end {
+                c_row[j] = vector::dot(a_row, panel.row(j));
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Multiply-accumulate count below which fanning row bands out to the
+/// pool costs more than it saves (ticket push + wakeups ≈ a few µs).
+const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
+
+/// How many threads `gemm_nt` lets work on an `m`-row product with
+/// `flops` multiply-accumulates: one (serial) when the product has a
+/// single row band or is too small to amortize dispatch, otherwise one
+/// per hardware thread, capped by the band count.
+fn gemm_participants(m: usize, flops: usize) -> usize {
+    if m <= ROW_BLOCK || flops < PARALLEL_FLOP_THRESHOLD {
+        return 1;
+    }
+    hardware_threads().min(m.div_ceil(ROW_BLOCK))
+}
+
 /// Blocked multi-RHS product `C = A Bᵀ` over row-major operands:
 /// `C[i][j] = dot(a.row(i), b.row(j))`.
 ///
@@ -192,10 +259,35 @@ pub fn pack_rows(src: &impl RowSource) -> RowPanel {
 /// output entry — bit-identical to calling [`vector::dot`] per pair,
 /// for any blocking.
 ///
+/// Large products (several `ROW_BLOCK` bands and enough arithmetic to
+/// amortize dispatch) fan their output row bands out across the shared
+/// worker pool ([`poisongame_exec::WorkerPool::global`]). Each band is
+/// written by exactly one task and the per-entry accumulation order
+/// never changes, so the parallel result is **bit-identical by
+/// construction** at any worker count — see [`gemm_nt_parallel`] to
+/// pick the participant count explicitly.
+///
 /// # Errors
 ///
 /// Returns [`LinalgError::DimensionMismatch`] if `a.cols() != b.cols()`.
-pub fn gemm_nt(a: &impl RowSource, b: &impl RowSource) -> Result<Matrix, LinalgError> {
+pub fn gemm_nt(a: &(impl RowSource + Sync), b: &impl RowSource) -> Result<Matrix, LinalgError> {
+    let flops = a.rows() * b.rows() * a.cols();
+    gemm_nt_parallel(a, b, gemm_participants(a.rows(), flops))
+}
+
+/// [`gemm_nt`] with an explicit concurrency cap: at most
+/// `participants` threads (the caller plus shared-pool workers) build
+/// the product, each writing whole output row bands. `participants <= 1`
+/// is the serial path; any value yields bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `a.cols() != b.cols()`.
+pub fn gemm_nt_parallel(
+    a: &(impl RowSource + Sync),
+    b: &impl RowSource,
+    participants: usize,
+) -> Result<Matrix, LinalgError> {
     if a.cols() != b.cols() {
         return Err(LinalgError::DimensionMismatch {
             left: a.cols(),
@@ -203,46 +295,26 @@ pub fn gemm_nt(a: &impl RowSource, b: &impl RowSource) -> Result<Matrix, LinalgE
         });
     }
     let (m, n, k) = (a.rows(), b.rows(), a.cols());
-    let mut out = Matrix::zeros(m, n);
     if m == 0 || n == 0 {
-        return Ok(out);
+        return Ok(Matrix::zeros(m, n));
     }
     let panel = pack_rows(b);
-    for i0 in (0..m).step_by(ROW_BLOCK) {
-        let i_end = (i0 + ROW_BLOCK).min(m);
-        for j0 in (0..n).step_by(RHS_BLOCK) {
-            let j_end = (j0 + RHS_BLOCK).min(n);
-            for i in i0..i_end {
-                let a_row = &a.row(i)[..k];
-                let c_row = out.row_mut(i);
-                let mut j = j0;
-                // 4 RHS accumulators share each streamed a_row load.
-                while j + 4 <= j_end {
-                    let b0 = &panel.row(j)[..k];
-                    let b1 = &panel.row(j + 1)[..k];
-                    let b2 = &panel.row(j + 2)[..k];
-                    let b3 = &panel.row(j + 3)[..k];
-                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                    for (t, &av) in a_row.iter().enumerate() {
-                        s0 += av * b0[t];
-                        s1 += av * b1[t];
-                        s2 += av * b2[t];
-                        s3 += av * b3[t];
-                    }
-                    c_row[j] = s0;
-                    c_row[j + 1] = s1;
-                    c_row[j + 2] = s2;
-                    c_row[j + 3] = s3;
-                    j += 4;
-                }
-                while j < j_end {
-                    c_row[j] = vector::dot(a_row, panel.row(j));
-                    j += 1;
-                }
-            }
+    let mut data = vec![0.0; m * n];
+    if participants <= 1 {
+        for (band, out) in data.chunks_mut(ROW_BLOCK * n).enumerate() {
+            gemm_nt_block(a, &panel, k, n, band * ROW_BLOCK, out);
         }
+    } else {
+        WorkerPool::global().for_each_chunk_mut(
+            participants,
+            &mut data,
+            ROW_BLOCK * n,
+            |band, out| {
+                gemm_nt_block(a, &panel, k, n, band * ROW_BLOCK, out);
+            },
+        );
     }
-    Ok(out)
+    Ok(Matrix::from_vec(m, n, data).expect("band tiling covers exactly m*n entries"))
 }
 
 /// Blocked matrix-vector product `a * x` with a 4-row unroll: the
@@ -454,6 +526,39 @@ mod tests {
             let naive = naive_gemm_nt(&a, &b);
             assert_eq!(blocked, naive, "bit divergence at {m}x{n}x{k}");
         }
+    }
+
+    #[test]
+    fn gemm_nt_parallel_is_bit_identical_to_serial() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x9A11);
+        // Shapes with 1, 2 and 4 row bands, including ragged last
+        // bands, at paper-like widths.
+        for &(m, n, k) in &[(100, 8, 57), (256, 24, 57), (300, 5, 123), (513, 16, 33)] {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(n, k, &mut rng);
+            let serial = gemm_nt_parallel(&a, &b, 1).unwrap();
+            for participants in [2, 4, 8] {
+                let parallel = gemm_nt_parallel(&a, &b, participants).unwrap();
+                for i in 0..m {
+                    let serial_bits: Vec<u64> = serial.row(i).iter().map(|v| v.to_bits()).collect();
+                    let par_bits: Vec<u64> = parallel.row(i).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        serial_bits, par_bits,
+                        "row {i} diverged at {m}x{n}x{k}, {participants} participants"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_participants_thresholds() {
+        // One row band or tiny arithmetic → serial, no pool dispatch.
+        assert_eq!(gemm_participants(ROW_BLOCK, usize::MAX), 1);
+        assert_eq!(gemm_participants(1000, PARALLEL_FLOP_THRESHOLD - 1), 1);
+        // Past both thresholds the cap is bands-vs-hardware.
+        let p = gemm_participants(ROW_BLOCK * 4, PARALLEL_FLOP_THRESHOLD);
+        assert!((1..=4).contains(&p));
     }
 
     #[test]

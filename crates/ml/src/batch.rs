@@ -22,13 +22,19 @@ use poisongame_linalg::Matrix;
 /// state, in order; an empty evaluation set yields `0.0` per state
 /// (matching `accuracy_on`).
 ///
+/// Large products fan out across the shared worker pool inside
+/// [`gemm::gemm_nt`] (hence the `Sync` bound on `features`); that
+/// nesting is safe even when this call itself runs on a pool worker —
+/// e.g. inside a `parallel_map` cell — because submitters participate
+/// in their own batches. Results stay bit-identical either way.
+///
 /// # Errors
 ///
 /// Returns [`MlError::DimensionMismatch`] if `labels.len()` differs
 /// from the feature row count or any state's width differs from the
 /// feature column count.
 pub fn batched_accuracy(
-    features: &impl RowSource,
+    features: &(impl RowSource + Sync),
     labels: &[Label],
     states: &[LinearState],
 ) -> Result<Vec<f64>, MlError> {

@@ -6,9 +6,12 @@
 //! same `(config, spec)`:
 //!
 //! * [`run_online`] — the batch front door: cached preparation, then
-//!   the payoff grid fanned out across the worker pool via
-//!   [`prepare_then_map`] (the baseline is phase 1, the cells phase
-//!   2), then play.
+//!   the payoff grid fanned out across the process-wide worker pool
+//!   (`poisongame_sim::exec::pool`) via [`prepare_then_map`] (the
+//!   baseline is phase 1, the cells phase 2), then play. The pool's
+//!   submitter-participates design means this is safe to call from
+//!   inside another parallel map — e.g. a grid of online games — with
+//!   no deadlock and unchanged traces.
 //! * [`run_online_prepared`] — the evaluate phase alone, against an
 //!   already-shared preparation (what the serving dispatcher calls).
 //! * [`run_online_engine`] — the lazy [`EnginePayoff`] route: every

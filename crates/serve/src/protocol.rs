@@ -1014,6 +1014,20 @@ pub struct ServerStats {
     pub fit_micros: u64,
     /// Cumulative microseconds spent evaluating fitted models.
     pub eval_micros: u64,
+    /// Worker-pool tasks executed by pool workers (process-global; see
+    /// `poisongame_exec::WorkerPool::stats`). Shard dispatchers fan
+    /// batches out through the shared pool, so these counters describe
+    /// every shard together.
+    pub pool_tasks: u64,
+    /// Worker-pool tasks executed inline by submitting threads
+    /// participating in their own batches.
+    pub pool_inline: u64,
+    /// Worker-pool tickets stolen from another worker's deque.
+    pub pool_steals: u64,
+    /// Times a pool worker parked on the idle condvar.
+    pub pool_parks: u64,
+    /// Batches submitted to the pool's parallel path.
+    pub pool_batches: u64,
 }
 
 impl ServerStats {
@@ -1061,6 +1075,16 @@ impl ServerStats {
                     ("prep_micros", jsonio::big_u64_to_json(self.prep_micros)),
                     ("fit_micros", jsonio::big_u64_to_json(self.fit_micros)),
                     ("eval_micros", jsonio::big_u64_to_json(self.eval_micros)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("tasks", jsonio::big_u64_to_json(self.pool_tasks)),
+                    ("inline", jsonio::big_u64_to_json(self.pool_inline)),
+                    ("steals", jsonio::big_u64_to_json(self.pool_steals)),
+                    ("parks", jsonio::big_u64_to_json(self.pool_parks)),
+                    ("batches", jsonio::big_u64_to_json(self.pool_batches)),
                 ]),
             ),
             (
@@ -1113,8 +1137,22 @@ impl ServerStats {
             prep_micros: u64_field(timing, "prep_micros")?,
             fit_micros: u64_field(timing, "fit_micros")?,
             eval_micros: u64_field(timing, "eval_micros")?,
+            pool_tasks: 0,
+            pool_inline: 0,
+            pool_steals: 0,
+            pool_parks: 0,
+            pool_batches: 0,
             shards: Vec::new(),
         };
+        // A pre-pool server omits `pool`; its counters stay zero so
+        // old and new servers parse alike.
+        if let Some(pool) = value.get("pool") {
+            stats.pool_tasks = u64_field(pool, "tasks")?;
+            stats.pool_inline = u64_field(pool, "inline")?;
+            stats.pool_steals = u64_field(pool, "steals")?;
+            stats.pool_parks = u64_field(pool, "parks")?;
+            stats.pool_batches = u64_field(pool, "batches")?;
+        }
         stats.shards = match value.get("shards") {
             Some(Json::Arr(items)) => items
                 .iter()
@@ -1351,6 +1389,11 @@ mod tests {
             prep_micros: 12_000,
             fit_micros: 340_000,
             eval_micros: 5_600,
+            pool_tasks: 700,
+            pool_inline: 300,
+            pool_steals: 12,
+            pool_parks: 40,
+            pool_batches: 25,
             shards: vec![
                 ShardStats {
                     index: 0,
@@ -1387,5 +1430,27 @@ mod tests {
             unbounded
         );
         assert_eq!(ServerStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn server_stats_without_pool_key_parses_to_zero_counters() {
+        // A pre-pool server never sends `pool`; dropping the key from
+        // a rendered document must parse with zeroed pool counters.
+        let stats = ServerStats {
+            pool_tasks: 7,
+            pool_batches: 2,
+            ..ServerStats::default()
+        };
+        let rendered = stats.to_json();
+        let Json::Obj(fields) = rendered else {
+            panic!("stats render as an object");
+        };
+        let stripped = Json::Obj(fields.into_iter().filter(|(k, _)| k != "pool").collect());
+        let back = ServerStats::from_json(&stripped).unwrap();
+        assert_eq!(back.pool_tasks, 0);
+        assert_eq!(back.pool_inline, 0);
+        assert_eq!(back.pool_steals, 0);
+        assert_eq!(back.pool_parks, 0);
+        assert_eq!(back.pool_batches, 0);
     }
 }

@@ -21,7 +21,11 @@
 //!   and routes each batch through [`prepare_then_map`], so distinct
 //!   dataset preparations are computed once per batch and answered
 //!   from the shard's bounded prep cache across batches, then cells
-//!   fan out across the shard's worker pool. A request's response is
+//!   fan out across the process-wide worker pool
+//!   (`poisongame_sim::exec::pool`) — the per-shard `workers` setting
+//!   is a concurrency cap on that fan-out, not a set of dedicated
+//!   threads, so an idle shard reserves no cores from a busy one and
+//!   no batch pays thread spawn/join churn. A request's response is
 //!   queued from its evaluation task, so cheap requests in a batch
 //!   complete while expensive ones still run.
 //! * **Deadlines** — checked when evaluation is about to start; an
@@ -72,8 +76,12 @@ pub struct ServerConfig {
     /// its own bounded prep cache, admission queue and dispatcher.
     /// Requests route by prep-key affinity. `0` is treated as 1.
     pub shards: usize,
-    /// Evaluation worker count — the fan-out width of one admitted
-    /// batch on one shard; `0` means one per hardware thread.
+    /// Evaluation concurrency cap — how many shared-pool threads may
+    /// work one admitted batch on one shard; `0` means one per
+    /// hardware thread. Since the shared pool replaced per-batch
+    /// scoped threads, this caps participation in the process-wide
+    /// [`poisongame_sim::exec::pool::WorkerPool`] rather than sizing a
+    /// dedicated per-shard pool.
     pub workers: usize,
     /// Per-shard admission queue bound: requests beyond it are shed
     /// with a structured `busy` error.
@@ -255,6 +263,10 @@ impl Inner {
         // Process-global phase counters (never per-response: responses
         // to identical requests must stay byte-identical).
         let timing = poisongame_sim::timing::snapshot();
+        // Shared-pool counters: shard dispatchers fan batches out
+        // through the process-wide worker pool, so one snapshot covers
+        // every shard.
+        let pool_stats = poisongame_sim::exec::pool::WorkerPool::global().stats();
         ServerStats {
             uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             workers: self.workers,
@@ -275,6 +287,11 @@ impl Inner {
             prep_micros: timing.prep_micros,
             fit_micros: timing.fit_micros,
             eval_micros: timing.eval_micros,
+            pool_tasks: pool_stats.tasks,
+            pool_inline: pool_stats.inline,
+            pool_steals: pool_stats.steals,
+            pool_parks: pool_stats.parks,
+            pool_batches: pool_stats.batches,
             shards: per,
         }
     }

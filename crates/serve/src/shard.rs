@@ -26,6 +26,13 @@
 //! Responses are pure functions of their request documents, so the
 //! shard count (like the worker count) never changes a result; see
 //! `tests/sharding.rs` for the pinned byte-identity.
+//!
+//! Only the *dispatcher* thread is per-shard. The cells of a drained
+//! batch fan out across the process-wide worker pool
+//! (`poisongame_sim::exec::pool`) with the shard's `workers` setting
+//! as a participation cap, so shards share one set of long-lived
+//! threads instead of each spawning scoped workers per batch — an
+//! idle shard reserves no cores from a busy one.
 
 use crate::server::{Inner, Job};
 use poisongame_sim::engine::EvalEngine;

@@ -4,10 +4,20 @@
 //! points, support sizes, Monte-Carlo replicates) whose randomness is
 //! derived per-cell from the master seed, never from a shared stream.
 //! That makes fan-out safe *and* exactly reproducible: this module's
-//! [`parallel_map`] assigns cells to a scoped worker pool and writes
-//! results back by cell index, so the output is **bit-identical to the
-//! sequential path at any thread count** — the schedule decides only
-//! wall-clock time, never results.
+//! [`parallel_map`] assigns cells to the process-wide worker pool
+//! ([`pool::WorkerPool`]) and writes results back by cell index, so
+//! the output is **bit-identical to the sequential path at any worker
+//! count** — the schedule decides only wall-clock time, never results.
+//!
+//! Historically each call spawned a fresh `std::thread::scope` pool;
+//! the entry points now submit index-addressed batches to one
+//! persistent pool instead (see the [`pool`] module), which removes
+//! thread spawn/join churn from per-batch hot paths and makes nested
+//! `parallel_map` calls safe: the submitting thread participates in
+//! its own batch rather than blocking, so a cell that fans out again
+//! cannot deadlock even on a one-worker pool. [`ExecPolicy::threads`]
+//! is now a *participation cap* — how many threads may work this grid
+//! concurrently — rather than a number of threads to spawn.
 //!
 //! # Example
 //!
@@ -20,19 +30,35 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use poisongame_exec::{OnceSlots, WorkerPool};
+
+/// The persistent execution runtime behind this module's entry points.
+///
+/// Re-exports `poisongame-exec`, the workspace's bottom-layer runtime
+/// crate: a lazily-initialized process-wide [`pool::WorkerPool`]
+/// (global injector queue, per-worker stealable deques, condvar
+/// parking, clean shutdown for tests) plus the write-once
+/// [`pool::OnceSlots`] result cells. `sim` sits too high in the crate
+/// graph for `linalg`'s blocked GEMM to depend on it, so the runtime
+/// lives below both and this module is its canonical simulation-facing
+/// name.
+pub mod pool {
+    pub use poisongame_exec::{hardware_threads, OnceSlots, PoolStats, WorkerPool};
+}
 
 /// How a sweep is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecPolicy {
-    /// Worker threads; `0` means one per available hardware thread.
+    /// Concurrency cap: how many threads (the caller plus pool
+    /// workers) may work the grid at once; `0` means one per available
+    /// hardware thread.
     pub threads: usize,
 }
 
 impl Default for ExecPolicy {
-    /// One worker per hardware thread.
+    /// One participant per hardware thread.
     fn default() -> Self {
         Self { threads: 0 }
     }
@@ -44,68 +70,63 @@ impl ExecPolicy {
         Self { threads: 1 }
     }
 
-    /// Exactly `threads` workers (`0` = auto).
+    /// At most `threads` concurrent participants (`0` = auto).
     pub fn with_threads(threads: usize) -> Self {
         Self { threads }
     }
 
-    /// The worker count actually used for `n_items` cells.
+    /// The participant count actually used for `n_items` cells.
+    ///
+    /// The hardware thread count is resolved once per process and
+    /// cached ([`pool::hardware_threads`]), so this is lock-free after
+    /// first use — it runs per drained batch on the serving hot path.
     pub fn effective_threads(&self, n_items: usize) -> usize {
-        let hw = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1);
-        let requested = if self.threads == 0 { hw } else { self.threads };
+        let requested = if self.threads == 0 {
+            pool::hardware_threads()
+        } else {
+            self.threads
+        };
         requested.min(n_items).max(1)
     }
 }
 
-/// Map `f` over `items` on a scoped worker pool, returning results in
-/// item order.
+/// Map `f` over `items` on the shared worker pool, returning results
+/// in item order.
 ///
 /// `f` receives `(index, &item)`; cells are claimed from a shared
-/// atomic counter, and each result is written to its own slot, so the
-/// output `Vec` is independent of scheduling. A panicking cell panics
-/// the whole map (as the sequential loop would).
+/// atomic counter and each result is written to its own write-once
+/// slot, so the output `Vec` is independent of scheduling. The calling
+/// thread participates in the batch (it claims cells alongside the
+/// pool workers), which makes nested `parallel_map` calls
+/// deadlock-free at any pool size. A panicking cell panics the whole
+/// map (as the sequential loop would); the pool survives.
 pub fn parallel_map<T, R, F>(policy: &ExecPolicy, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = policy.effective_threads(items.len());
-    if threads <= 1 {
+    let participants = policy.effective_threads(items.len());
+    if participants <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
+    let slots: OnceSlots<R> = OnceSlots::new(items.len());
+    WorkerPool::global().run(items.len(), participants, &|i| {
+        slots.set(i, f(i, &items[i]));
     });
     slots
+        .into_options()
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every cell computed")
-        })
+        .map(|slot| slot.expect("every cell computed"))
         .collect()
 }
 
 /// Fallible [`parallel_map`]: the error of the **lowest-indexed**
 /// failing cell is returned — the same error the sequential loop would
-/// surface first, regardless of which worker hit it when. Once a cell
-/// fails, workers stop claiming cells above the failing index, so an
-/// early failure does not pay for the rest of the grid.
+/// surface first, regardless of which participant hit it when. Once a
+/// cell fails, participants stop evaluating cells above the failing
+/// index, so an early failure does not pay for the rest of the grid.
 ///
 /// # Errors
 ///
@@ -117,39 +138,35 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    let threads = policy.effective_threads(items.len());
-    if threads <= 1 {
+    let participants = policy.effective_threads(items.len());
+    if participants <= 1 {
         // Sequential fast path aborts at the first error, exactly like
         // the loops this replaces.
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    // Lowest failing cell index seen so far; cells above it are skipped.
+    // Lowest failing cell index seen so far; cells above it are
+    // skipped (their slots stay unset).
     let lowest_err = AtomicUsize::new(usize::MAX);
-    let slots: Vec<Mutex<Option<Result<R, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() || i > lowest_err.load(Ordering::Relaxed) {
-                    break;
-                }
-                let result = f(i, &items[i]);
-                if result.is_err() {
-                    lowest_err.fetch_min(i, Ordering::Relaxed);
-                }
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+    let slots: OnceSlots<Result<R, E>> = OnceSlots::new(items.len());
+    WorkerPool::global().run(items.len(), participants, &|i| {
+        if i > lowest_err.load(Ordering::Relaxed) {
+            return;
         }
+        let result = f(i, &items[i]);
+        if result.is_err() {
+            lowest_err.fetch_min(i, Ordering::Relaxed);
+        }
+        slots.set(i, result);
     });
 
-    // Cells below the final lowest failing index are always computed
-    // (the skip bound only ever decreases), so an in-order scan hits
-    // that error before any skipped slot.
+    // Cells at or below the final lowest failing index are always
+    // computed (the skip bound only holds failing indices, and only
+    // ever decreases), so an in-order scan hits that error before any
+    // skipped slot.
     let mut out = Vec::with_capacity(items.len());
-    for slot in slots {
-        match slot.into_inner().expect("result slot poisoned") {
+    for slot in slots.into_options() {
+        match slot {
             Some(Ok(value)) => out.push(value),
             Some(Err(e)) => return Err(e),
             None => unreachable!("slot below the lowest error is always computed"),
@@ -223,6 +240,7 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
 
     #[test]
     fn maps_in_item_order() {
@@ -236,29 +254,115 @@ mod tests {
         }
     }
 
+    /// Float-heavy per-cell workload with per-cell seeds, shared by the
+    /// backend-comparison tests below.
+    fn lcg_workload(_: usize, &seed: &u64) -> f64 {
+        let mut acc = 0.0f64;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for _ in 0..1000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            acc += (state >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        }
+        acc
+    }
+
     #[test]
     fn parallel_matches_sequential_bitwise() {
-        // Float-heavy per-cell work with per-cell seeds: the parallel
-        // result must be bit-identical to the sequential one.
+        // The pooled result must be bit-identical to the sequential
+        // one at every participation cap.
         let cells: Vec<u64> = (0..64).collect();
-        let work = |_: usize, &seed: &u64| -> f64 {
-            let mut acc = 0.0f64;
-            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-            for _ in 0..1000 {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                acc += (state >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-            }
-            acc
-        };
-        let sequential = parallel_map(&ExecPolicy::sequential(), &cells, work);
+        let sequential = parallel_map(&ExecPolicy::sequential(), &cells, lcg_workload);
         for threads in [2, 4, 8] {
-            let parallel = parallel_map(&ExecPolicy::with_threads(threads), &cells, work);
+            let parallel = parallel_map(&ExecPolicy::with_threads(threads), &cells, lcg_workload);
             let seq_bits: Vec<u64> = sequential.iter().map(|v| v.to_bits()).collect();
             let par_bits: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
             assert_eq!(seq_bits, par_bits, "{threads} threads diverged");
         }
+    }
+
+    #[test]
+    fn pool_backend_matches_scoped_backend_bitwise() {
+        // Reference implementation: the per-call scoped spawn backend
+        // this module used before the persistent pool. Grid results
+        // must be bit-identical across the two backends.
+        fn scoped_map<T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync>(
+            threads: usize,
+            items: &[T],
+            f: F,
+        ) -> Vec<R> {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let result = f(i, &items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("every cell computed"))
+                .collect()
+        }
+
+        let cells: Vec<u64> = (0..48).collect();
+        let scoped = scoped_map(4, &cells, lcg_workload);
+        for threads in [1, 2, 8] {
+            let pooled = parallel_map(&ExecPolicy::with_threads(threads), &cells, lcg_workload);
+            let scoped_bits: Vec<u64> = scoped.iter().map(|v| v.to_bits()).collect();
+            let pooled_bits: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(scoped_bits, pooled_bits, "{threads}-way pool vs scoped");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_map_does_not_deadlock() {
+        // A cell that fans out again used to be impossible (each call
+        // spawned its own scoped pool); on the shared pool it must not
+        // deadlock even when the outer grid already saturates every
+        // worker. Exercised at participation caps that straddle the
+        // pool size, including the global pool's own size.
+        for threads in [1, 2, 8] {
+            let outer: Vec<u64> = (0..4).collect();
+            let policy = ExecPolicy::with_threads(threads);
+            let out = parallel_map(&policy, &outer, |_, &row| {
+                let inner: Vec<u64> = (0..4).map(|c| row * 4 + c).collect();
+                parallel_map(&policy, &inner, |_, &x| x * 10)
+                    .into_iter()
+                    .sum::<u64>()
+            });
+            let expected: Vec<u64> = (0..4u64)
+                .map(|row| (0..4).map(|c| (row * 4 + c) * 10).sum())
+                .collect();
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn nested_try_parallel_map_propagates_inner_error() {
+        let outer: Vec<u64> = (0..3).collect();
+        let policy = ExecPolicy::with_threads(4);
+        let out: Result<Vec<u64>, String> = try_parallel_map(&policy, &outer, |_, &row| {
+            let inner: Vec<u64> = (0..3).map(|c| row * 3 + c).collect();
+            let inner_sum: u64 = try_parallel_map(&policy, &inner, |_, &x| {
+                if x == 4 {
+                    Err(format!("cell {x} failed"))
+                } else {
+                    Ok(x)
+                }
+            })?
+            .into_iter()
+            .sum();
+            Ok(inner_sum)
+        });
+        assert_eq!(out.unwrap_err(), "cell 4 failed");
     }
 
     #[test]
@@ -309,9 +413,9 @@ mod tests {
 
     #[test]
     fn more_threads_than_cells() {
-        // Requesting far more workers than cells must neither hang nor
-        // change results (workers beyond the cell count find the claim
-        // counter exhausted immediately).
+        // Requesting far more participants than cells must neither
+        // hang nor change results (workers beyond the cell count find
+        // the claim counter exhausted immediately).
         let items = [10u64, 20, 30];
         let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
         let out = parallel_map(&ExecPolicy::with_threads(64), &items, |_, &x| x * 3);

@@ -254,6 +254,16 @@ fn summary_json(
                 ("eval_micros", jsonio::big_u64_to_json(stats.eval_micros)),
             ]),
         ),
+        (
+            "pool",
+            Json::obj(vec![
+                ("tasks", jsonio::big_u64_to_json(stats.pool_tasks)),
+                ("inline", jsonio::big_u64_to_json(stats.pool_inline)),
+                ("steals", jsonio::big_u64_to_json(stats.pool_steals)),
+                ("parks", jsonio::big_u64_to_json(stats.pool_parks)),
+                ("batches", jsonio::big_u64_to_json(stats.pool_batches)),
+            ]),
+        ),
     ])
 }
 
@@ -518,6 +528,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         share(stats.fit_micros),
         stats.eval_micros as f64 / 1000.0,
         share(stats.eval_micros),
+    );
+    // Shared worker-pool traffic: how the server's batches were
+    // actually executed (worker tasks vs inline participation).
+    println!(
+        "  worker pool: {} batches | {} worker tasks | {} inline | {} steals | {} parks",
+        stats.pool_batches,
+        stats.pool_tasks,
+        stats.pool_inline,
+        stats.pool_steals,
+        stats.pool_parks,
     );
     if let Some(path) = &args.json {
         let doc = summary_json(&args, total, elapsed, &all_latencies, &stats);

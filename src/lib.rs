@@ -11,6 +11,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`exec`] | the execution runtime: persistent work-stealing worker pool, write-once result slots |
 //! | [`linalg`] | vectors, statistics, curves, deterministic RNG |
 //! | [`data`] | datasets, CSV IO, splits, scalers, the synthetic Spambase generator |
 //! | [`ml`] | linear SVM (the paper's victim model), logistic regression, perceptron, metrics |
@@ -51,6 +52,7 @@ pub use poisongame_attack as attack;
 pub use poisongame_core as core;
 pub use poisongame_data as data;
 pub use poisongame_defense as defense;
+pub use poisongame_exec as exec;
 pub use poisongame_gateway as gateway;
 pub use poisongame_linalg as linalg;
 pub use poisongame_ml as ml;
