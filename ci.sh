@@ -66,7 +66,7 @@ if [ ! -s "$JSON_FILE" ]; then
   rm -f "$JSON_FILE"
   exit 1
 fi
-for key in throughput_rps latency_ms prep_cache training; do
+for key in throughput_rps latency_ms prep_cache training telemetry; do
   if ! grep -q "\"$key\"" "$JSON_FILE"; then
     echo "load_test --json summary is missing \"$key\"" >&2
     rm -f "$JSON_FILE"
@@ -114,18 +114,44 @@ gateway_smoke_fail() {
   echo "gateway smoke failed: $1" >&2
   kill "$GW_PID" "$SERVE_PID" 2>/dev/null || true
   wait "$GW_PID" "$SERVE_PID" 2>/dev/null || true
-  rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE" "$GW_JSON"
+  rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE" "${GW_JSON:-}"
+  rm -rf "${GW_OBS:-}"
   exit 1
 }
 # The load generator in --gateway mode: HTTP solve/cell/estimate via
-# POST /v1/*, GET /v1/stats, then POST /v1/shutdown to drain the
-# whole stack. Mismatched or dropped responses fail inside load_test.
+# POST /v1/* and GET /v1/stats. Mismatched or dropped responses fail
+# inside load_test. Shutdown happens below, over HTTP, after the
+# observability scrape.
 GW_JSON=$(mktemp)
 ./target/release/examples/load_test --addr "$(cat "$GW_PORT_FILE")" --gateway \
-  --connections 2 --requests 4 --shutdown --json "$GW_JSON" \
+  --connections 2 --requests 4 --json "$GW_JSON" \
   || gateway_smoke_fail "HTTP workload through the gateway"
 grep -q '"transport":"http"' "$GW_JSON" || gateway_smoke_fail "summary missing http transport marker"
 grep -q '"shards"' "$GW_JSON" || gateway_smoke_fail "summary missing per-shard stats"
+# Observability smoke: scrape the Prometheus exposition and the event
+# replay with plain curl — the point of the HTTP surface is that
+# standard tooling works. Runs after the workload above so the
+# request-duration histogram is provably populated. Responses land in
+# files and the greps read those: piping into `grep -q` under
+# pipefail races SIGPIPE against the writer when grep exits early.
+GW_ADDR=$(cat "$GW_PORT_FILE")
+GW_OBS=$(mktemp -d)
+curl -sf -D "$GW_OBS/headers" -o "$GW_OBS/metrics" "http://$GW_ADDR/v1/metrics" \
+  || gateway_smoke_fail "GET /v1/metrics"
+grep -qi 'content-type: text/plain; version=0.0.4' "$GW_OBS/headers" \
+  || gateway_smoke_fail "/v1/metrics content type is not Prometheus text 0.0.4"
+grep -q '# TYPE poisongame_request_duration_nanos histogram' "$GW_OBS/metrics" \
+  || gateway_smoke_fail "metrics missing the request-duration histogram family"
+grep -Eq 'poisongame_request_duration_nanos_count\{[^}]*\} [1-9]' "$GW_OBS/metrics" \
+  || gateway_smoke_fail "request-duration histogram recorded nothing under load"
+curl -sf -o "$GW_OBS/events" "http://$GW_ADDR/v1/events" \
+  || gateway_smoke_fail "GET /v1/events"
+grep -q '"events"' "$GW_OBS/events" || gateway_smoke_fail "GET /v1/events body"
+rm -rf "$GW_OBS"
+# -d '' so curl sends content-length: 0 (the gateway 411s unframed
+# POSTs).
+curl -sf -X POST -d '' "http://$GW_ADDR/v1/shutdown" >/dev/null \
+  || gateway_smoke_fail "POST /v1/shutdown"
 # Clean exits, or the gate fails: shutdown drains serve through the
 # gateway and stops both processes.
 wait "$GW_PID" || gateway_smoke_fail "gateway did not exit cleanly"
@@ -151,6 +177,16 @@ cargo bench -p poisongame-bench --bench train_kernel -- --test
 # checksums, so this also guards the parallel kernel's identity).
 echo "==> cargo bench -p poisongame-bench --bench exec_pool -- --test (smoke)"
 cargo bench -p poisongame-bench --bench exec_pool -- --test
+
+# Telemetry-overhead bench in smoke mode, both builds: the default
+# (instrumented) build asserts the pipeline-phase counters recorded
+# time; the obs-noop build asserts the same calls compiled to nothing.
+# Each iteration also asserts the 24-cell grid checksum is unchanged,
+# so instrumentation provably never touches a result.
+echo "==> cargo bench -p poisongame-bench --bench obs_overhead -- --test (smoke)"
+cargo bench -p poisongame-bench --bench obs_overhead -- --test
+echo "==> cargo bench -p poisongame-bench --bench obs_overhead --features obs-noop -- --test (smoke)"
+cargo bench -p poisongame-bench --bench obs_overhead --features obs-noop -- --test
 
 # Bench binaries in --test smoke mode (one sample per bench): keeps
 # every bench compiling AND running without paying for statistics.

@@ -30,6 +30,9 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use poisongame_obs::{EventLog, FieldValue, Histogram, Registry, Severity};
 
 use crate::hardware_threads;
 
@@ -91,6 +94,20 @@ impl Batch {
         // submitter is still inside `run` and `ctx` is alive.
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.ctx, i) }));
         if let Err(payload) = outcome {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            EventLog::global().publish(
+                Severity::Error,
+                "worker_panic",
+                vec![
+                    ("message".to_string(), FieldValue::Str(message)),
+                    ("task_index".to_string(), FieldValue::U64(i as u64)),
+                    ("batch_len".to_string(), FieldValue::U64(self.n as u64)),
+                ],
+            );
             {
                 let mut slot = self.panic.lock().expect("batch panic slot poisoned");
                 slot.get_or_insert(payload);
@@ -154,6 +171,66 @@ struct Counters {
     batches: AtomicU64,
 }
 
+/// Handles into the process-wide [`Registry`]. The per-pool
+/// [`Counters`] stay authoritative for [`WorkerPool::stats`] (tests
+/// build private pools and difference them); these mirror the same
+/// increments into the global registry, summed across every pool in
+/// the process, plus two histograms the flat counters cannot express.
+struct PoolObs {
+    tasks: Arc<poisongame_obs::Counter>,
+    inline: Arc<poisongame_obs::Counter>,
+    steals: Arc<poisongame_obs::Counter>,
+    parks: Arc<poisongame_obs::Counter>,
+    batches: Arc<poisongame_obs::Counter>,
+    /// How long workers sleep on the idle condvar, per park.
+    park_nanos: Arc<Histogram>,
+    /// Task count of every batch that took the parallel path.
+    batch_size: Arc<Histogram>,
+}
+
+impl PoolObs {
+    fn register() -> PoolObs {
+        let r = Registry::global();
+        PoolObs {
+            tasks: r.counter(
+                "poisongame_pool_tasks_total",
+                "Batch indices executed by pool workers",
+                &[],
+            ),
+            inline: r.counter(
+                "poisongame_pool_inline_total",
+                "Batch indices executed inline by submitting threads",
+                &[],
+            ),
+            steals: r.counter(
+                "poisongame_pool_steals_total",
+                "Tickets taken from another worker's deque",
+                &[],
+            ),
+            parks: r.counter(
+                "poisongame_pool_parks_total",
+                "Times a worker parked on the idle condvar",
+                &[],
+            ),
+            batches: r.counter(
+                "poisongame_pool_batches_total",
+                "Batches that took the parallel path",
+                &[],
+            ),
+            park_nanos: r.histogram(
+                "poisongame_pool_park_nanos",
+                "Worker idle-park duration in nanoseconds",
+                &[],
+            ),
+            batch_size: r.histogram(
+                "poisongame_pool_batch_size",
+                "Tasks per parallel-path batch",
+                &[],
+            ),
+        }
+    }
+}
+
 struct PoolInner {
     /// External submissions land here.
     injector: Mutex<VecDeque<Ticket>>,
@@ -164,6 +241,7 @@ struct PoolInner {
     wake: Condvar,
     shutdown: AtomicBool,
     counters: Counters,
+    obs: PoolObs,
 }
 
 impl PoolInner {
@@ -205,6 +283,7 @@ impl WorkerPool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            obs: PoolObs::register(),
         });
         let handles = (0..workers)
             .map(|idx| {
@@ -298,6 +377,8 @@ impl WorkerPool {
             done_cv: Condvar::new(),
         });
         self.inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.batches.inc();
+        self.inner.obs.batch_size.record(n as u64);
         // One ticket per invited co-worker; the submitter is the final
         // participant. Tickets beyond the claimable work are pointless.
         let tickets = participants.min(n).saturating_sub(1);
@@ -306,13 +387,21 @@ impl WorkerPool {
         }
 
         // Participate: claim indices until exhausted.
+        let mut claimed = 0u64;
         loop {
             let i = batch.next.fetch_add(1, Ordering::Relaxed);
             if i >= batch.n {
                 break;
             }
             batch.execute(i);
-            self.inner.counters.inline.fetch_add(1, Ordering::Relaxed);
+            claimed += 1;
+        }
+        if claimed > 0 {
+            self.inner
+                .counters
+                .inline
+                .fetch_add(claimed, Ordering::Relaxed);
+            self.inner.obs.inline.add(claimed);
         }
         // Wait for in-flight stragglers claimed by other threads. They
         // are actively executing on live threads, so this terminates.
@@ -444,13 +533,18 @@ fn worker_loop(inner: &Arc<PoolInner>, idx: usize) {
             // Participate until the batch's claim counter is
             // exhausted. A stale ticket (batch already finished)
             // claims nothing and costs one atomic.
+            let mut claimed = 0u64;
             loop {
                 let i = ticket.next.fetch_add(1, Ordering::Relaxed);
                 if i >= ticket.n {
                     break;
                 }
                 ticket.execute(i);
-                inner.counters.tasks.fetch_add(1, Ordering::Relaxed);
+                claimed += 1;
+            }
+            if claimed > 0 {
+                inner.counters.tasks.fetch_add(claimed, Ordering::Relaxed);
+                inner.obs.tasks.add(claimed);
             }
             continue;
         }
@@ -465,7 +559,10 @@ fn worker_loop(inner: &Arc<PoolInner>, idx: usize) {
             continue;
         }
         inner.counters.parks.fetch_add(1, Ordering::Relaxed);
+        inner.obs.parks.inc();
+        let parked_at = Instant::now();
         drop(inner.wake.wait(guard).expect("sleep lock poisoned"));
+        inner.obs.park_nanos.record_duration(parked_at.elapsed());
     }
 }
 
@@ -496,6 +593,7 @@ fn find_work(inner: &PoolInner, idx: usize) -> Option<Ticket> {
             .pop_front()
         {
             inner.counters.steals.fetch_add(1, Ordering::Relaxed);
+            inner.obs.steals.inc();
             return Some(ticket);
         }
     }

@@ -13,6 +13,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub struct HttpResponse {
     /// Status code from the status line.
     pub status: u16,
+    /// The `Content-Type` header, verbatim (empty when absent).
+    pub content_type: String,
     /// The response body, verbatim.
     pub body: String,
     /// Whether the server will keep the connection open.
@@ -87,6 +89,7 @@ impl HttpClient {
             _ => return Err(invalid(format!("bad status line: `{status_line}`"))),
         };
         let mut content_length: Option<usize> = None;
+        let mut content_type = String::new();
         let mut keep_alive = true;
         loop {
             let line = self.read_line()?;
@@ -105,6 +108,7 @@ impl HttpClient {
                             .map_err(|_| invalid(format!("bad content-length: `{value}`")))?,
                     );
                 }
+                "content-type" => content_type = value.to_string(),
                 "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
                 _ => {}
             }
@@ -116,6 +120,7 @@ impl HttpClient {
         let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body".into()))?;
         Ok(HttpResponse {
             status,
+            content_type,
             body,
             keep_alive,
         })

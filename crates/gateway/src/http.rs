@@ -18,6 +18,11 @@ use std::net::TcpStream;
 /// without bound.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// Content type of every JSON response the gateway writes. The one
+/// non-JSON route, `GET /v1/metrics`, answers with
+/// [`poisongame_obs::PROMETHEUS_CONTENT_TYPE`] instead.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
 /// One parsed HTTP request.
 #[derive(Debug)]
 pub struct HttpRequest {
@@ -345,11 +350,12 @@ fn is_timeout(e: &io::Error) -> bool {
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {length}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {length}\r\nconnection: {connection}\r\n\r\n",
         reason = reason_of(status),
         length = body.len(),
         connection = if keep_alive { "keep-alive" } else { "close" },

@@ -16,7 +16,10 @@
 //!   backend untouched (the gateway owns only the `id`/`type`
 //!   envelope), so backend validation, deadlines and seed overrides
 //!   work over HTTP verbatim, and a `200` body is byte-identical to
-//!   the NDJSON `result` document.
+//!   the NDJSON `result` document. Observability rides two more
+//!   GETs: `GET /v1/metrics` scrapes the backend's metric registry
+//!   as Prometheus text exposition 0.0.4, and `GET /v1/events?since=N`
+//!   replays the backend's structured event log from a cursor.
 //! * Backend connections are pooled and borrowed for one round trip
 //!   per HTTP request; broken connections are dropped and redialed,
 //!   so the gateway rides out backend restarts.

@@ -10,6 +10,8 @@
 //! | `POST /v1/estimate` | `estimate` |
 //! | `POST /v1/online` | `online` |
 //! | `GET /v1/stats` | `stats` |
+//! | `GET /v1/metrics` | `metrics`, rendered as Prometheus text |
+//! | `GET /v1/events?since=N` | `events` |
 //! | `POST /v1/resize` | `resize` |
 //! | `POST /v1/shutdown` | `shutdown`, then the gateway stops |
 //!
@@ -19,17 +21,27 @@
 //! the backend's validation and optional envelope fields
 //! (`deadline_ms`, per-request `seed` overrides) work over HTTP
 //! exactly as over NDJSON, and a `200` body is byte-identical to the
-//! NDJSON response's `result` document. Structured backend errors map
+//! NDJSON response's `result` document. The two observability GETs
+//! are the exception to the JSON-in/JSON-out rule: `/v1/metrics`
+//! fetches the backend's metric registry over NDJSON and renders it
+//! as Prometheus text exposition 0.0.4 (so the gateway scrapes
+//! correctly even when it fronts a separate server process), and
+//! `/v1/events` accepts a `since` cursor as a query parameter rather
+//! than a body. Structured backend errors map
 //! to HTTP statuses (`busy` → 503, `deadline` → 504, `eval_failed` →
 //! 422, `bad_request` → 400, `line_too_long` → 413, `shutting_down` →
 //! 503) with the NDJSON `{"error": {code, message}}` object as the
 //! body; backend transport failures are a 502.
 
-use crate::http::{read_request, write_response, HttpError, HttpRequest, ReadOutcome};
+use crate::http::{
+    read_request, write_response, HttpError, HttpRequest, ReadOutcome, JSON_CONTENT_TYPE,
+};
 use crate::pool::BackendPool;
+use poisongame_obs::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
 use poisongame_serve::error::ServeError;
 use poisongame_serve::protocol::{ErrorCode, DEFAULT_MAX_LINE_BYTES};
-use poisongame_sim::jsonio::Json;
+use poisongame_serve::telemetry::registry_from_json;
+use poisongame_sim::jsonio::{self, Json};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -193,7 +205,13 @@ fn serve_connection(inner: &Arc<GatewayInner>, stream: TcpStream) {
             Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Stopped) | Err(_) => return,
             Ok(ReadOutcome::Invalid(error)) => {
                 let keep = !error.close;
-                let _ = write_response(&mut writer, error.status, &error.body(), keep);
+                let _ = write_response(
+                    &mut writer,
+                    error.status,
+                    JSON_CONTENT_TYPE,
+                    &error.body(),
+                    keep,
+                );
                 if keep {
                     continue;
                 }
@@ -201,8 +219,10 @@ fn serve_connection(inner: &Arc<GatewayInner>, stream: TcpStream) {
             }
         };
         let keep_alive = request.keep_alive;
-        let (status, body) = handle_request(inner, &request);
-        if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+        let (status, content_type, body) = handle_request(inner, &request);
+        if write_response(&mut writer, status, content_type, &body, keep_alive).is_err()
+            || !keep_alive
+        {
             return;
         }
         if inner.stop.load(Ordering::SeqCst) {
@@ -211,18 +231,20 @@ fn serve_connection(inner: &Arc<GatewayInner>, stream: TcpStream) {
     }
 }
 
-/// Route one request to the backend; returns `(status, body)`.
-fn handle_request(inner: &GatewayInner, request: &HttpRequest) -> (u16, String) {
+/// Route one request to the backend; returns
+/// `(status, content-type, body)`.
+fn handle_request(inner: &GatewayInner, request: &HttpRequest) -> (u16, &'static str, String) {
+    let json_error = |error: HttpError| (error.status, JSON_CONTENT_TYPE, error.body());
     let route = match route_of(&request.method, &request.target) {
         Ok(route) => route,
-        Err(error) => return (error.status, error.body()),
+        Err(error) => return json_error(error),
     };
     let fields = match route.takes_body {
         true => match body_fields(&request.body) {
             Ok(fields) => fields,
-            Err(error) => return (error.status, error.body()),
+            Err(error) => return json_error(error),
         },
-        false => Vec::new(),
+        false => route.query_fields,
     };
     let outcome = inner.pool.forward(route.type_name, &fields);
     if route.type_name == "shutdown" {
@@ -232,44 +254,87 @@ fn handle_request(inner: &GatewayInner, request: &HttpRequest) -> (u16, String) 
         let _ = TcpStream::connect(inner.local_addr);
     }
     match outcome {
-        Ok(result) => (200, result.render()),
-        Err(ServeError::Server { code, message }) => {
-            let error = HttpError::new(status_of(code), code.as_str(), message, false);
-            (error.status, error.body())
-        }
-        Err(e) => {
-            let error = HttpError::new(502, "bad_gateway", format!("backend: {e}"), false);
-            (error.status, error.body())
-        }
+        Ok(result) => match route.rendering {
+            Rendering::Json => (200, JSON_CONTENT_TYPE, result.render()),
+            // The backend ships its registry as JSON; the gateway owns
+            // the Prometheus text rendering so scrapes work across
+            // process boundaries.
+            Rendering::Prometheus => match registry_from_json(&result) {
+                Ok(snapshot) => (200, PROMETHEUS_CONTENT_TYPE, render_prometheus(&snapshot)),
+                Err(e) => json_error(HttpError::new(
+                    502,
+                    "bad_gateway",
+                    format!("backend metrics document: {e}"),
+                    false,
+                )),
+            },
+        },
+        Err(ServeError::Server { code, message }) => json_error(HttpError::new(
+            status_of(code),
+            code.as_str(),
+            message,
+            false,
+        )),
+        Err(e) => json_error(HttpError::new(
+            502,
+            "bad_gateway",
+            format!("backend: {e}"),
+            false,
+        )),
     }
+}
+
+/// How a backend result becomes an HTTP body.
+enum Rendering {
+    /// Render the NDJSON `result` document verbatim.
+    Json,
+    /// Decode the result as a metric-registry document and render
+    /// Prometheus text exposition format 0.0.4.
+    Prometheus,
 }
 
 struct Route {
     type_name: &'static str,
     takes_body: bool,
+    /// Envelope fields parsed from the query string (GET routes only;
+    /// POST routes carry their fields in the body).
+    query_fields: Vec<(String, Json)>,
+    rendering: Rendering,
 }
 
 /// The fixed routing table. Unknown paths are a 404; known paths with
-/// the wrong method are a 405.
+/// the wrong method are a 405. Only `/v1/events` takes a query string
+/// (`?since=N`) — a query on any other path is a 404, exactly as
+/// before query parsing existed.
 fn route_of(method: &str, target: &str) -> Result<Route, HttpError> {
-    let (expected_method, type_name, takes_body) = match target {
-        "/v1/solve" => ("POST", "solve", true),
-        "/v1/cell" => ("POST", "cell", true),
-        "/v1/matrix" => ("POST", "matrix", true),
-        "/v1/estimate" => ("POST", "estimate", true),
-        "/v1/online" => ("POST", "online", true),
-        "/v1/resize" => ("POST", "resize", true),
-        "/v1/shutdown" => ("POST", "shutdown", false),
-        "/v1/stats" => ("GET", "stats", false),
-        _ => {
-            return Err(HttpError::new(
-                404,
-                "not_found",
-                format!("no route for `{target}`"),
-                false,
-            ))
-        }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
     };
+    let not_found = || {
+        Err(HttpError::new(
+            404,
+            "not_found",
+            format!("no route for `{target}`"),
+            false,
+        ))
+    };
+    let (expected_method, type_name, takes_body, rendering) = match path {
+        "/v1/solve" => ("POST", "solve", true, Rendering::Json),
+        "/v1/cell" => ("POST", "cell", true, Rendering::Json),
+        "/v1/matrix" => ("POST", "matrix", true, Rendering::Json),
+        "/v1/estimate" => ("POST", "estimate", true, Rendering::Json),
+        "/v1/online" => ("POST", "online", true, Rendering::Json),
+        "/v1/resize" => ("POST", "resize", true, Rendering::Json),
+        "/v1/shutdown" => ("POST", "shutdown", false, Rendering::Json),
+        "/v1/stats" => ("GET", "stats", false, Rendering::Json),
+        "/v1/metrics" => ("GET", "metrics", false, Rendering::Prometheus),
+        "/v1/events" => ("GET", "events", false, Rendering::Json),
+        _ => return not_found(),
+    };
+    if query.is_some() && type_name != "events" {
+        return not_found();
+    }
     if method != expected_method {
         return Err(HttpError::new(
             405,
@@ -278,10 +343,40 @@ fn route_of(method: &str, target: &str) -> Result<Route, HttpError> {
             false,
         ));
     }
+    let query_fields = match type_name {
+        "events" => events_query_fields(query)?,
+        _ => Vec::new(),
+    };
     Ok(Route {
         type_name,
         takes_body,
+        query_fields,
+        rendering,
     })
+}
+
+/// Parse `/v1/events`' query string: `since=N` (decimal u64) is the
+/// only recognized parameter; anything else is a 400.
+fn events_query_fields(query: Option<&str>) -> Result<Vec<(String, Json)>, HttpError> {
+    let bad = |message: String| HttpError::new(400, "bad_request", message, false);
+    let Some(query) = query else {
+        return Ok(Vec::new());
+    };
+    let mut fields = Vec::new();
+    for pair in query.split('&').filter(|pair| !pair.is_empty()) {
+        match pair.split_once('=') {
+            Some(("since", value)) => {
+                let since = value
+                    .parse::<u64>()
+                    .map_err(|_| bad(format!("invalid since cursor `{value}`")))?;
+                // Rides the NDJSON envelope in the backend's big-u64
+                // form (number, or decimal string past 2^53).
+                fields.push(("since".to_string(), jsonio::big_u64_to_json(since)));
+            }
+            _ => return Err(bad(format!("unrecognized query parameter `{pair}`"))),
+        }
+    }
+    Ok(fields)
 }
 
 /// Parse a POST body into the forwarded field list: a JSON object

@@ -255,6 +255,148 @@ fn keep_alive_pipelining_round_trips_in_order() {
 }
 
 #[test]
+fn metrics_route_serves_prometheus_text() {
+    let stack = spawn_stack(2);
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+
+    // Drive one evaluation so the request-duration histogram has data.
+    let response = http.post("/v1/cell", &cell_body(90)).expect("cell");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(response.content_type, "application/json");
+
+    let metrics = http.get("/v1/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200, "{}", metrics.body);
+    assert_eq!(
+        metrics.content_type, "text/plain; version=0.0.4; charset=utf-8",
+        "Prometheus text exposition content-type"
+    );
+    let text = &metrics.body;
+    assert!(
+        text.contains("# TYPE poisongame_request_duration_nanos histogram"),
+        "request duration family present:\n{text}"
+    );
+    // The cell served above must be counted, per kind.
+    let count_line = text
+        .lines()
+        .find(|line| line.starts_with("poisongame_request_duration_nanos_count{kind=\"cell\"}"))
+        .unwrap_or_else(|| panic!("per-kind count series missing:\n{text}"));
+    let count: u64 = count_line
+        .rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("count sample is an integer");
+    assert!(count >= 1, "cell requests observed: {count_line}");
+    // Queue wait (per kind and per shard), cache counters and pool
+    // activity are all part of the same scrape.
+    assert!(text.contains("# TYPE poisongame_request_queue_wait_nanos histogram"));
+    assert!(text.contains("poisongame_shard_queue_wait_nanos_count{shard=\"0\"}"));
+    assert!(text.contains("poisongame_cache_hits_total{shard=\"0\"}"));
+    assert!(text.contains("poisongame_cache_misses_total{shard=\"0\"}"));
+    assert!(text.contains("# TYPE poisongame_pool_parks_total counter"));
+    assert!(text.contains("# TYPE poisongame_pool_steals_total counter"));
+
+    // A query string on a non-events route stays a 404, as before.
+    let response = http.get("/v1/metrics?format=json").expect("404");
+    assert_eq!(response.status, 404, "{}", response.body);
+
+    stack.shutdown();
+}
+
+#[test]
+fn events_route_replays_from_a_cursor() {
+    let stack = spawn_stack(1);
+    let mut http = HttpClient::connect(stack.gateway).expect("connect");
+
+    // A resize publishes a shard_resize event on the backend.
+    let response = http.post("/v1/resize", r#"{"shards": 2}"#).expect("resize");
+    assert_eq!(response.status, 200, "{}", response.body);
+
+    let replay = http.get("/v1/events").expect("events");
+    assert_eq!(replay.status, 200, "{}", replay.body);
+    assert_eq!(replay.content_type, "application/json");
+    let doc = Json::parse(&replay.body).expect("events json");
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("events array");
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(Json::as_u64).expect("seq"))
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "sequence numbers strictly increase: {seqs:?}"
+    );
+    assert!(
+        events.iter().any(|e| {
+            e.get("kind").and_then(Json::as_str) == Some("shard_resize")
+                && e.get("fields")
+                    .and_then(|f| f.get("to"))
+                    .and_then(Json::as_u64)
+                    == Some(2)
+        }),
+        "resize event replayed: {}",
+        replay.body
+    );
+    let last_seq = doc
+        .get("last_seq")
+        .and_then(Json::as_u64)
+        .expect("last_seq");
+    assert_eq!(seqs.last().copied(), Some(last_seq));
+
+    // From the cursor: only events published after it come back.
+    let response = http
+        .post("/v1/resize", r#"{"shards": 3}"#)
+        .expect("second resize");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let tail = http
+        .get(&format!("/v1/events?since={last_seq}"))
+        .expect("events tail");
+    assert_eq!(tail.status, 200, "{}", tail.body);
+    let doc = Json::parse(&tail.body).expect("tail json");
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("tail events");
+    assert!(
+        !events.is_empty()
+            && events
+                .iter()
+                .all(|e| { e.get("seq").and_then(Json::as_u64).expect("seq") > last_seq }),
+        "cursor excludes already-seen events: {}",
+        tail.body
+    );
+
+    // A cursor at the head replays nothing but still reports last_seq.
+    let head = doc
+        .get("last_seq")
+        .and_then(Json::as_u64)
+        .expect("last_seq");
+    let empty = http
+        .get(&format!("/v1/events?since={head}"))
+        .expect("empty tail");
+    let doc = Json::parse(&empty.body).expect("empty json");
+    assert_eq!(
+        doc.get("events").and_then(Json::as_array).map(|e| e.len()),
+        Some(0)
+    );
+    assert!(
+        doc.get("last_seq")
+            .and_then(Json::as_u64)
+            .expect("last_seq")
+            >= head
+    );
+
+    // Malformed cursors and unknown parameters are gateway-side 400s.
+    let response = http.get("/v1/events?since=-1").expect("bad cursor");
+    assert_eq!(response.status, 400, "{}", response.body);
+    let response = http.get("/v1/events?cursor=3").expect("bad param");
+    assert_eq!(response.status, 400, "{}", response.body);
+
+    stack.shutdown();
+}
+
+#[test]
 fn resize_flows_through_the_gateway() {
     let stack = spawn_stack(1);
     let mut http = HttpClient::connect(stack.gateway).expect("connect");

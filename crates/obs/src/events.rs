@@ -1,0 +1,296 @@
+//! Bounded ring-buffer structured event log.
+//!
+//! Events are small JSON objects with a process-monotonic sequence
+//! number, a wall-clock timestamp, a severity, a kind string (e.g.
+//! `"shed"`, `"deadline_missed"`, `"cache_eviction"`,
+//! `"shard_resize"`, `"worker_panic"`, `"slow_request"`) and typed
+//! fields. The buffer keeps the most recent `capacity` events; when
+//! full it drops the oldest and counts the drop, so readers paging
+//! with [`EventLog::since`] can tell when their cursor fell behind.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Capacity of the process-wide [`EventLog::global`] buffer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Expected operational signal.
+    Info,
+    /// Degraded but handled (shed, deadline miss, slow request).
+    Warn,
+    /// Something broke (worker panic).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse the wire name back. Returns `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values render as JSON `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Process-monotonic sequence number, starting at 1.
+    pub seq: u64,
+    /// Wall-clock microseconds since the Unix epoch at publish time.
+    pub unix_micros: u64,
+    /// Severity.
+    pub severity: Severity,
+    /// Event kind, e.g. `"shed"` or `"deadline_missed"`.
+    pub kind: String,
+    /// Typed fields, in publish order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Render as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"unix_micros\":");
+        out.push_str(&self.unix_micros.to_string());
+        out.push_str(",\"severity\":\"");
+        out.push_str(self.severity.as_str());
+        out.push_str("\",\"kind\":\"");
+        push_escaped(&mut out, &self.kind);
+        out.push_str("\",\"fields\":{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            push_escaped(&mut out, key);
+            out.push_str("\":");
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::F64(v) => {
+                    if v.is_finite() {
+                        out.push_str(&v.to_string());
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                FieldValue::Str(s) => {
+                    out.push('"');
+                    push_escaped(&mut out, s);
+                    out.push('"');
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct State {
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<Event>,
+}
+
+/// Result of an [`EventLog::since`] replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventReplay {
+    /// Events with `seq > cursor`, oldest first.
+    pub events: Vec<Event>,
+    /// Total events ever evicted from the buffer. If this grew past
+    /// the reader's cursor, the reader missed events.
+    pub dropped: u64,
+    /// Highest sequence number ever published (0 if none).
+    pub last_seq: u64,
+}
+
+/// A bounded, thread-safe ring buffer of [`Event`]s.
+pub struct EventLog {
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+impl EventLog {
+    /// Create an empty log holding at most `capacity` events
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventLog {
+            capacity,
+            state: Mutex::new(State {
+                next_seq: 1,
+                dropped: 0,
+                ring: VecDeque::with_capacity(capacity),
+            }),
+        }
+    }
+
+    /// The process-wide event log every tier publishes into.
+    pub fn global() -> &'static EventLog {
+        static GLOBAL: OnceLock<EventLog> = OnceLock::new();
+        GLOBAL.get_or_init(|| EventLog::with_capacity(DEFAULT_EVENT_CAPACITY))
+    }
+
+    /// Publish an event; returns its sequence number (0 under the
+    /// `noop` feature, which publishes nothing).
+    pub fn publish(
+        &self,
+        severity: Severity,
+        kind: &str,
+        fields: Vec<(String, FieldValue)>,
+    ) -> u64 {
+        if cfg!(feature = "noop") {
+            return 0;
+        }
+        let unix_micros = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        state.ring.push_back(Event {
+            seq,
+            unix_micros,
+            severity,
+            kind: kind.to_string(),
+            fields,
+        });
+        seq
+    }
+
+    /// Replay every buffered event with `seq > cursor`, oldest first.
+    pub fn since(&self, cursor: u64) -> EventReplay {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        EventReplay {
+            events: state
+                .ring
+                .iter()
+                .filter(|e| e.seq > cursor)
+                .cloned()
+                .collect(),
+            dropped: state.dropped,
+            last_seq: state.next_seq - 1,
+        }
+    }
+
+    /// Highest sequence number ever published (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_seq
+            - 1
+    }
+}
+
+// Value-asserting tests are meaningless with recording compiled out.
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    fn kinds(replay: &EventReplay) -> Vec<u64> {
+        replay.events.iter().map(|e| e.seq).collect()
+    }
+
+    #[test]
+    fn sequence_is_monotonic_from_one() {
+        let log = EventLog::with_capacity(8);
+        assert_eq!(log.publish(Severity::Info, "a", vec![]), 1);
+        assert_eq!(log.publish(Severity::Warn, "b", vec![]), 2);
+        assert_eq!(log.publish(Severity::Error, "c", vec![]), 3);
+        assert_eq!(log.last_seq(), 3);
+        assert_eq!(kinds(&log.since(0)), vec![1, 2, 3]);
+        assert_eq!(kinds(&log.since(2)), vec![3]);
+        assert_eq!(kinds(&log.since(3)), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn full_buffer_drops_oldest() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.publish(Severity::Info, &format!("e{i}"), vec![]);
+        }
+        let replay = log.since(0);
+        assert_eq!(kinds(&replay), vec![3, 4, 5]);
+        assert_eq!(replay.dropped, 2);
+        assert_eq!(replay.last_seq, 5);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let event = Event {
+            seq: 7,
+            unix_micros: 123,
+            severity: Severity::Warn,
+            kind: "slow_request".to_string(),
+            fields: vec![
+                ("elapsed_nanos".to_string(), FieldValue::U64(42)),
+                ("delta".to_string(), FieldValue::I64(-5)),
+                ("ratio".to_string(), FieldValue::F64(0.5)),
+                (
+                    "note".to_string(),
+                    FieldValue::Str("a\"b\\c\nd".to_string()),
+                ),
+                ("bad".to_string(), FieldValue::F64(f64::NAN)),
+            ],
+        };
+        assert_eq!(
+            event.to_json(),
+            "{\"seq\":7,\"unix_micros\":123,\"severity\":\"warn\",\
+             \"kind\":\"slow_request\",\"fields\":{\"elapsed_nanos\":42,\
+             \"delta\":-5,\"ratio\":0.5,\"note\":\"a\\\"b\\\\c\\nd\",\"bad\":null}}"
+        );
+    }
+}

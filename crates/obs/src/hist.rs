@@ -1,0 +1,246 @@
+//! Lock-free fixed-log-bucket histogram.
+//!
+//! Values are `u64` (the stack records latencies as nanoseconds and
+//! sizes as plain counts). Bucketing is by bit width: value `0` lands
+//! in bucket 0 and any other value `v` lands in bucket
+//! `64 - v.leading_zeros()`, so bucket `b >= 1` covers the closed
+//! range `[2^(b-1), 2^b - 1]`. That gives 65 buckets total, covers
+//! the whole `u64` domain with no configuration, and bounds the
+//! relative error of any reported quantile by one power of two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one for the value `0` plus one per bit width
+/// `1..=64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// Bucket index for a value: `0` for zero, else the value's bit width.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Largest value contained in the bucket at `index`.
+///
+/// Bucket 0 holds only `0`; bucket `b` in `1..=63` tops out at
+/// `2^b - 1`; bucket 64 tops out at `u64::MAX`.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Add `add` to `cell`, saturating at `u64::MAX` instead of wrapping.
+fn saturating_fetch_add(cell: &AtomicU64, add: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(add);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// A lock-free log-bucket histogram of `u64` observations.
+///
+/// All mutation is relaxed atomics; `record` is wait-free apart from
+/// the saturating-sum CAS loop (which only retries under contention).
+/// Count and bucket totals are exact; the sum saturates at
+/// `u64::MAX` rather than wrapping. A [`snapshot`](Histogram::snapshot)
+/// taken while writers are active may be internally inconsistent by
+/// the handful of in-flight records — each field is individually
+/// monotone, which is all the exposition formats need.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if cfg!(feature = "noop") {
+            let _ = value;
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, value);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at
+    /// `u64::MAX` — ~584 years).
+    #[inline]
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold a snapshot's observations into this histogram.
+    ///
+    /// Equivalent (bucket-exactly) to having recorded the other
+    /// histogram's observations here, except that individual values
+    /// are no longer known: count and buckets add, the sum adds
+    /// saturating, and the max takes the larger.
+    pub fn merge_from(&self, other: &HistogramSnapshot) {
+        if cfg!(feature = "noop") {
+            return;
+        }
+        for (bucket, &n) in self.buckets.iter().zip(other.buckets.iter()) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, other.sum);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+
+    /// Copy the current totals out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations, saturating at `u64::MAX`.
+    pub sum: u64,
+    /// Largest observation seen.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge two snapshots into one, as if both observation streams
+    /// had been recorded into a single histogram: buckets and count
+    /// add, the sum adds saturating, the max takes the larger.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Mean observation, or `0.0` when empty. Reflects the saturating
+    /// sum, so it under-reports once the sum has clamped.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `0` when empty.
+    ///
+    /// Error bound: the reported value lands in the *same bucket* as
+    /// the exact rank-`ceil(q·count)` observation — it is the bucket's
+    /// upper bound clamped to the observed max, so it can overstate
+    /// the exact quantile by at most one power of two (and never
+    /// exceeds the largest recorded value).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// Value-asserting tests are meaningless with recording compiled out.
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..BUCKET_COUNT {
+            // The upper bound of every bucket is inside that bucket.
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b);
+        }
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn count_sum_max_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 1000, 12] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1018);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

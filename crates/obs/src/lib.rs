@@ -1,0 +1,62 @@
+//! # poisongame-obs
+//!
+//! The telemetry layer for the poisongame stack: a std-only,
+//! allocation-light toolkit that every tier (exec pool, engine,
+//! serving tier, gateway) records into and that the wire layers
+//! expose — as a `"telemetry"` summary on the NDJSON `stats` request,
+//! as Prometheus text on the gateway's `GET /v1/metrics`, and as a
+//! structured event replay on `GET /v1/events?since=N`.
+//!
+//! ## Pieces
+//!
+//! - [`Histogram`] — lock-free fixed-log-bucket latency histogram:
+//!   65 atomic `u64` buckets (one per bit width), exact count and
+//!   saturating sum, mergeable snapshots, and p50/p90/p99/max
+//!   extraction with a documented one-bucket error bound.
+//! - [`Counter`] / [`Gauge`] — relaxed atomic scalars.
+//! - [`Registry`] — a named, label-aware get-or-register home for all
+//!   of the above; [`Registry::global`] is the process-wide instance.
+//! - [`SpanTimer`] — RAII timer that credits elapsed wall time (in
+//!   nanoseconds) to a histogram on drop, replacing ad-hoc
+//!   `Instant::now()` pairs.
+//! - [`EventLog`] — a bounded ring buffer of structured JSON events
+//!   (monotonic sequence numbers, severity, kind, typed fields) with
+//!   since-cursor replay; the buffer drops the oldest events when
+//!   full and accounts for the drops.
+//! - [`render_prometheus`] — Prometheus text-format (0.0.4)
+//!   exposition of a registry snapshot.
+//!
+//! ## Never on the response path
+//!
+//! Telemetry is recorded strictly *off* the response path: servers
+//! render response bytes first (as a pure function of the request
+//! document) and record afterwards, so enabling or disabling
+//! telemetry can never change a response byte. This is the same
+//! invariant `sim::timing` documents for the phase counters.
+//!
+//! ## The `noop` feature
+//!
+//! Building with `--features noop` compiles every recording call
+//! (`record`, `inc`, `add`, `set`, `publish`, span-timer capture) to
+//! a no-op while keeping the full API, so benches can compare an
+//! instrumented build against an identical build with recording
+//! erased. Read paths (snapshots, rendering) still work and report
+//! zeros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod hist;
+mod prom;
+mod registry;
+mod span;
+
+pub use events::{Event, EventLog, EventReplay, FieldValue, Severity, DEFAULT_EVENT_CAPACITY};
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use prom::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
+pub use registry::{
+    Counter, FamilySnapshot, Gauge, Labels, MetricKind, MetricSnapshot, MetricValue, Registry,
+    RegistrySnapshot,
+};
+pub use span::SpanTimer;

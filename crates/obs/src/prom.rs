@@ -1,0 +1,187 @@
+//! Prometheus text-format (0.0.4) exposition.
+
+use crate::hist::{bucket_upper_bound, HistogramSnapshot, BUCKET_COUNT};
+use crate::registry::{Labels, MetricValue, RegistrySnapshot};
+
+/// The content-type a Prometheus text exposition must be served with.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Render a registry snapshot in the Prometheus text format.
+///
+/// Histograms render the cumulative `_bucket{le=...}` series over the
+/// crate's power-of-two bucket bounds (only buckets that have
+/// observations below them get an explicit bound; `le="+Inf"` always
+/// closes the series), plus `_sum` and `_count`.
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for family in &snap.families {
+        out.push_str("# HELP ");
+        out.push_str(&family.name);
+        out.push(' ');
+        push_help_escaped(&mut out, &family.help);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind.as_str());
+        out.push('\n');
+        for metric in &family.metrics {
+            match &metric.value {
+                MetricValue::Counter(v) => {
+                    push_sample(
+                        &mut out,
+                        &family.name,
+                        "",
+                        &metric.labels,
+                        None,
+                        &v.to_string(),
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    push_sample(
+                        &mut out,
+                        &family.name,
+                        "",
+                        &metric.labels,
+                        None,
+                        &v.to_string(),
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    push_histogram(&mut out, &family.name, &metric.labels, h)
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, name: &str, labels: &Labels, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for index in 0..BUCKET_COUNT {
+        let n = h.buckets[index];
+        if n == 0 {
+            continue;
+        }
+        cumulative = cumulative.saturating_add(n);
+        // Bucket 64's finite bound is u64::MAX; +Inf below covers it.
+        if index < BUCKET_COUNT - 1 {
+            push_sample(
+                out,
+                name,
+                "_bucket",
+                labels,
+                Some(&bucket_upper_bound(index).to_string()),
+                &cumulative.to_string(),
+            );
+        }
+    }
+    push_sample(
+        out,
+        name,
+        "_bucket",
+        labels,
+        Some("+Inf"),
+        &h.count.to_string(),
+    );
+    push_sample(out, name, "_sum", labels, None, &h.sum.to_string());
+    push_sample(out, name, "_count", labels, None, &h.count.to_string());
+}
+
+fn push_sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &Labels,
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (key, val) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(key);
+            out.push_str("=\"");
+            push_label_escaped(out, val);
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn push_label_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_help_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+// Value-asserting tests are meaningless with recording compiled out.
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.counter("req_total", "requests served", &[("kind", "solve")])
+            .add(3);
+        r.gauge("depth", "queue depth", &[]).set(-2);
+        let h = r.histogram("lat_nanos", "latency", &[("kind", "solve")]);
+        h.record(1); // bucket 1, bound 1
+        h.record(5); // bucket 3, bound 7
+        h.record(5);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP req_total requests served\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{kind=\"solve\"} 3\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("depth -2\n"));
+        assert!(text.contains("# TYPE lat_nanos histogram\n"));
+        assert!(text.contains("lat_nanos_bucket{kind=\"solve\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_nanos_bucket{kind=\"solve\",le=\"7\"} 3\n"));
+        assert!(text.contains("lat_nanos_bucket{kind=\"solve\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_nanos_sum{kind=\"solve\"} 11\n"));
+        assert!(text.contains("lat_nanos_count{kind=\"solve\"} 3\n"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let r = Registry::new();
+        r.counter("e_total", "h", &[("k", "a\"b\\c")]).inc();
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("e_total{k=\"a\\\"b\\\\c\"} 1\n"));
+    }
+}

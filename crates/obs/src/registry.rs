@@ -1,0 +1,408 @@
+//! Named metric registry: counters, gauges and histograms, with
+//! Prometheus-style label sets and mergeable snapshots.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotone counter (relaxed atomic `u64`).
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Create a counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if cfg!(feature = "noop") {
+            let _ = n;
+            return;
+        }
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge (relaxed atomic `i64`).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Create a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if cfg!(feature = "noop") {
+            let _ = v;
+            return;
+        }
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if cfg!(feature = "noop") {
+            let _ = delta;
+            return;
+        }
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Log-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lowercase name used on the wire and in Prometheus `# TYPE`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    /// Parse the wire name back. Returns `None` for unknown kinds.
+    pub fn parse(s: &str) -> Option<MetricKind> {
+        match s {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// An owned label set: `(key, value)` pairs in registration order.
+pub type Labels = Vec<(String, String)>;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    metrics: Vec<(Labels, Metric)>,
+}
+
+/// A named home for metrics.
+///
+/// Registration is get-or-register: asking for the same family name
+/// and label set again returns the *same* underlying metric, so call
+/// sites can register eagerly without coordinating. Registering a
+/// name that already exists with a different kind panics — that is a
+/// programming error, not a runtime condition.
+///
+/// Registration takes a mutex and scans; it is meant to happen once
+/// per call site (cache the returned `Arc`), not per observation.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide registry every tier records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn with_family<T>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        get: impl Fn(&Metric) -> Option<T>,
+        make: impl FnOnce() -> (Metric, T),
+    ) -> T {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric family {name:?} registered as {} and {}",
+                    f.kind.as_str(),
+                    kind.as_str()
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    metrics: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some((_, metric)) = family
+            .metrics
+            .iter()
+            .find(|(existing, _)| label_eq(existing, labels))
+        {
+            return get(metric).expect("family kind already checked");
+        }
+        let owned: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let (metric, handle) = make();
+        family.metrics.push((owned, metric));
+        handle
+    }
+
+    /// Get or register a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.with_family(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Metric::Counter(Arc::clone(&c)), c)
+            },
+        )
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.with_family(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Metric::Gauge(Arc::clone(&g)), g)
+            },
+        )
+    }
+
+    /// Get or register a histogram.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.with_family(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (Metric::Histogram(Arc::clone(&h)), h)
+            },
+        )
+    }
+
+    /// Copy the current value of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|f| FamilySnapshot {
+                    name: f.name.clone(),
+                    help: f.help.clone(),
+                    kind: f.kind,
+                    metrics: f
+                        .metrics
+                        .iter()
+                        .map(|(labels, metric)| MetricSnapshot {
+                            labels: labels.clone(),
+                            value: match metric {
+                                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                                Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn label_eq(owned: &[(String, String)], borrowed: &[(&str, &str)]) -> bool {
+    owned.len() == borrowed.len()
+        && owned
+            .iter()
+            .zip(borrowed.iter())
+            .all(|((ok, ov), (bk, bv))| ok == bk && ov == bv)
+}
+
+/// Point-in-time value of one labeled metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's label set.
+    pub labels: Labels,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// Captured value of a metric, by kind.
+///
+/// The histogram variant inlines its ~0.5 KiB bucket array rather
+/// than boxing it: registries hold tens of metrics, snapshots are
+/// transient, and unboxed access keeps the read path allocation-free.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram totals.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time copy of a metric family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (Prometheus metric name).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// One entry per registered label set.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// All families, in registration order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Find a family by name.
+    pub fn find(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sum of all counter values in a family (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.find(name)
+            .map(|f| {
+                f.metrics
+                    .iter()
+                    .filter_map(|m| match &m.value {
+                        MetricValue::Counter(v) => Some(*v),
+                        _ => None,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+// Value-asserting tests are meaningless with recording compiled out.
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", &[("shard", "0")]);
+        let b = r.counter("x_total", "help", &[("shard", "0")]);
+        let c = r.counter("x_total", "help", &[("shard", "1")]);
+        a.inc();
+        b.add(2);
+        c.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(c.get(), 1);
+        let snap = r.snapshot();
+        let fam = snap.find("x_total").expect("registered");
+        assert_eq!(fam.metrics.len(), 2);
+        assert_eq!(snap.counter_total("x_total"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("y", "help", &[]);
+        let _ = r.gauge("y", "help", &[]);
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let r = Registry::new();
+        r.counter("c_total", "c", &[]).add(7);
+        r.gauge("g", "g", &[]).set(-3);
+        r.histogram("h_nanos", "h", &[]).record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("c_total"), 7);
+        match &snap.find("g").unwrap().metrics[0].value {
+            MetricValue::Gauge(v) => assert_eq!(*v, -3),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match &snap.find("h_nanos").unwrap().metrics[0].value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 100);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! RAII span timing.
+
+use crate::hist::Histogram;
+use std::time::Instant;
+
+/// Credits elapsed wall time (nanoseconds) to a histogram on drop.
+///
+/// ```
+/// use poisongame_obs::{Histogram, SpanTimer};
+/// let hist = Histogram::new();
+/// {
+///     let _span = SpanTimer::start(&hist);
+///     // ... timed work ...
+/// }
+/// # #[cfg(not(feature = "noop"))]
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+///
+/// With the `noop` feature the timer captures nothing and records
+/// nothing.
+#[must_use = "a span timer records when dropped; binding it to _ drops it immediately"]
+pub struct SpanTimer<'h> {
+    hist: &'h Histogram,
+    start: Option<Instant>,
+}
+
+impl<'h> SpanTimer<'h> {
+    /// Start timing against `hist`.
+    #[inline]
+    pub fn start(hist: &'h Histogram) -> Self {
+        let start = if cfg!(feature = "noop") {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        SpanTimer { hist, start }
+    }
+
+    /// Stop and record now instead of at end of scope.
+    #[inline]
+    pub fn stop(self) {}
+
+    /// Abandon the span without recording anything.
+    #[inline]
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+// Value-asserting tests are meaningless with recording compiled out.
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_on_drop() {
+        let hist = Histogram::new();
+        {
+            let _span = SpanTimer::start(&hist);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 1_000_000, "slept >= 1ms, got {}ns", snap.sum);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let hist = Histogram::new();
+        SpanTimer::start(&hist).cancel();
+        assert_eq!(hist.snapshot().count, 0);
+    }
+
+    #[test]
+    fn stop_records_early() {
+        let hist = Histogram::new();
+        let span = SpanTimer::start(&hist);
+        span.stop();
+        assert_eq!(hist.snapshot().count, 1);
+    }
+}

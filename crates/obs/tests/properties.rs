@@ -1,0 +1,123 @@
+//! Property tests for the histogram: merge ≡ recording
+//! concatenation, percentile within one bucket of exact, and
+//! saturation instead of overflow.
+#![cfg(not(feature = "noop"))]
+
+use poisongame_obs::{bucket_index, Histogram};
+
+/// Deterministic xorshift stream so the tests need no RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A value with a random bit width, so every bucket gets traffic.
+    fn skewed(&mut self) -> u64 {
+        let width = self.next() % 33; // 0..=32 bits
+        if width == 0 {
+            0
+        } else {
+            self.next() >> (64 - width)
+        }
+    }
+}
+
+fn stream(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = XorShift(seed | 1);
+    (0..n).map(|_| rng.skewed()).collect()
+}
+
+#[test]
+fn merge_is_recording_concatenation() {
+    for (seed_a, seed_b, n_a, n_b) in [(1, 2, 500, 300), (77, 3, 1, 999), (5, 5, 0, 250)] {
+        let (a, b) = (stream(seed_a, n_a), stream(seed_b, n_b));
+        let (ha, hb, hc) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        // Snapshot-level merge.
+        assert_eq!(ha.snapshot().merge(&hb.snapshot()), hc.snapshot());
+        // Histogram-level merge.
+        ha.merge_from(&hb.snapshot());
+        assert_eq!(ha.snapshot(), hc.snapshot());
+    }
+}
+
+#[test]
+fn percentile_within_one_bucket_of_exact() {
+    for seed in [3u64, 11, 42, 1234] {
+        let values = stream(seed, 2000);
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = snap.percentile(q);
+            assert_eq!(
+                bucket_index(approx),
+                bucket_index(exact),
+                "seed {seed} q {q}: approx {approx} not in same bucket as exact {exact}"
+            );
+            assert!(approx >= exact, "quantile may only overstate");
+            assert!(
+                approx <= snap.max,
+                "quantile never exceeds the observed max"
+            );
+        }
+    }
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let hist = Histogram::new();
+    hist.record(u64::MAX);
+    hist.record(u64::MAX);
+    hist.record(7);
+    let snap = hist.snapshot();
+    assert_eq!(snap.sum, u64::MAX, "sum must clamp, not wrap");
+    assert_eq!(snap.count, 3, "count stays exact");
+    assert_eq!(snap.max, u64::MAX);
+    // Merging saturated snapshots also clamps.
+    let merged = snap.merge(&snap);
+    assert_eq!(merged.sum, u64::MAX);
+    assert_eq!(merged.count, 6);
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+    let hist = Arc::new(Histogram::new());
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for v in stream(t + 1, 5000) {
+                    hist.record(v);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 20_000);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), 20_000);
+}

@@ -222,6 +222,31 @@ impl Client {
         ServerStats::from_json(&result)
     }
 
+    /// Fetch the server's full metric registry as a JSON document (the
+    /// sparse wire form rendered by
+    /// [`crate::telemetry::registry_to_json`]). The gateway renders
+    /// this into Prometheus text for `/v1/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`].
+    pub fn metrics(&mut self) -> Result<Json, ServeError> {
+        self.call(RequestKind::Metrics, None)
+    }
+
+    /// Replay the server's structured event log from (exclusive)
+    /// cursor `since`. Pass `0` for everything the bounded buffer
+    /// still holds; the returned document carries `last_seq` to use
+    /// as the next cursor and `dropped` for events the ring already
+    /// discarded.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::call`].
+    pub fn events(&mut self, since: u64) -> Result<Json, ServeError> {
+        self.call(RequestKind::Events { since }, None)
+    }
+
     /// Re-split the server's shard pool to `shards` engine shards.
     /// In-flight and queued requests are drained by the old shards;
     /// the new shards start with cold caches.

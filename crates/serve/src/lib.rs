@@ -8,8 +8,9 @@
 //!
 //! * [`protocol`] — the wire format: newline-delimited JSON over TCP,
 //!   request kinds `solve` / `cell` / `matrix` / `estimate` /
-//!   `online` / `stats` / `resize` / `shutdown`, every response
-//!   tagged with its request id so clients can pipeline.
+//!   `online` / `stats` / `metrics` / `events` / `resize` /
+//!   `shutdown`, every response tagged with its request id so clients
+//!   can pipeline.
 //! * [`server`] — the sharded server: a pool of N independent
 //!   [`poisongame_sim::EvalEngine`] shards (each with its own
 //!   *bounded* preparation cache, bounded admission queue with
@@ -24,6 +25,12 @@
 //!   shutdown. Connections are served by a single poll-based
 //!   multiplexer thread (std-only nonblocking sockets), so idle
 //!   pipelined connections cost no threads.
+//! * [`telemetry`] — the serving tier's observability surface: latency
+//!   and queue-wait histograms per request kind, per-shard cache and
+//!   queue metrics, structured events (sheds, evictions, deadline
+//!   misses, resizes) — all backed by [`poisongame_obs`], all off the
+//!   response path, exposed through the `metrics` / `events` control
+//!   requests and summarized inside `stats`.
 //! * [`client`] — the blocking client library: typed calls plus raw
 //!   pipelining (`send` ids now, `wait` for them later).
 //!
@@ -62,6 +69,7 @@ mod mux;
 pub mod protocol;
 pub mod server;
 mod shard;
+pub mod telemetry;
 
 pub use client::Client;
 pub use error::ServeError;
@@ -70,3 +78,4 @@ pub use protocol::{
     Response, ServerStats, ShardStats, SolveRequest, SolveResult, MAX_SHARDS,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use telemetry::{KindTelemetry, TelemetryStats};

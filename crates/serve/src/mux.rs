@@ -31,11 +31,12 @@
 
 use crate::protocol::{ErrorCode, Response};
 use crate::server::Inner;
+use crate::telemetry::MuxObs;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Wakes the multiplexer when a worker queues a response (or a
 /// dispatcher exits during a drain).
@@ -130,6 +131,7 @@ pub(crate) fn mux_loop(inner: &Arc<Inner>, listener: &TcpListener) {
         .expect("listener nonblocking");
     let mut conns: Vec<MuxConn> = Vec::new();
     let mut chunk = vec![0u8; 64 * 1024];
+    let obs = MuxObs::register();
     loop {
         let mut progress = false;
 
@@ -159,11 +161,21 @@ pub(crate) fn mux_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             }
         }
 
+        // Latency histograms record only ticks that made progress:
+        // idle WouldBlock scans would otherwise drown the signal.
         for mc in &mut conns {
             if !mc.read_closed {
-                progress |= pump_read(inner, mc, &mut chunk);
+                let start = Instant::now();
+                if pump_read(inner, &obs, mc, &mut chunk) {
+                    obs.read.record_duration(start.elapsed());
+                    progress = true;
+                }
             }
-            progress |= pump_write(mc);
+            let start = Instant::now();
+            if pump_write(mc) {
+                obs.write.record_duration(start.elapsed());
+                progress = true;
+            }
         }
 
         // Reap: broken writers immediately; finished readers once the
@@ -190,7 +202,7 @@ pub(crate) fn mux_loop(inner: &Arc<Inner>, listener: &TcpListener) {
 
 /// Read whatever the socket has, slice complete frames out of the
 /// buffer and handle them. Returns whether any bytes arrived.
-fn pump_read(inner: &Arc<Inner>, mc: &mut MuxConn, chunk: &mut [u8]) -> bool {
+fn pump_read(inner: &Arc<Inner>, obs: &MuxObs, mc: &mut MuxConn, chunk: &mut [u8]) -> bool {
     let mut progress = false;
     loop {
         match mc.stream.read(chunk) {
@@ -210,7 +222,7 @@ fn pump_read(inner: &Arc<Inner>, mc: &mut MuxConn, chunk: &mut [u8]) -> bool {
             Ok(n) => {
                 progress = true;
                 mc.read_buf.extend_from_slice(&chunk[..n]);
-                drain_frames(inner, mc);
+                drain_frames(inner, obs, mc);
                 if mc.read_closed {
                     break;
                 }
@@ -230,7 +242,7 @@ fn pump_read(inner: &Arc<Inner>, mc: &mut MuxConn, chunk: &mut [u8]) -> bool {
 /// hand each to the protocol layer. Oversized frames (with or without
 /// their newline in sight) lose framing: answer `line_too_long`, then
 /// stop reading.
-fn drain_frames(inner: &Arc<Inner>, mc: &mut MuxConn) {
+fn drain_frames(inner: &Arc<Inner>, obs: &MuxObs, mc: &mut MuxConn) {
     loop {
         match mc.read_buf[mc.scanned..]
             .iter()
@@ -252,7 +264,11 @@ fn drain_frames(inner: &Arc<Inner>, mc: &mut MuxConn) {
                 }
                 let line = String::from_utf8_lossy(&frame).into_owned();
                 if !line.trim().is_empty() {
+                    // Dispatch latency: parse + inline answer (control
+                    // plane) or parse + admission (evaluation).
+                    let start = Instant::now();
                     crate::server::handle_line(inner, &mc.conn, &line);
+                    obs.dispatch.record_duration(start.elapsed());
                 }
             }
             None => {

@@ -14,7 +14,7 @@
 //! * `id` — required non-negative integer (decimal string beyond
 //!   2^53). Echoed verbatim in the response.
 //! * `type` — one of `solve`, `cell`, `matrix`, `estimate`, `online`,
-//!   `stats`, `resize`, `shutdown`.
+//!   `stats`, `metrics`, `events`, `resize`, `shutdown`.
 //! * `deadline_ms` — optional per-request deadline, measured from the
 //!   moment the server reads the request; must be a **positive**
 //!   integer (`0` would expire before it could ever be met, so it is
@@ -41,6 +41,7 @@
 //! [`ErrorCode`] for the closed set of error classes.
 
 use crate::error::ServeError;
+use crate::telemetry::TelemetryStats;
 use poisongame_core::SolverKind;
 use poisongame_online::OnlineSpec;
 use poisongame_sim::estimate::{default_placements, default_strengths};
@@ -305,6 +306,17 @@ pub enum RequestKind {
     Online(OnlineRequest),
     /// Server/engine statistics.
     Stats,
+    /// Telemetry registry snapshot: every counter, gauge and histogram
+    /// in the process, in the wire form of
+    /// [`crate::telemetry::registry_to_json`] (the gateway renders it
+    /// as Prometheus text).
+    Metrics,
+    /// Structured event-log replay: buffered events with a sequence
+    /// number greater than `since`, oldest first.
+    Events {
+        /// The replay cursor (`0` replays the whole buffer).
+        since: u64,
+    },
     /// Re-split the engine shard pool to the given shard count
     /// (1..=[`MAX_SHARDS`]). Old shards drain without dropping
     /// in-flight requests; the same count re-splits in place
@@ -327,6 +339,8 @@ impl RequestKind {
             RequestKind::Estimate(_) => "estimate",
             RequestKind::Online(_) => "online",
             RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Events { .. } => "events",
             RequestKind::Resize { .. } => "resize",
             RequestKind::Shutdown => "shutdown",
         }
@@ -387,7 +401,10 @@ impl Request {
             RequestKind::Resize { shards } => {
                 fields.push(("shards", Json::Num(*shards as f64)));
             }
-            RequestKind::Stats | RequestKind::Shutdown => {}
+            RequestKind::Events { since } => {
+                fields.push(("since", jsonio::big_u64_to_json(*since)));
+            }
+            RequestKind::Stats | RequestKind::Metrics | RequestKind::Shutdown => {}
         }
         Json::obj(fields)
     }
@@ -606,12 +623,23 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             }
             RequestKind::Resize { shards }
         }
-        "stats" | "shutdown" => {
+        "events" => {
+            let allowed: Vec<&str> = common.iter().copied().chain(["since"]).collect();
+            jsonio::check_keys(&value, "events request", &allowed).map_err(spec)?;
+            let since = value
+                .get("since")
+                .map(|v| jsonio::big_u64(v, "since"))
+                .transpose()
+                .map_err(spec)?
+                .unwrap_or(0);
+            RequestKind::Events { since }
+        }
+        "stats" | "metrics" | "shutdown" => {
             jsonio::check_keys(&value, kind_name, common).map_err(spec)?;
-            if kind_name == "stats" {
-                RequestKind::Stats
-            } else {
-                RequestKind::Shutdown
+            match kind_name {
+                "stats" => RequestKind::Stats,
+                "metrics" => RequestKind::Metrics,
+                _ => RequestKind::Shutdown,
             }
         }
         other => return Err(fail(format!("unknown request type `{other}`"))),
@@ -1028,6 +1056,12 @@ pub struct ServerStats {
     pub pool_parks: u64,
     /// Batches submitted to the pool's parallel path.
     pub pool_batches: u64,
+    /// Telemetry summary: deadline/shed counters, event-log cursors
+    /// and per-kind latency percentiles. A server predating the
+    /// telemetry layer omits the key on the wire;
+    /// [`ServerStats::from_json`] then leaves this `None`, so old and
+    /// new servers parse alike (like the optional `pool` block).
+    pub telemetry: Option<TelemetryStats>,
 }
 
 impl ServerStats {
@@ -1043,7 +1077,7 @@ impl ServerStats {
 
     /// JSON form.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("uptime_micros", jsonio::big_u64_to_json(self.uptime_micros)),
             ("workers", Json::Num(self.workers as f64)),
             ("queue_capacity", Json::Num(self.queue_capacity as f64)),
@@ -1091,7 +1125,11 @@ impl ServerStats {
                 "shards",
                 Json::Arr(self.shards.iter().map(ShardStats::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            fields.push(("telemetry", telemetry.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Parse the JSON form produced by [`ServerStats::to_json`].
@@ -1143,6 +1181,12 @@ impl ServerStats {
             pool_parks: 0,
             pool_batches: 0,
             shards: Vec::new(),
+            // A pre-telemetry server omits the key; `None` means
+            // "server reported nothing", distinct from all-zero.
+            telemetry: value
+                .get("telemetry")
+                .map(TelemetryStats::from_json)
+                .transpose()?,
         };
         // A pre-pool server omits `pool`; its counters stay zero so
         // old and new servers parse alike.
@@ -1416,6 +1460,22 @@ mod tests {
                     ..ShardStats::default()
                 },
             ],
+            telemetry: Some(TelemetryStats {
+                deadline_missed: 2,
+                shed: 5,
+                events_logged: 40,
+                events_dropped: 1,
+                kinds: vec![crate::telemetry::KindTelemetry {
+                    kind: "cell".to_string(),
+                    count: 44,
+                    duration_p50_nanos: 1 << 20,
+                    duration_p90_nanos: 1 << 21,
+                    duration_p99_nanos: 1 << 22,
+                    duration_max_nanos: (1 << 22) + 17,
+                    queue_wait_p50_nanos: 512,
+                    queue_wait_p99_nanos: 2048,
+                }],
+            }),
         };
         let back = ServerStats::from_json(&stats.to_json()).unwrap();
         assert_eq!(back, stats);
@@ -1452,5 +1512,56 @@ mod tests {
         assert_eq!(back.pool_steals, 0);
         assert_eq!(back.pool_parks, 0);
         assert_eq!(back.pool_batches, 0);
+    }
+
+    #[test]
+    fn server_stats_without_telemetry_key_parses_to_none() {
+        // A pre-telemetry server never sends `telemetry`; dropping the
+        // key from a rendered document must parse with `None` (same
+        // back-compat contract as the `pool` block above).
+        let stats = ServerStats {
+            telemetry: Some(TelemetryStats {
+                shed: 9,
+                ..TelemetryStats::default()
+            }),
+            ..ServerStats::default()
+        };
+        let rendered = stats.to_json();
+        let Json::Obj(fields) = rendered else {
+            panic!("stats render as an object");
+        };
+        let stripped = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "telemetry")
+                .collect(),
+        );
+        let back = ServerStats::from_json(&stripped).unwrap();
+        assert_eq!(back.telemetry, None);
+        // With the key present, the summary round-trips.
+        let back = ServerStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(back.telemetry, stats.telemetry);
+    }
+
+    #[test]
+    fn metrics_and_events_requests_parse_and_round_trip() {
+        let metrics = parse_request_line(r#"{"id": 1, "type": "metrics"}"#).unwrap();
+        assert_eq!(metrics.kind, RequestKind::Metrics);
+        assert_eq!(metrics.kind.type_name(), "metrics");
+
+        // `since` defaults to 0 and round-trips when explicit.
+        let events = parse_request_line(r#"{"id": 2, "type": "events"}"#).unwrap();
+        assert_eq!(events.kind, RequestKind::Events { since: 0 });
+        let events = parse_request_line(r#"{"id": 2, "type": "events", "since": 41}"#).unwrap();
+        assert_eq!(events.kind, RequestKind::Events { since: 41 });
+        assert_eq!(
+            parse_request_line(&events.to_line()).unwrap().kind,
+            events.kind
+        );
+
+        // Unknown keys stay rejected.
+        assert!(parse_request_line(r#"{"id": 1, "type": "metrics", "x": 1}"#).is_err());
+        assert!(parse_request_line(r#"{"id": 1, "type": "events", "cursor": 3}"#).is_err());
+        assert!(parse_request_line(r#"{"id": 1, "type": "events", "since": -1}"#).is_err());
     }
 }

@@ -49,8 +49,10 @@ use crate::protocol::{
     SolveRequest, SolveResult, DEFAULT_MAX_LINE_BYTES,
 };
 use crate::shard::{Admission, Shard, ShardPool};
+use crate::telemetry::{self, Telemetry};
 use poisongame_core::bridge::solve_discretized_with;
 use poisongame_core::{CostCurve, EffectCurve, PoisonGame};
+use poisongame_obs::{EventLog, Registry};
 use poisongame_online::run_online_prepared;
 use poisongame_sim::engine::{config_prep_key, PrepKey};
 use poisongame_sim::estimate::estimate_curves_prepared;
@@ -103,6 +105,11 @@ pub struct ServerConfig {
     /// Multiplexer park interval in microseconds: the upper bound on
     /// how long newly arrived bytes wait while every socket is idle.
     pub poll_interval_micros: u64,
+    /// Service times at or above this many milliseconds publish a
+    /// `slow_request` event to the process event log (`0` disables).
+    /// Telemetry never rides the response path, so this cannot change
+    /// a response.
+    pub slow_request_millis: u64,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +124,7 @@ impl Default for ServerConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             default_deadline_ms: None,
             poll_interval_micros: 500,
+            slow_request_millis: 1000,
         }
     }
 }
@@ -147,6 +155,9 @@ pub(crate) struct Job {
     /// batch deduplication are a hash away.
     pub prep_key: Option<PrepKey>,
     pub conn: Arc<Conn>,
+    /// When the multiplexer admitted the job; the queue-wait
+    /// histograms record the span from here to service start.
+    pub admitted_at: Instant,
 }
 
 /// State shared by the multiplexer and the shard dispatchers.
@@ -163,6 +174,9 @@ pub(crate) struct Inner {
     pub counters: Counters,
     pub waker: Arc<MuxWaker>,
     pub poll_interval: Duration,
+    /// Cached metric handles (registered once at bind time); recording
+    /// is off the response path by construction.
+    pub telemetry: Telemetry,
 }
 
 impl Inner {
@@ -208,6 +222,11 @@ impl Inner {
                 Admission::Queued => return,
                 Admission::Full(job) => {
                     Counters::bump(&self.counters.shed);
+                    self.telemetry.note_shed(
+                        job.request.kind.type_name(),
+                        shard.index,
+                        shard.queue_capacity,
+                    );
                     let response = Response::err(
                         Some(job.request.id),
                         ErrorCode::Busy,
@@ -293,6 +312,7 @@ impl Inner {
             pool_parks: pool_stats.parks,
             pool_batches: pool_stats.batches,
             shards: per,
+            telemetry: Some(self.telemetry.summarize()),
         }
     }
 }
@@ -337,6 +357,7 @@ impl Server {
                 counters: Counters::default(),
                 waker: Arc::new(MuxWaker::default()),
                 poll_interval: Duration::from_micros(config.poll_interval_micros.max(1)),
+                telemetry: Telemetry::register(config.slow_request_millis),
             }),
         })
     }
@@ -412,6 +433,14 @@ pub(crate) fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
         // Control-plane requests bypass the queues: they stay
         // responsive even when evaluation is saturated.
         RequestKind::Stats => conn.send(&Response::ok(request.id, inner.stats().to_json())),
+        RequestKind::Metrics => conn.send(&Response::ok(
+            request.id,
+            telemetry::registry_to_json(&Registry::global().snapshot()),
+        )),
+        RequestKind::Events { since } => conn.send(&Response::ok(
+            request.id,
+            telemetry::replay_to_json(&EventLog::global().since(*since)),
+        )),
         RequestKind::Resize { shards } => {
             inner.pool.resize(inner, *shards);
             conn.send(&Response::ok(
@@ -437,6 +466,7 @@ pub(crate) fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
                 deadline,
                 prep_key,
                 conn: Arc::clone(conn),
+                admitted_at: Instant::now(),
             });
         }
     }
@@ -452,6 +482,8 @@ fn prep_key_of(request: &Request) -> Option<PrepKey> {
         RequestKind::Online(req) => Some(config_prep_key(&req.config)),
         RequestKind::Solve(_)
         | RequestKind::Stats
+        | RequestKind::Metrics
+        | RequestKind::Events { .. }
         | RequestKind::Resize { .. }
         | RequestKind::Shutdown => None,
     }
@@ -487,6 +519,7 @@ pub(crate) fn dispatch_loop(inner: &Arc<Inner>, shard: &Arc<Shard>) {
             start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             Ordering::Relaxed,
         );
+        shard.obs.sync_cache(shard.engine.cache_stats());
     }
 }
 
@@ -506,6 +539,11 @@ fn process_batch(inner: &Inner, shard: &Shard, batch: Vec<Job>) {
     for job in &expired {
         Counters::bump(&inner.counters.expired);
         Counters::bump(&shard.counters.expired);
+        inner.telemetry.note_deadline_missed(
+            job.request.kind.type_name(),
+            job.request.id,
+            shard.index,
+        );
         job.conn.send(&Response::err(
             Some(job.request.id),
             ErrorCode::Deadline,
@@ -528,10 +566,14 @@ fn process_batch(inner: &Inner, shard: &Shard, batch: Vec<Job>) {
 /// Evaluate one job into its response (deadline gate first).
 fn execute(inner: &Inner, shard: &Shard, job: &Job, prep: &BatchPrep) -> Response {
     let id = job.request.id;
+    let kind = job.request.kind.type_name();
+    let service_start = Instant::now();
+    let queue_wait = service_start.duration_since(job.admitted_at);
     if let Some(deadline) = job.deadline {
-        if Instant::now() > deadline {
+        if service_start > deadline {
             Counters::bump(&inner.counters.expired);
             Counters::bump(&shard.counters.expired);
+            inner.telemetry.note_deadline_missed(kind, id, shard.index);
             return Response::err(
                 Some(id),
                 ErrorCode::Deadline,
@@ -577,11 +619,21 @@ fn execute(inner: &Inner, shard: &Shard, job: &Job, prep: &BatchPrep) -> Respons
                     other => SimError::Spec(other.to_string()),
                 })
         }),
-        RequestKind::Stats | RequestKind::Resize { .. } | RequestKind::Shutdown => {
+        RequestKind::Stats
+        | RequestKind::Metrics
+        | RequestKind::Events { .. }
+        | RequestKind::Resize { .. }
+        | RequestKind::Shutdown => {
             // Handled inline by the multiplexer; nothing enqueues these.
             Err(SimError::Spec("internal: control request in queue".into()))
         }
     };
+    // The response is a pure function of the request; the recorded
+    // timings never feed into it (byte-identity invariant).
+    inner
+        .telemetry
+        .record_request(kind, id, queue_wait, service_start.elapsed());
+    shard.obs.record_queue_wait(queue_wait);
     match result {
         Ok(json) => {
             Counters::bump(&inner.counters.completed);

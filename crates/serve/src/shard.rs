@@ -35,6 +35,7 @@
 //! idle shard reserves no cores from a busy one.
 
 use crate::server::{Inner, Job};
+use crate::telemetry::ShardObs;
 use poisongame_sim::engine::EvalEngine;
 use poisongame_sim::ExecPolicy;
 use std::collections::VecDeque;
@@ -68,6 +69,10 @@ pub(crate) struct Shard {
     /// re-routes to the new pool.
     pub retired: AtomicBool,
     pub counters: ShardCounters,
+    /// Registry-backed handles for this shard's label. Resized shards
+    /// with the same index reuse the same underlying metrics, so the
+    /// exposed counters stay monotone across generations.
+    pub obs: ShardObs,
 }
 
 impl Shard {
@@ -80,6 +85,7 @@ impl Shard {
             queue_capacity,
             retired: AtomicBool::new(false),
             counters: ShardCounters::default(),
+            obs: ShardObs::register(index),
         }
     }
 
@@ -234,6 +240,7 @@ impl ShardPool {
         for shard in old.iter() {
             shard.retire();
         }
+        crate::telemetry::note_resize(old.len(), n);
     }
 
     /// Wake every current shard's dispatcher (used when the global

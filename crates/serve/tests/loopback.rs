@@ -8,6 +8,7 @@ use poisongame_serve::protocol::{CellRequest, EstimateRequest, RequestKind, Solv
 use poisongame_serve::server::{Server, ServerConfig};
 use poisongame_serve::ErrorCode;
 use poisongame_serve::ServeError;
+use poisongame_sim::jsonio::Json;
 use poisongame_sim::pipeline::{DataSource, ExperimentConfig};
 use poisongame_sim::scenario::{run_matrix, DefenseSpec, LearnerSpec, Scenario};
 use std::net::SocketAddr;
@@ -250,6 +251,26 @@ fn zero_capacity_queue_sheds_with_structured_busy() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.shed, 1);
     assert_eq!(stats.completed, 0);
+    // The shed is counted by the telemetry layer and published as a
+    // structured event (registry and event log are process-global, so
+    // co-tenant tests only ever push these counts higher).
+    let telemetry = stats.telemetry.expect("stats carry telemetry");
+    assert!(telemetry.shed >= 1, "{telemetry:?}");
+    let replay = client.events(0).expect("events");
+    let shed_event = replay
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("events array")
+        .iter()
+        .find(|e| e.get("kind").and_then(Json::as_str) == Some("shed"))
+        .unwrap_or_else(|| panic!("shed event published: {}", replay.render()));
+    assert_eq!(
+        shed_event
+            .get("fields")
+            .and_then(|f| f.get("kind"))
+            .and_then(Json::as_str),
+        Some("cell")
+    );
     client.shutdown().expect("shutdown");
     handle.join().expect("server exit");
 }
@@ -289,6 +310,20 @@ fn expired_deadline_is_a_structured_error() {
     }
     let stats = client.stats().expect("stats");
     assert_eq!(stats.expired, 1);
+    // The miss reaches the telemetry layer too: counter plus event.
+    let telemetry = stats.telemetry.expect("stats carry telemetry");
+    assert!(telemetry.deadline_missed >= 1, "{telemetry:?}");
+    let replay = client.events(0).expect("events");
+    assert!(
+        replay
+            .get("events")
+            .and_then(Json::as_array)
+            .expect("events array")
+            .iter()
+            .any(|e| e.get("kind").and_then(Json::as_str) == Some("deadline_missed")),
+        "deadline_missed event published: {}",
+        replay.render()
+    );
     client.shutdown().expect("shutdown");
     handle.join().expect("server exit");
 }
@@ -377,6 +412,75 @@ fn estimate_and_solve_match_local_computation() {
         ServeError::Server { code, .. } => assert_eq!(code, ErrorCode::EvalFailed),
         other => panic!("expected eval_failed, got {other}"),
     }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+}
+
+#[test]
+fn telemetry_never_rides_the_response_path() {
+    use poisongame_obs::MetricValue;
+    use poisongame_serve::telemetry::{registry_from_json, REQUEST_DURATION_FAMILY};
+
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    // The same request document on two fresh connections gets the same
+    // client-assigned id, so the full response lines must be
+    // byte-identical — even though the telemetry recorded for the two
+    // services necessarily differs (distinct wall-clock timings).
+    let request = quick_cell(77, Scenario::paper());
+    let lines: Vec<String> = (0..2)
+        .map(|_| {
+            let mut client = Client::connect(addr).expect("connect");
+            let id = client
+                .send(RequestKind::Cell(request.clone()), None)
+                .expect("send");
+            client.wait(id).expect("response").render()
+        })
+        .collect();
+    assert_eq!(
+        lines[0], lines[1],
+        "identical requests answer with identical bytes"
+    );
+
+    // The stats summary sees both services, with ordered percentiles.
+    let mut client = Client::connect(addr).expect("connect");
+    let telemetry = client
+        .stats()
+        .expect("stats")
+        .telemetry
+        .expect("stats carry telemetry");
+    let cell = telemetry
+        .kinds
+        .iter()
+        .find(|k| k.kind == "cell")
+        .expect("cell kind summarized");
+    assert!(cell.count >= 2, "{cell:?}");
+    assert!(cell.duration_p50_nanos > 0, "{cell:?}");
+    assert!(cell.duration_p99_nanos >= cell.duration_p50_nanos);
+    assert!(cell.duration_max_nanos >= cell.duration_p99_nanos);
+    assert!(cell.queue_wait_p99_nanos >= cell.queue_wait_p50_nanos);
+
+    // The full registry round-trips over the `metrics` request; the
+    // per-kind histogram is in there with both services counted.
+    let snapshot =
+        registry_from_json(&client.metrics().expect("metrics")).expect("decode registry");
+    let family = snapshot
+        .find(REQUEST_DURATION_FAMILY)
+        .expect("request duration family");
+    let observed: u64 = family
+        .metrics
+        .iter()
+        .filter(|m| m.labels.iter().any(|(k, v)| k == "kind" && v == "cell"))
+        .map(|m| match &m.value {
+            MetricValue::Histogram(h) => h.count,
+            other => panic!("duration family must hold histograms, got {other:?}"),
+        })
+        .sum();
+    assert!(observed >= 2, "both cells in the histogram: {observed}");
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server exit");

@@ -1,41 +1,71 @@
 //! Process-global accounting of where evaluation time goes: dataset
 //! preparation vs model fitting vs held-out evaluation.
 //!
-//! The counters are cumulative, monotone atomics rather than
+//! The counters are cumulative, monotone values rather than
 //! per-request fields for a load-bearing reason: the serving tier
 //! asserts that responses to identical requests are *byte-identical*
 //! across connections, so wall-clock measurements must never ride on
 //! the response path. Callers (the server's `stats` request, the load
 //! generator's summary) read one [`snapshot`] at the end of a run and
 //! difference it against an earlier one.
+//!
+//! Since the telemetry layer landed, this module is a thin shim: the
+//! backing storage is the `poisongame_phase_micros_total` counter
+//! family in [`poisongame_obs::Registry::global`] (one labeled
+//! counter per phase), so the same numbers show up on the gateway's
+//! `/v1/metrics` without double accounting. The public API —
+//! [`record_prep`]/[`record_fit`]/[`record_eval`] and
+//! [`TimingSnapshot`] with its wire form — is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use poisongame_obs::{Counter, Registry};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-static PREP_MICROS: AtomicU64 = AtomicU64::new(0);
-static FIT_MICROS: AtomicU64 = AtomicU64::new(0);
-static EVAL_MICROS: AtomicU64 = AtomicU64::new(0);
+/// The registry family backing the three phase counters.
+pub const PHASE_FAMILY: &str = "poisongame_phase_micros_total";
 
-fn add(counter: &AtomicU64, elapsed: Duration) {
-    counter.fetch_add(
-        elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
-        Ordering::Relaxed,
-    );
+fn phase_counter(cell: &'static OnceLock<Arc<Counter>>, phase: &'static str) -> &'static Counter {
+    cell.get_or_init(|| {
+        Registry::global().counter(
+            PHASE_FAMILY,
+            "Cumulative microseconds spent per evaluation phase",
+            &[("phase", phase)],
+        )
+    })
+}
+
+fn prep_counter() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    phase_counter(&CELL, "prep")
+}
+
+fn fit_counter() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    phase_counter(&CELL, "fit")
+}
+
+fn eval_counter() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    phase_counter(&CELL, "eval")
+}
+
+fn add(counter: &Counter, elapsed: Duration) {
+    counter.add(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
 }
 
 /// Credit `elapsed` to dataset preparation (generate → split → scale).
 pub fn record_prep(elapsed: Duration) {
-    add(&PREP_MICROS, elapsed);
+    add(prep_counter(), elapsed);
 }
 
 /// Credit `elapsed` to model fitting.
 pub fn record_fit(elapsed: Duration) {
-    add(&FIT_MICROS, elapsed);
+    add(fit_counter(), elapsed);
 }
 
 /// Credit `elapsed` to held-out evaluation.
 pub fn record_eval(elapsed: Duration) {
-    add(&EVAL_MICROS, elapsed);
+    add(eval_counter(), elapsed);
 }
 
 /// A point-in-time reading of the cumulative phase counters.
@@ -66,9 +96,9 @@ impl TimingSnapshot {
 /// breakdown it feeds.
 pub fn snapshot() -> TimingSnapshot {
     TimingSnapshot {
-        prep_micros: PREP_MICROS.load(Ordering::Relaxed),
-        fit_micros: FIT_MICROS.load(Ordering::Relaxed),
-        eval_micros: EVAL_MICROS.load(Ordering::Relaxed),
+        prep_micros: prep_counter().get(),
+        fit_micros: fit_counter().get(),
+        eval_micros: eval_counter().get(),
     }
 }
 
@@ -90,5 +120,14 @@ mod tests {
         assert!(delta.eval_micros >= 11);
         // Saturating difference never underflows.
         assert_eq!(before.since(&snapshot()).fit_micros, 0);
+    }
+
+    #[test]
+    fn phase_counters_live_in_the_global_registry() {
+        record_fit(Duration::from_micros(3));
+        let snap = Registry::global().snapshot();
+        let family = snap.find(PHASE_FAMILY).expect("phase family registered");
+        assert_eq!(family.metrics.len(), 3, "prep, fit, eval");
+        assert!(snap.counter_total(PHASE_FAMILY) >= 3);
     }
 }

@@ -264,6 +264,16 @@ fn summary_json(
                 ("batches", jsonio::big_u64_to_json(stats.pool_batches)),
             ]),
         ),
+        // Server-side histograms (the telemetry layer's wire form):
+        // per-kind duration/queue-wait percentiles, shed and
+        // deadline-miss counters, event-log cursors.
+        (
+            "telemetry",
+            stats
+                .telemetry
+                .as_ref()
+                .map_or(Json::Null, |telemetry| telemetry.to_json()),
+        ),
     ])
 }
 
@@ -508,6 +518,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shard.cache_misses,
             shard.cache_evictions,
             shard.busy_micros as f64 / 1000.0,
+        );
+    }
+    // Server-side per-kind latency histograms — the measured-inside
+    // complement of the client-side percentiles above. The bucketed
+    // percentiles must be internally ordered; a violation means the
+    // histogram itself regressed, so it fails the run.
+    if let Some(telemetry) = &stats.telemetry {
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+        for kind in telemetry.kinds.iter().filter(|k| k.count > 0) {
+            println!(
+                "  server latency [{}]: p50 {:.1} ms | p99 {:.1} ms | max {:.1} ms | queue-wait p99 {:.1} ms ({} served)",
+                kind.kind,
+                ms(kind.duration_p50_nanos),
+                ms(kind.duration_p99_nanos),
+                ms(kind.duration_max_nanos),
+                ms(kind.queue_wait_p99_nanos),
+                kind.count,
+            );
+            assert!(
+                kind.duration_p99_nanos >= kind.duration_p50_nanos
+                    && kind.duration_max_nanos >= kind.duration_p99_nanos,
+                "server-side duration percentiles out of order for `{}`: {kind:?}",
+                kind.kind,
+            );
+            assert!(
+                kind.queue_wait_p99_nanos >= kind.queue_wait_p50_nanos,
+                "server-side queue-wait percentiles out of order for `{}`: {kind:?}",
+                kind.kind,
+            );
+        }
+        println!(
+            "  events: {} logged ({} dropped) | shed {} | deadline missed {}",
+            telemetry.events_logged,
+            telemetry.events_dropped,
+            telemetry.shed,
+            telemetry.deadline_missed,
         );
     }
     // Where the server spent its training time (process-global

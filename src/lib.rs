@@ -11,6 +11,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`obs`] | the telemetry layer: lock-free histograms, span timers, event log, Prometheus exposition |
 //! | [`exec`] | the execution runtime: persistent work-stealing worker pool, write-once result slots |
 //! | [`linalg`] | vectors, statistics, curves, deterministic RNG |
 //! | [`data`] | datasets, CSV IO, splits, scalers, the synthetic Spambase generator |
@@ -56,6 +57,7 @@ pub use poisongame_exec as exec;
 pub use poisongame_gateway as gateway;
 pub use poisongame_linalg as linalg;
 pub use poisongame_ml as ml;
+pub use poisongame_obs as obs;
 pub use poisongame_online as online;
 pub use poisongame_serve as serve;
 pub use poisongame_sim as sim;
