@@ -158,6 +158,75 @@ wait "$GW_PID" || gateway_smoke_fail "gateway did not exit cleanly"
 wait "$SERVE_PID" || gateway_smoke_fail "serve did not exit cleanly"
 rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE" "$GW_JSON"
 
+# Ingestion smoke, part 1: the ingest example generates on-disk CSVs,
+# preps them whole-file and out-of-core, and asserts the two paths
+# produce bit-identical PreparedData (content_digest) — a divergence
+# aborts the example and fails the gate here.
+echo "==> cargo run --release --example ingest (whole vs chunked digest identity)"
+INGEST_DIR=$(mktemp -d)
+./target/release/examples/ingest --scales 1,4 --rows 600 --chunk-rows 64 \
+  --json "$INGEST_DIR/ingest.json" --emit "$INGEST_DIR/spam.csv"
+for key in digest_match io_counters rows_per_sec; do
+  if ! grep -q "\"$key\"" "$INGEST_DIR/ingest.json"; then
+    echo "ingest --json summary is missing \"$key\"" >&2
+    rm -rf "$INGEST_DIR"
+    exit 1
+  fi
+done
+
+# Ingestion smoke, part 2: a file-source scenario served end to end —
+# serve boots with --data-dir, the gateway fronts it, and load_test
+# drives the {"type":"file"} workload over HTTP (zero mismatched
+# responses asserted inside load_test). The /v1/metrics scrape then
+# proves the io_* telemetry counted the served ingestion.
+echo "==> file-source serve smoke (--data-dir through the gateway)"
+SERVE_PORT_FILE=$(mktemp) && rm -f "$SERVE_PORT_FILE"
+GW_PORT_FILE=$(mktemp) && rm -f "$GW_PORT_FILE"
+./target/release/examples/serve --addr 127.0.0.1:0 --data-dir "$INGEST_DIR" --port-file "$SERVE_PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SERVE_PORT_FILE" ]; then
+  echo "serve never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+./target/release/examples/gateway --addr 127.0.0.1:0 --backend "$(cat "$SERVE_PORT_FILE")" --port-file "$GW_PORT_FILE" &
+GW_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GW_PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$GW_PORT_FILE" ]; then
+  echo "gateway never published its port" >&2
+  kill "$GW_PID" "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+ingest_smoke_fail() {
+  echo "file-source smoke failed: $1" >&2
+  kill "$GW_PID" "$SERVE_PID" 2>/dev/null || true
+  wait "$GW_PID" "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$INGEST_DIR"
+  rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE"
+  exit 1
+}
+GW_ADDR=$(cat "$GW_PORT_FILE")
+./target/release/examples/load_test --addr "$GW_ADDR" --gateway --dataset spam.csv \
+  --connections 2 --requests 4 \
+  || ingest_smoke_fail "file-source workload through the gateway"
+curl -sf -o "$INGEST_DIR/metrics" "http://$GW_ADDR/v1/metrics" \
+  || ingest_smoke_fail "GET /v1/metrics"
+grep -Eq 'poisongame_io_rows_total [1-9]' "$INGEST_DIR/metrics" \
+  || ingest_smoke_fail "io_* telemetry counted no served ingestion"
+curl -sf -X POST -d '' "http://$GW_ADDR/v1/shutdown" >/dev/null \
+  || ingest_smoke_fail "POST /v1/shutdown"
+wait "$GW_PID" || ingest_smoke_fail "gateway did not exit cleanly"
+wait "$SERVE_PID" || ingest_smoke_fail "serve did not exit cleanly"
+rm -rf "$INGEST_DIR"
+rm -f "$SERVE_PORT_FILE" "$GW_PORT_FILE"
+
 # Online-play smoke: short-horizon repeated game on the discretized
 # paper game plus the empirical engine-backed mode. The example
 # asserts regret shrinks, the averaged value lands within 1e-2 of the
@@ -187,6 +256,12 @@ echo "==> cargo bench -p poisongame-bench --bench obs_overhead -- --test (smoke)
 cargo bench -p poisongame-bench --bench obs_overhead -- --test
 echo "==> cargo bench -p poisongame-bench --bench obs_overhead --features obs-noop -- --test (smoke)"
 cargo bench -p poisongame-bench --bench obs_overhead --features obs-noop -- --test
+
+# Ingestion bench in smoke mode, named explicitly: chunked scan /
+# strict parse throughput, plus whole-file vs out-of-core preparation
+# of on-disk file sources.
+echo "==> cargo bench -p poisongame-bench --bench ingest -- --test (smoke)"
+cargo bench -p poisongame-bench --bench ingest -- --test
 
 # Bench binaries in --test smoke mode (one sample per bench): keeps
 # every bench compiling AND running without paying for statistics.

@@ -96,6 +96,12 @@ impl Dataset {
         &self.features
     }
 
+    /// Mutable feature matrix — crate-internal so in-place transforms
+    /// (scaling) can't change the row/label pairing from outside.
+    pub(crate) fn features_mut(&mut self) -> &mut Matrix {
+        &mut self.features
+    }
+
     /// Borrow the labels.
     pub fn labels(&self) -> &[Label] {
         &self.labels

@@ -132,6 +132,35 @@ impl StandardScaler {
         })
     }
 
+    /// Apply to a dataset in place — the same per-element arithmetic
+    /// as [`StandardScaler::transform`] (bit-identical results)
+    /// without materializing a second copy, for out-of-core callers
+    /// that built the matrix row by row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LabelCountMismatch`] on width mismatch.
+    pub fn transform_in_place(&self, data: &mut Dataset) -> Result<(), DataError> {
+        if data.dim() != self.means.len() {
+            return Err(DataError::LabelCountMismatch {
+                rows: data.dim(),
+                labels: self.means.len(),
+            });
+        }
+        let rows = data.len();
+        let features = data.features_mut();
+        for r in 0..rows {
+            for (c, v) in features.row_mut(r).iter_mut().enumerate() {
+                *v = if self.stds[c] > 0.0 {
+                    (*v - self.means[c]) / self.stds[c]
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(())
+    }
+
     /// Convenience: fit + transform.
     ///
     /// # Errors
@@ -240,5 +269,24 @@ mod tests {
     fn labels_survive_scaling() {
         let (scaled, _) = StandardScaler::fit_transform(&toy()).unwrap();
         assert_eq!(scaled.labels(), toy().labels());
+    }
+
+    #[test]
+    fn in_place_transform_is_bit_identical_to_copying() {
+        let scaler = StandardScaler::fit(&toy()).unwrap();
+        let copied = scaler.transform(&toy()).unwrap();
+        let mut in_place = toy();
+        scaler.transform_in_place(&mut in_place).unwrap();
+        for (a, b) in copied
+            .features()
+            .as_slice()
+            .iter()
+            .zip(in_place.features().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let scaler_wide = StandardScaler::fit(&toy()).unwrap();
+        let mut wrong = Dataset::from_rows(vec![vec![1.0]], vec![Label::Negative]).unwrap();
+        assert!(scaler_wide.transform_in_place(&mut wrong).is_err());
     }
 }

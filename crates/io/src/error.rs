@@ -1,0 +1,184 @@
+//! Structured errors for the ingestion tier.
+//!
+//! Every malformed input the conformance suite exercises — ragged
+//! rows, non-finite values, quoting, oversized lines, truncated final
+//! records — maps to its *own* variant with a 1-based line number, so
+//! callers (and operators reading a serve error string) can tell a
+//! corrupt download from a schema mismatch without re-reading the
+//! file.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while scanning, parsing or validating a record
+/// source.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// The source contained no data rows (empty file, or comments and
+    /// blank lines only).
+    Empty,
+    /// A row had the wrong number of columns.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// Expected total field count (features + label).
+        expected: usize,
+        /// Fields actually found.
+        found: usize,
+    },
+    /// A feature field did not parse as a float.
+    BadFloat {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// The label field did not parse as a float.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// A feature parsed to NaN or ±infinity.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// The parsed value.
+        value: f64,
+    },
+    /// A field used CSV quoting, which the strict Spambase-layout
+    /// reader does not accept.
+    Quoted {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A physical line exceeded the configured byte cap — the
+    /// ingestion analogue of the serve tier's frame cap.
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+        /// Observed line length in bytes.
+        bytes: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The final data row was not newline-terminated — the signature
+    /// of a truncated download or an interrupted write.
+    UnterminatedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// `chunk_rows` was zero — a chunked reader that can never make
+    /// progress.
+    ZeroChunkRows,
+    /// `max_inflight_chunks` was zero — a pipeline that can never
+    /// admit a chunk.
+    ZeroInflightChunks,
+    /// The source's content hash did not match the expected checksum.
+    ChecksumMismatch {
+        /// Source description (usually the file path).
+        source: String,
+        /// The pinned checksum.
+        expected: u64,
+        /// The hash actually observed.
+        actual: u64,
+    },
+    /// The source changed between the counting pass and the parsing
+    /// pass of an out-of-core preparation.
+    SourceChanged {
+        /// Source description (usually the file path).
+        source: String,
+    },
+    /// The named format is not registered.
+    UnknownFormat {
+        /// The requested format name.
+        name: String,
+    },
+    /// An underlying I/O failure (flattened to its message so the
+    /// error stays `Clone + PartialEq` like the rest of the stack).
+    Read(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Empty => write!(f, "source contains no data rows"),
+            IngestError::BadArity {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: expected {expected} comma-separated fields, found {found}"
+            ),
+            IngestError::BadFloat { line, field } => {
+                write!(f, "line {line}: invalid float {field:?}")
+            }
+            IngestError::BadLabel { line, field } => {
+                write!(f, "line {line}: invalid label {field:?}")
+            }
+            IngestError::NonFinite { line, value } => {
+                write!(f, "line {line}: non-finite feature {value}")
+            }
+            IngestError::Quoted { line } => {
+                write!(f, "line {line}: quoted fields are not supported")
+            }
+            IngestError::LineTooLong { line, bytes, cap } => {
+                write!(f, "line {line}: {bytes} bytes exceeds the {cap}-byte cap")
+            }
+            IngestError::UnterminatedRow { line } => {
+                write!(
+                    f,
+                    "line {line}: final data row is not newline-terminated (truncated source?)"
+                )
+            }
+            IngestError::ZeroChunkRows => write!(f, "chunk_rows must be >= 1"),
+            IngestError::ZeroInflightChunks => write!(f, "max_inflight_chunks must be >= 1"),
+            IngestError::ChecksumMismatch {
+                source,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{source}: checksum mismatch (expected {expected}, found {actual})"
+            ),
+            IngestError::SourceChanged { source } => {
+                write!(f, "{source}: source changed while being read")
+            }
+            IngestError::UnknownFormat { name } => write!(f, "unknown source format `{name}`"),
+            IngestError::Read(message) => write!(f, "read failed: {message}"),
+        }
+    }
+}
+
+impl Error for IngestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line_numbers() {
+        let e = IngestError::BadArity {
+            line: 7,
+            expected: 58,
+            found: 3,
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("58"));
+        let e = IngestError::LineTooLong {
+            line: 2,
+            bytes: 4096,
+            cap: 1024,
+        };
+        assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IngestError>();
+    }
+}

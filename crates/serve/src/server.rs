@@ -110,6 +110,12 @@ pub struct ServerConfig {
     /// Telemetry never rides the response path, so this cannot change
     /// a response.
     pub slow_request_millis: u64,
+    /// Root of the file-source allow-list: `{"type":"file"}` data
+    /// sources may name only plain relative paths, resolved under
+    /// this directory. `None` (the default) rejects file sources
+    /// outright — remote callers get no filesystem reach unless the
+    /// operator opts in with `--data-dir`.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +131,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             poll_interval_micros: 500,
             slow_request_millis: 1000,
+            data_dir: None,
         }
     }
 }
@@ -169,6 +176,7 @@ pub(crate) struct Inner {
     pub queue_capacity: usize,
     pub max_line_bytes: usize,
     pub default_deadline_ms: Option<u64>,
+    pub data_dir: Option<std::path::PathBuf>,
     pub shutdown: AtomicBool,
     pub started: Instant,
     pub counters: Counters,
@@ -352,6 +360,7 @@ impl Server {
                 queue_capacity: config.queue_capacity,
                 max_line_bytes: config.max_line_bytes,
                 default_deadline_ms: config.default_deadline_ms,
+                data_dir: config.data_dir,
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
                 counters: Counters::default(),
@@ -421,7 +430,7 @@ impl ServerHandle {
 /// Parse one frame and either answer it inline (control plane) or
 /// admit it to its shard.
 pub(crate) fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
-    let request = match parse_request_line(line) {
+    let mut request = match parse_request_line(line) {
         Err(e) => {
             conn.send(&Response::err(e.id, e.code, e.message));
             return;
@@ -429,6 +438,17 @@ pub(crate) fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
         Ok(request) => request,
     };
     Counters::bump(&inner.counters.received);
+    // File data sources are allow-listed under `--data-dir` before the
+    // request is admitted anywhere (including prep-key routing, which
+    // must key on the *resolved* path).
+    if let Err(message) = resolve_file_sources(&mut request, inner.data_dir.as_deref()) {
+        conn.send(&Response::err(
+            Some(request.id),
+            ErrorCode::BadRequest,
+            message,
+        ));
+        return;
+    }
     match &request.kind {
         // Control-plane requests bypass the queues: they stay
         // responsive even when evaluation is saturated.
@@ -470,6 +490,46 @@ pub(crate) fn handle_line(inner: &Arc<Inner>, conn: &Arc<Conn>, line: &str) {
             });
         }
     }
+}
+
+/// Resolve a request's `{"type":"file"}` data source against the
+/// server's `--data-dir` allow-list, rewriting the path in place so
+/// everything downstream (prep-key routing, the cache, preparation)
+/// sees only the resolved form. Rejected outright when the server has
+/// no data dir; the path itself must be plain relative — no absolute
+/// paths, no `..`, no prefix components — so a remote caller can never
+/// name a file outside the root.
+fn resolve_file_sources(
+    request: &mut Request,
+    data_dir: Option<&std::path::Path>,
+) -> Result<(), String> {
+    use poisongame_sim::pipeline::DataSource;
+    use std::path::{Component, Path};
+    let config = match &mut request.kind {
+        RequestKind::Cell(req) => &mut req.config,
+        RequestKind::Matrix(req) => &mut req.config,
+        RequestKind::Estimate(req) => &mut req.config,
+        RequestKind::Online(req) => &mut req.config,
+        _ => return Ok(()),
+    };
+    let DataSource::File { path, .. } = &mut config.source else {
+        return Ok(());
+    };
+    let Some(root) = data_dir else {
+        return Err("file data sources require a server started with --data-dir".to_string());
+    };
+    let relative = Path::new(path.as_str());
+    if relative.as_os_str().is_empty()
+        || !relative
+            .components()
+            .all(|c| matches!(c, Component::Normal(_)))
+    {
+        return Err(format!(
+            "file path {path:?} must be a plain relative path under the data dir"
+        ));
+    }
+    *path = root.join(relative).display().to_string();
+    Ok(())
 }
 
 /// The dataset preparation a request depends on (`None` for `solve`

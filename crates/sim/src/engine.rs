@@ -96,6 +96,22 @@ impl PrepKey {
                 .f64(*offset)
                 .f64(*sigma),
             DataSource::CsvText { text } => h.str("csv_text").str(text),
+            // `chunk_rows` / `max_inflight_chunks` are execution
+            // knobs, not content: chunked and whole-file preparation
+            // are bit-identical (pinned by `tests/ingest.rs`), so they
+            // share a key — the same precedent as `fused_eval`.
+            DataSource::File {
+                path,
+                checksum,
+                format,
+                ..
+            } => {
+                let h = h.str("file").str(path).str(format);
+                match checksum {
+                    Some(c) => h.u64(1).u64(*c),
+                    None => h.u64(0),
+                }
+            }
         }
         .finish();
         Self {
@@ -141,6 +157,26 @@ fn source_bits_eq(a: &DataSource, b: &DataSource) -> bool {
             },
         ) => pa == pb && da == db && oa.to_bits() == ob.to_bits() && sa.to_bits() == sb.to_bits(),
         (DataSource::CsvText { text: ta }, DataSource::CsvText { text: tb }) => ta == tb,
+        (
+            DataSource::File {
+                path: pa,
+                checksum: ca,
+                format: fa,
+                ..
+            },
+            DataSource::File {
+                path: pb,
+                checksum: cb,
+                format: fb,
+                ..
+            },
+        ) => {
+            // Chunking knobs are excluded here exactly as they are
+            // from the hash above: they don't change the prepared
+            // bytes, so differently-chunked configs share the cache
+            // entry.
+            pa == pb && ca == cb && fa == fb
+        }
         _ => false,
     }
 }

@@ -27,6 +27,9 @@ pub enum SimError {
     /// A serialized scenario/config spec could not be understood
     /// (JSON syntax, unknown type tag, wrongly-typed field).
     Spec(String),
+    /// Streaming dataset ingestion failed (malformed CSV, checksum
+    /// mismatch, source changed mid-read).
+    Ingest(poisongame_io::IngestError),
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +44,7 @@ impl fmt::Display for SimError {
                 write!(f, "parameter `{what}` out of range: {value}")
             }
             SimError::Spec(message) => write!(f, "spec: {message}"),
+            SimError::Ingest(e) => write!(f, "ingest: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl Error for SimError {
             SimError::Attack(e) => Some(e),
             SimError::Defense(e) => Some(e),
             SimError::Core(e) => Some(e),
+            SimError::Ingest(e) => Some(e),
             SimError::BadParameter { .. } | SimError::Spec(_) => None,
         }
     }
@@ -85,6 +90,12 @@ impl From<poisongame_defense::DefenseError> for SimError {
 impl From<poisongame_core::CoreError> for SimError {
     fn from(e: poisongame_core::CoreError) -> Self {
         SimError::Core(e)
+    }
+}
+
+impl From<poisongame_io::IngestError> for SimError {
+    fn from(e: poisongame_io::IngestError) -> Self {
+        SimError::Ingest(e)
     }
 }
 

@@ -1,0 +1,221 @@
+//! Out-of-core file-source preparation.
+//!
+//! The [`crate::pipeline::DataSource::File`] arm of `prepare_data`
+//! lands here. Three outcomes:
+//!
+//! * **Absent file** → deterministic fallback to the synthetic
+//!   Spambase generator (CI stays green offline; the caller consumes
+//!   the *same* rng stream the `SyntheticSpambase` arm would).
+//! * **Whole-file mode** (`chunk_rows` unset) → stream the file once
+//!   through the strict reader into a `Dataset`, validate the
+//!   checksum, then hand back to the classic split/scale path.
+//! * **Chunked mode** (`chunk_rows` set) → two streaming passes. Pass
+//!   1 counts rows and pins the checksum; the split permutation is
+//!   then computed *up front* from the row count alone, so pass 2 can
+//!   scatter each parsed chunk directly into its final train/test
+//!   position and drop it. Peak extra memory is bounded by
+//!   `max_inflight_chunks × chunk_rows` raw rows — the backpressure
+//!   budget — while the destination matrices are exactly the
+//!   preparation's output, so a dataset ~100× the resident Spambase
+//!   size preps in bounded space.
+//!
+//! **Bit-identity.** Chunked mode reproduces whole-file preparation
+//! exactly: the same `shuffled_indices` draw from the same rng state
+//! decides the split, scattering row `idx[j]` to position `j`
+//! reproduces `Dataset::select`'s row order, and the in-place scaler
+//! applies the same per-element arithmetic as the copying transform.
+//! `tests/ingest.rs` pins this with `to_bits` comparisons.
+
+use crate::error::SimError;
+use crate::exec::{try_parallel_map, ExecPolicy};
+use crate::pipeline::PreparedData;
+use poisongame_data::scale::StandardScaler;
+use poisongame_data::{DataError, Dataset, Label};
+use poisongame_io::{
+    parse_chunk, read_dataset, FileSource, IngestError, IngestLimits, RecordSource,
+};
+use poisongame_linalg::rng::{shuffled_indices, Xoshiro256StarStar};
+use poisongame_linalg::Matrix;
+use std::io::BufReader;
+
+/// Default bound on chunks admitted to the parse fan-out at once —
+/// the out-of-core memory budget in units of `chunk_rows` raw rows.
+pub const DEFAULT_MAX_INFLIGHT_CHUNKS: usize = 4;
+
+/// What a file source resolved to.
+pub(crate) enum Loaded {
+    /// Chunked mode ran to completion — the preparation is already
+    /// split and scaled.
+    Prepared(PreparedData),
+    /// Whole-file mode — the caller splits and scales as usual.
+    Full(Dataset),
+    /// The file is absent — generate this many synthetic rows.
+    Fallback(usize),
+}
+
+/// Resolve a file source (see the module docs for the three
+/// outcomes). `rng` is consumed only by the chunked path's split
+/// draw, mirroring `train_test_split` exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn load_file(
+    path: &str,
+    checksum: Option<u64>,
+    format_name: &str,
+    chunk_rows: Option<usize>,
+    max_inflight_chunks: Option<usize>,
+    test_fraction: f64,
+    rng: &mut Xoshiro256StarStar,
+) -> Result<Loaded, SimError> {
+    if chunk_rows == Some(0) {
+        return Err(IngestError::ZeroChunkRows.into());
+    }
+    if max_inflight_chunks == Some(0) {
+        return Err(IngestError::ZeroInflightChunks.into());
+    }
+    let format = poisongame_io::lookup_format(format_name)?;
+    let source = FileSource::new(path, checksum, format);
+    let limits = IngestLimits::default();
+    let Some(per_chunk) = chunk_rows else {
+        // Whole-file mode: one streaming pass, checksum validated
+        // against what that pass actually read.
+        let Some(reader) = source.open()? else {
+            poisongame_io::telemetry::note_fallback(path);
+            return Ok(Loaded::Fallback(format.fallback_rows));
+        };
+        let (dataset, summary) =
+            read_dataset(BufReader::new(reader), format.feature_columns, &limits)?;
+        source.verify(summary.checksum)?;
+        return Ok(Loaded::Full(dataset));
+    };
+    // Chunked mode, pass 1: rows + checksum without materializing
+    // anything.
+    let Some(scan) = source.scan_verified(&limits)? else {
+        poisongame_io::telemetry::note_fallback(path);
+        return Ok(Loaded::Fallback(format.fallback_rows));
+    };
+    let n = scan.rows;
+    if n == 0 {
+        return Err(IngestError::Empty.into());
+    }
+    // Replicate `train_test_split`'s validation and permutation draw
+    // verbatim — same rejects, same rng consumption, same ordering.
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 || test_fraction.is_nan() {
+        return Err(DataError::BadFraction {
+            what: "test_fraction",
+            value: test_fraction,
+        }
+        .into());
+    }
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    if n_test == 0 || n_test == n {
+        return Err(DataError::DegenerateSplit.into());
+    }
+    let idx = shuffled_indices(n, rng);
+    // Invert the permutation into a scatter map: source row r lands at
+    // `dest[r]`. Test rows are `idx[..n_test]` in draw order, train
+    // rows `idx[n_test..]` — exactly the row order `select` produces.
+    #[derive(Clone, Copy)]
+    enum Dest {
+        Train(usize),
+        Test(usize),
+    }
+    let mut dest = vec![Dest::Train(usize::MAX); n];
+    for (j, &r) in idx[..n_test].iter().enumerate() {
+        dest[r] = Dest::Test(j);
+    }
+    for (j, &r) in idx[n_test..].iter().enumerate() {
+        dest[r] = Dest::Train(j);
+    }
+    let n_train = n - n_test;
+    let changed = || -> SimError {
+        IngestError::SourceChanged {
+            source: path.to_string(),
+        }
+        .into()
+    };
+    // Pass 2: re-open (the file vanishing now is corruption, not a
+    // fallback) and scatter bounded waves of parsed chunks into their
+    // final positions.
+    let Some(reader) = source.open()? else {
+        return Err(changed());
+    };
+    let mut chunks = poisongame_io::ChunkReader::new(BufReader::new(reader), per_chunk, limits)?;
+    let policy = ExecPolicy::default();
+    let inflight = max_inflight_chunks.unwrap_or(DEFAULT_MAX_INFLIGHT_CHUNKS);
+    let gauge = &poisongame_io::telemetry::metrics().inflight;
+    let mut cols = format.feature_columns;
+    let mut train_x: Option<Matrix> = None;
+    let mut test_x: Option<Matrix> = None;
+    let mut train_y = vec![Label::Negative; n_train];
+    let mut test_y = vec![Label::Negative; n_test];
+    loop {
+        let mut wave = Vec::with_capacity(inflight);
+        while wave.len() < inflight {
+            match chunks.next_chunk()? {
+                Some(chunk) => wave.push(chunk),
+                None => break,
+            }
+        }
+        if wave.is_empty() {
+            break;
+        }
+        gauge.set(wave.len() as i64);
+        // Parse fan-out through the shared worker pool; the lowest-
+        // indexed error wins, as everywhere else in the harness.
+        let parsed = try_parallel_map(&policy, &wave, |_, chunk| parse_chunk(chunk, cols));
+        gauge.set(0);
+        let parsed = parsed?;
+        for chunk in &parsed {
+            let width = match cols {
+                Some(c) => c,
+                None => {
+                    cols = Some(chunk.cols);
+                    chunk.cols
+                }
+            };
+            let (train_x, test_x) = (
+                train_x.get_or_insert_with(|| Matrix::zeros(n_train, width)),
+                test_x.get_or_insert_with(|| Matrix::zeros(n_test, width)),
+            );
+            for (i, row) in chunk.features.chunks_exact(width).enumerate() {
+                let g = chunk.first_row + i;
+                if g >= n {
+                    // The file grew between passes.
+                    return Err(changed());
+                }
+                match dest[g] {
+                    Dest::Train(p) => {
+                        train_x.row_mut(p).copy_from_slice(row);
+                        train_y[p] = chunk.labels[i];
+                    }
+                    Dest::Test(p) => {
+                        test_x.row_mut(p).copy_from_slice(row);
+                        test_y[p] = chunk.labels[i];
+                    }
+                }
+            }
+        }
+    }
+    // The source must be byte-identical across the two passes — a
+    // shrunk, grown or rewritten file would scatter rows of one
+    // version through a split planned for another.
+    let replay = chunks.summary();
+    if replay.rows != n || replay.checksum != scan.checksum {
+        return Err(changed());
+    }
+    let (Some(train_x), Some(test_x)) = (train_x, test_x) else {
+        return Err(changed());
+    };
+    let mut train = Dataset::new(train_x, train_y)?;
+    let mut test = Dataset::new(test_x, test_y)?;
+    // Same fit as the whole-file path (identical rows in identical
+    // order), applied in place with identical per-element arithmetic.
+    let scaler = StandardScaler::fit(&train)?;
+    scaler.transform_in_place(&mut train)?;
+    scaler.transform_in_place(&mut test)?;
+    Ok(Loaded::Prepared(PreparedData {
+        train,
+        test,
+        scaler,
+    }))
+}

@@ -80,6 +80,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod fig1;
+pub mod ingest;
 pub mod jsonio;
 pub mod monte_carlo;
 pub mod pipeline;

@@ -48,6 +48,29 @@ pub enum DataSource {
         /// The file contents.
         text: String,
     },
+    /// A checksummed CSV file on disk, streamed through
+    /// `poisongame-io`. An *absent* file falls back deterministically
+    /// to the synthetic generator (CI stays green offline); a present
+    /// file is validated against `checksum` and prepped either whole
+    /// or out-of-core (`chunk_rows` set), with bit-identical results
+    /// either way.
+    File {
+        /// Path to the CSV (under the server's `--data-dir` when the
+        /// spec arrives over the wire).
+        path: String,
+        /// Pinned FNV-1a hash of the file's raw bytes
+        /// (`poisongame_io::checksum_bytes`); `None` skips validation.
+        checksum: Option<u64>,
+        /// Registered format name (`"spambase"`, `"csv"`).
+        format: String,
+        /// Rows per chunk for out-of-core preparation; `None` reads
+        /// the whole file into memory first.
+        chunk_rows: Option<usize>,
+        /// Bound on chunks in the parse fan-out at once — the
+        /// out-of-core memory budget in units of `chunk_rows` rows
+        /// (default [`crate::ingest::DEFAULT_MAX_INFLIGHT_CHUNKS`]).
+        max_inflight_chunks: Option<usize>,
+    },
 }
 
 impl Default for DataSource {
@@ -298,6 +321,31 @@ fn source_to_json(source: &DataSource) -> Json {
             ("type", Json::str("csv_text")),
             ("text", Json::str(text)),
         ]),
+        DataSource::File {
+            path,
+            checksum,
+            format,
+            chunk_rows,
+            max_inflight_chunks,
+        } => {
+            let mut fields = vec![
+                ("type", Json::str("file")),
+                ("path", Json::str(path)),
+                ("format", Json::str(format)),
+            ];
+            if let Some(c) = checksum {
+                // Checksums are full u64 hashes, so they take the
+                // same beyond-2^53 string escape hatch as seeds.
+                fields.push(("checksum", jsonio::big_u64_to_json(*c)));
+            }
+            if let Some(rows) = chunk_rows {
+                fields.push(("chunk_rows", Json::Num(*rows as f64)));
+            }
+            if let Some(bound) = max_inflight_chunks {
+                fields.push(("max_inflight_chunks", Json::Num(*bound as f64)));
+            }
+            Json::obj(fields)
+        }
     }
 }
 
@@ -306,6 +354,14 @@ fn source_from_json(value: &Json) -> Result<DataSource, SimError> {
     let allowed: &[&str] = match kind {
         "synthetic_spambase" => &["type", "rows"],
         "blobs" => &["type", "per_class", "dim", "offset", "sigma"],
+        "file" => &[
+            "type",
+            "path",
+            "checksum",
+            "format",
+            "chunk_rows",
+            "max_inflight_chunks",
+        ],
         _ => &["type", "text"],
     };
     jsonio::check_keys(value, "source", allowed)?;
@@ -343,6 +399,58 @@ fn source_from_json(value: &Json) -> Result<DataSource, SimError> {
                 .ok_or_else(|| SimError::Spec("csv_text source needs string `text`".into()))?
                 .to_string(),
         }),
+        "file" => {
+            let path = value
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| SimError::Spec("file source needs string `path`".into()))?
+                .to_string();
+            let checksum = value
+                .get("checksum")
+                .map(|v| jsonio::big_u64(v, "checksum"))
+                .transpose()?;
+            let format = value
+                .get("format")
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        SimError::Spec("file source `format` must be a string".into())
+                    })
+                })
+                .transpose()?
+                .unwrap_or_else(|| "spambase".to_string());
+            // Fail unknown formats and degenerate knobs at parse time,
+            // before a request is admitted anywhere.
+            poisongame_io::lookup_format(&format).map_err(|e| SimError::Spec(e.to_string()))?;
+            let opt_uint = |key: &str| -> Result<Option<usize>, SimError> {
+                value
+                    .get(key)
+                    .map(|v| {
+                        v.as_u64()
+                            .map(|n| n as usize)
+                            .ok_or_else(|| SimError::Spec(format!("source needs integer `{key}`")))
+                    })
+                    .transpose()
+            };
+            let chunk_rows = opt_uint("chunk_rows")?;
+            if chunk_rows == Some(0) {
+                return Err(SimError::Spec(
+                    "file source `chunk_rows` must be >= 1".into(),
+                ));
+            }
+            let max_inflight_chunks = opt_uint("max_inflight_chunks")?;
+            if max_inflight_chunks == Some(0) {
+                return Err(SimError::Spec(
+                    "file source `max_inflight_chunks` must be >= 1".into(),
+                ));
+            }
+            Ok(DataSource::File {
+                path,
+                checksum,
+                format,
+                chunk_rows,
+                max_inflight_chunks,
+            })
+        }
         other => Err(SimError::Spec(format!("unknown source type `{other}`"))),
     }
 }
@@ -471,6 +579,26 @@ pub struct PreparedData {
     pub scaler: StandardScaler,
 }
 
+impl PreparedData {
+    /// FNV-1a digest of both splits — every feature bit and label, in
+    /// row order. Two preparations are byte-identical iff their
+    /// digests match (up to hash collision), which is how the ingest
+    /// smoke pins chunked ≡ whole-file without holding both in memory.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = poisongame_data::ContentHash::new();
+        for split in [&self.train, &self.test] {
+            h = h.u64(split.len() as u64).u64(split.dim() as u64);
+            for v in split.features().as_slice() {
+                h = h.f64(*v);
+            }
+            for label in split.labels() {
+                h = h.u64(u64::from(*label == poisongame_data::Label::Positive));
+            }
+        }
+        h.finish()
+    }
+}
+
 /// A prepared experiment: the shared immutable data plus the
 /// config-dependent poison budget.
 ///
@@ -549,6 +677,38 @@ pub fn prepare_data(
             sigma,
         } => gaussian_blobs(*per_class, *dim, *offset, *sigma, &mut rng),
         DataSource::CsvText { text } => poisongame_data::csv::parse_csv(text)?,
+        DataSource::File {
+            path,
+            checksum,
+            format,
+            chunk_rows,
+            max_inflight_chunks,
+        } => match crate::ingest::load_file(
+            path,
+            *checksum,
+            format,
+            *chunk_rows,
+            *max_inflight_chunks,
+            test_fraction,
+            &mut rng,
+        )? {
+            // Chunked mode already split and scaled (bit-identically;
+            // see `crate::ingest`).
+            crate::ingest::Loaded::Prepared(prepared) => {
+                crate::timing::record_prep(started.elapsed());
+                return Ok(prepared);
+            }
+            crate::ingest::Loaded::Full(dataset) => dataset,
+            // Absent file: generate exactly what the
+            // `SyntheticSpambase` arm would, from the same rng state.
+            crate::ingest::Loaded::Fallback(rows) => spambase_like(
+                &SpambaseConfig {
+                    rows,
+                    ..SpambaseConfig::default()
+                },
+                &mut rng,
+            ),
+        },
     };
     let (train_raw, test_raw) = train_test_split(&full, test_fraction, &mut rng)?;
     // Z-scoring (not min-max): it stabilizes SGD while *preserving* the

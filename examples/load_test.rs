@@ -27,7 +27,12 @@
 //! (shard count for the in-process server), `--shutdown` (drain the
 //! server at the end; implied in-process), `--json PATH` (write the
 //! machine-readable summary — the seed of the `BENCH_*.json` perf
-//! trajectory).
+//! trajectory), `--dataset REL` (drive the `cell`/`estimate` slots
+//! through a `{"type":"file"}` source naming `REL` — a path relative
+//! to the server's data dir; absent files fall back to the synthetic
+//! generator so the run stays offline-green), `--data-dir DIR` (data
+//! root for the in-process server; defaults to `.` when `--dataset`
+//! is set).
 
 use poisongame::gateway::client::HttpClient;
 use poisongame::gateway::server::{Gateway, GatewayConfig};
@@ -46,10 +51,23 @@ use std::time::{Duration, Instant};
 /// only on `i % CYCLE` (4 kinds × 5 seeds).
 const CYCLE: usize = 20;
 
-fn quick_config(seed: u64) -> ExperimentConfig {
+fn quick_config(seed: u64, dataset: Option<&str>) -> ExperimentConfig {
+    let source = match dataset {
+        // File-source workload: the server resolves `path` under its
+        // data dir; an absent file falls back to the synthetic
+        // generator, so the cycle stays deterministic either way.
+        Some(path) => DataSource::File {
+            path: path.to_string(),
+            checksum: None,
+            format: "spambase".to_string(),
+            chunk_rows: Some(256),
+            max_inflight_chunks: None,
+        },
+        None => DataSource::SyntheticSpambase { rows: 300 },
+    };
     ExperimentConfig {
         seed,
-        source: DataSource::SyntheticSpambase { rows: 300 },
+        source,
         epochs: 20,
         ..ExperimentConfig::paper()
     }
@@ -58,11 +76,11 @@ fn quick_config(seed: u64) -> ExperimentConfig {
 /// The deterministic mixed workload: request `i` is the same on every
 /// connection. Seeds cycle over a handful of values so the shared
 /// preparation cache sees both misses and hits.
-fn request_for(i: usize) -> RequestKind {
+fn request_for(i: usize, dataset: Option<&str>) -> RequestKind {
     let seed = 100 + (i as u64 % 5);
     match i % 4 {
         0 => RequestKind::Cell(CellRequest {
-            config: quick_config(seed),
+            config: quick_config(seed, dataset),
             ..CellRequest::default()
         }),
         1 => RequestKind::Solve(SolveRequest {
@@ -73,12 +91,12 @@ fn request_for(i: usize) -> RequestKind {
             ..SolveRequest::default()
         }),
         2 => RequestKind::Estimate(EstimateRequest {
-            config: quick_config(seed),
+            config: quick_config(seed, dataset),
             placements: vec![0.05, 0.2],
             strengths: vec![0.0, 0.2],
         }),
         _ => RequestKind::Cell(CellRequest {
-            config: quick_config(seed),
+            config: quick_config(seed, dataset),
             scenario: Scenario::builder()
                 .defense(DefenseSpec::Knn { k: 5 })
                 .learner(LearnerSpec::LogReg)
@@ -97,10 +115,10 @@ struct Slot {
     body: String,
 }
 
-fn build_slots() -> Vec<Slot> {
+fn build_slots(dataset: Option<&str>) -> Vec<Slot> {
     (0..CYCLE)
         .map(|i| {
-            let kind = request_for(i);
+            let kind = request_for(i, dataset);
             let route = format!("/v1/{}", kind.type_name());
             let doc = Request {
                 id: 0,
@@ -199,6 +217,10 @@ fn summary_json(
             "transport",
             Json::str(if args.gateway { "http" } else { "ndjson" }),
         ),
+        (
+            "dataset",
+            args.dataset.as_deref().map_or(Json::Null, Json::str),
+        ),
         ("connections", Json::Num(args.connections as f64)),
         (
             "requests_per_connection",
@@ -286,6 +308,8 @@ struct Args {
     shards: usize,
     shutdown: bool,
     json: Option<String>,
+    dataset: Option<String>,
+    data_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -298,6 +322,8 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         shutdown: false,
         json: None,
+        dataset: None,
+        data_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -329,6 +355,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--shutdown" => out.shutdown = true,
             "--json" => out.json = Some(value("--json")?),
+            "--dataset" => out.dataset = Some(value("--dataset")?),
+            "--data-dir" => out.data_dir = Some(value("--data-dir")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -354,8 +382,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = match &args.addr {
         Some(addr) => addr.clone(),
         None => {
+            // With a file-source workload the in-process server needs
+            // a data root; default it to the working directory.
+            let data_dir = args
+                .data_dir
+                .clone()
+                .or_else(|| args.dataset.as_ref().map(|_| ".".to_string()))
+                .map(std::path::PathBuf::from);
             let server = Server::bind(ServerConfig {
                 shards: args.shards,
+                data_dir,
                 ..ServerConfig::default()
             })?;
             let backend = server.local_addr()?.to_string();
@@ -394,7 +430,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if args.gateway { "HTTP" } else { "NDJSON" },
         ),
     }
-    let slots = Arc::new(build_slots());
+    let slots = Arc::new(build_slots(args.dataset.as_deref()));
     let started = Instant::now();
     let stop_at = args
         .duration_secs

@@ -22,6 +22,9 @@
 //! * `--cache N` — per-shard preparation-cache bound (`0` = cache
 //!   nothing, `unbounded` = no bound, like the batch engine).
 //! * `--deadline-ms N` — implicit deadline for requests carrying none.
+//! * `--data-dir PATH` — allow `{"type":"file"}` data sources, with
+//!   their (plain relative) paths resolved under `PATH`. Without this
+//!   flag file sources are rejected with `bad_request`.
 //!
 //! The process exits cleanly after a client sends `shutdown`: the
 //! backlog is drained, every in-flight response delivered, and the
@@ -73,6 +76,7 @@ fn parse_args() -> Result<(ServerConfig, Option<String>), String> {
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 )
             }
+            "--data-dir" => config.data_dir = Some(value("--data-dir")?.into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }

@@ -15,6 +15,7 @@
 //! | [`exec`] | the execution runtime: persistent work-stealing worker pool, write-once result slots |
 //! | [`linalg`] | vectors, statistics, curves, deterministic RNG |
 //! | [`data`] | datasets, CSV IO, splits, scalers, the synthetic Spambase generator |
+//! | [`io`] | streaming ingestion: chunked CSV reader, checksummed file sources, out-of-core preparation support |
 //! | [`ml`] | linear SVM (the paper's victim model), logistic regression, perceptron, metrics |
 //! | [`theory`] | finite zero-sum games: simplex LP, fictitious play, multiplicative weights |
 //! | [`attack`] | boundary / mixed-radius / label-flip / noise poisoning attacks |
@@ -55,6 +56,7 @@ pub use poisongame_data as data;
 pub use poisongame_defense as defense;
 pub use poisongame_exec as exec;
 pub use poisongame_gateway as gateway;
+pub use poisongame_io as io;
 pub use poisongame_linalg as linalg;
 pub use poisongame_ml as ml;
 pub use poisongame_obs as obs;
