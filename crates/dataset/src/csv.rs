@@ -12,7 +12,8 @@ use crate::label::Label;
 /// Parse Spambase-format CSV text into a dataset.
 ///
 /// Blank lines and lines starting with `#` are skipped. The label is
-/// the final column; any non-zero value is treated as positive.
+/// the final column; any finite non-zero value is treated as positive
+/// (non-finite labels are rejected, like non-finite features).
 ///
 /// # Errors
 ///
@@ -76,6 +77,15 @@ pub fn parse_csv(text: &str) -> Result<Dataset, DataError> {
             line: lineno + 1,
             message: format!("invalid label {label_field:?}"),
         })?;
+        if !label_value.is_finite() {
+            // A literal `nan`/`inf` parses as a float but names no
+            // 0/1 class — reject it with the same strictness the
+            // feature columns get.
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                message: format!("non-finite label {label_value}"),
+            });
+        }
         labels.push(if label_value != 0.0 {
             Label::Positive
         } else {
@@ -187,6 +197,20 @@ mod tests {
     fn nonzero_label_is_positive() {
         let d = parse_csv("1,2,0.5\n").unwrap();
         assert_eq!(d.label(0), Label::Positive);
+    }
+
+    #[test]
+    fn non_finite_label_is_rejected() {
+        for bad in ["nan", "NaN", "inf", "-inf"] {
+            let text = format!("1,2,{bad}\n");
+            assert!(
+                matches!(
+                    parse_csv(&text).unwrap_err(),
+                    DataError::Parse { line: 1, .. }
+                ),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

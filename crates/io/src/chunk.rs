@@ -172,6 +172,42 @@ impl<R: BufRead> ChunkReader<R> {
         Ok(self.advance(false)?.map(|chunk| chunk.rows()))
     }
 
+    /// Read one physical line (through its `\n`) into `buf`, buffering
+    /// at most `max_line_bytes + 3` bytes — content, CRLF framing, and
+    /// one byte proving the cap is exceeded. An over-cap line stops
+    /// being read mid-stream, so a corrupt newline-less source can
+    /// never make the reader materialize it; the caller's cap check
+    /// fires on the truncated buffer (which lacks a `\n` and is
+    /// already longer than the cap). Returns bytes consumed, 0 at EOF.
+    fn read_line_bounded(&mut self, buf: &mut Vec<u8>) -> Result<usize, IngestError> {
+        // Cap plus CRLF: a line whose *content* is exactly at the cap
+        // still fits with its framing and must not trip the bound.
+        let stop = self.limits.max_line_bytes.saturating_add(2);
+        let mut total = 0usize;
+        loop {
+            let available = self
+                .reader
+                .fill_buf()
+                .map_err(|e| IngestError::Read(e.to_string()))?;
+            if available.is_empty() {
+                return Ok(total);
+            }
+            if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+                buf.extend_from_slice(&available[..=pos]);
+                self.reader.consume(pos + 1);
+                return Ok(total + pos + 1);
+            }
+            let room = stop.saturating_add(1).saturating_sub(buf.len());
+            let take = available.len().min(room);
+            buf.extend_from_slice(&available[..take]);
+            self.reader.consume(take);
+            total += take;
+            if buf.len() > stop {
+                return Ok(total);
+            }
+        }
+    }
+
     fn advance(&mut self, collect: bool) -> Result<Option<RawChunk>, IngestError> {
         if self.done {
             self.flush_bytes();
@@ -182,13 +218,10 @@ impl<R: BufRead> ChunkReader<R> {
             line_numbers: Vec::new(),
             first_row: self.row,
         };
-        let mut buf = String::new();
+        let mut buf: Vec<u8> = Vec::new();
         while chunk.rows() < self.chunk_rows {
             buf.clear();
-            let n = self
-                .reader
-                .read_line(&mut buf)
-                .map_err(|e| IngestError::Read(e.to_string()))?;
+            let n = self.read_line_bounded(&mut buf)?;
             if n == 0 {
                 self.done = true;
                 break;
@@ -196,13 +229,15 @@ impl<R: BufRead> ChunkReader<R> {
             self.line += 1;
             self.bytes += n as u64;
             self.unreported_bytes += n as u64;
-            self.hash = self.hash.bytes(buf.as_bytes());
-            let (content, terminated) = match buf.strip_suffix('\n') {
+            self.hash = self.hash.bytes(&buf);
+            let (content, terminated) = match buf.split_last() {
                 // CRLF sources are accepted: the carriage return is
                 // line framing, not row content (it still counts
                 // toward the checksum, which covers raw bytes).
-                Some(stripped) => (stripped.strip_suffix('\r').unwrap_or(stripped), true),
-                None => (buf.as_str(), false),
+                Some((&b'\n', stripped)) => {
+                    (stripped.strip_suffix(b"\r").unwrap_or(stripped), true)
+                }
+                _ => (buf.as_slice(), false),
             };
             if content.len() > self.limits.max_line_bytes {
                 self.done = true;
@@ -212,6 +247,11 @@ impl<R: BufRead> ChunkReader<R> {
                     cap: self.limits.max_line_bytes,
                 });
             }
+            // The cap check runs on raw bytes first: a bounded read may
+            // stop mid-UTF-8-sequence on an over-cap line, and that
+            // must report LineTooLong, not a spurious encoding error.
+            let content = std::str::from_utf8(content)
+                .map_err(|_| IngestError::Read("stream did not contain valid UTF-8".to_string()))?;
             let trimmed = content.trim();
             let is_data = !(trimmed.is_empty() || trimmed.starts_with('#'));
             if !terminated {
@@ -354,9 +394,12 @@ pub fn parse_chunk(
             }
         };
         // Pop the label slot off the feature block and validate both
-        // sides with their own error variants.
+        // sides with their own error variants. Non-finite covers both
+        // garbage text (parsed to NaN above) and literal `nan`/`inf`
+        // labels — neither names a 0/1 class, so the label column is
+        // exactly as strict as the feature columns.
         let label_value = features.pop().expect("label slot pushed above");
-        if label_value.is_nan() && label_field.parse::<f64>().is_err() {
+        if !label_value.is_finite() {
             return Err(IngestError::BadLabel {
                 line,
                 field: label_field.to_string(),

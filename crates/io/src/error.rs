@@ -59,7 +59,8 @@ pub enum IngestError {
     LineTooLong {
         /// 1-based line number.
         line: usize,
-        /// Observed line length in bytes.
+        /// Observed line length in bytes. Reading stops just past the
+        /// cap, so this is a lower bound for lines far over it.
         bytes: usize,
         /// The configured cap.
         cap: usize,

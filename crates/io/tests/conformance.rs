@@ -81,6 +81,15 @@ fn nan_and_inf_features_are_rejected() {
         read_all("1,2,spam\n").unwrap_err(),
         IngestError::BadLabel { line: 1, .. }
     ));
+    // A literal non-finite label parses as a float but names no 0/1
+    // class — rejected with the same strictness as the features.
+    for bad in ["nan", "NaN", "inf", "-inf"] {
+        let text = format!("1,2,{bad}\n");
+        match read_all(&text).unwrap_err() {
+            IngestError::BadLabel { line: 1, .. } => {}
+            other => panic!("{bad}: expected BadLabel, got {other:?}"),
+        }
+    }
 }
 
 #[test]
@@ -138,6 +147,33 @@ fn oversized_lines_are_rejected_up_front() {
         scan(long.as_bytes(), &limits).unwrap_err(),
         IngestError::LineTooLong { .. }
     ));
+}
+
+/// An unbounded newline-less byte stream — the pathological source the
+/// line cap exists for.
+struct Endless;
+
+impl std::io::Read for Endless {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        buf.fill(b'1');
+        Ok(buf.len())
+    }
+}
+
+#[test]
+fn oversized_line_is_rejected_without_buffering_it() {
+    // The reader must give up within a few bytes of the cap, not
+    // materialize the line first — against this endless source an
+    // unbounded read would never return at all.
+    let limits = IngestLimits { max_line_bytes: 64 };
+    match scan(std::io::BufReader::new(Endless), &limits).unwrap_err() {
+        IngestError::LineTooLong {
+            line: 1,
+            bytes,
+            cap: 64,
+        } => assert!(bytes > 64 && bytes <= 64 + 3, "buffered {bytes} bytes"),
+        other => panic!("expected LineTooLong, got {other:?}"),
+    }
 }
 
 #[test]

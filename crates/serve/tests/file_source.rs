@@ -115,6 +115,45 @@ fn absent_file_is_served_via_fallback() {
 }
 
 #[test]
+fn ragged_served_file_is_an_error_not_a_crash() {
+    let (dir, _) = data_dir_with_csv("ragged");
+    // Feature arity flips exactly at a chunk boundary, so with the
+    // width-inferring `csv` format every chunk in the parse wave is
+    // internally consistent and only the cross-chunk width check can
+    // catch it. Before that check, the wider chunk panicked the
+    // scatter loop — and worker-pool panics propagate, so one request
+    // over a ragged data-dir file could take down the shard.
+    std::fs::write(dir.join("ragged.csv"), "1,2,1\n3,4,0\n1,2,3,1\n4,5,6,0\n").unwrap();
+    let (addr, handle) = spawn_server(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let mut request = file_cell("ragged.csv", None, Some(2));
+    request.config.source = DataSource::File {
+        path: "ragged.csv".to_string(),
+        checksum: None,
+        format: "csv".to_string(),
+        chunk_rows: Some(2),
+        max_inflight_chunks: Some(4),
+    };
+    match client.cell(&request).unwrap_err() {
+        ServeError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::EvalFailed);
+            assert!(message.contains("line 3"), "{message}");
+        }
+        other => panic!("expected structured arity error, got {other:?}"),
+    }
+    // The shard survived: a good request on the same connection works.
+    client
+        .cell(&file_cell("spam.csv", None, Some(64)))
+        .expect("good request after ragged file");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn allow_list_rejects_escapes_and_undeclared_data_dir() {
     // No data dir: file sources are rejected outright.
     let (addr, handle) = spawn_server(ServerConfig::default());

@@ -100,6 +100,13 @@ impl PrepKey {
             // knobs, not content: chunked and whole-file preparation
             // are bit-identical (pinned by `tests/ingest.rs`), so they
             // share a key — the same precedent as `fused_eval`.
+            //
+            // Caveat: with `checksum: None` the key sees only
+            // (path, format) — the cache cannot observe the file's
+            // bytes, so a file rewritten in place keeps serving the
+            // stale cached preparation for that path until the engine
+            // is rebuilt. Pin a checksum for any long-lived engine or
+            // server (the README's checksum rule).
             DataSource::File {
                 path,
                 checksum,

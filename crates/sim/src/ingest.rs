@@ -165,7 +165,7 @@ pub(crate) fn load_file(
         let parsed = try_parallel_map(&policy, &wave, |_, chunk| parse_chunk(chunk, cols));
         gauge.set(0);
         let parsed = parsed?;
-        for chunk in &parsed {
+        for (raw, chunk) in wave.iter().zip(&parsed) {
             let width = match cols {
                 Some(c) => c,
                 None => {
@@ -173,6 +173,20 @@ pub(crate) fn load_file(
                     chunk.cols
                 }
             };
+            // Width-inferring formats parse a wave's chunks
+            // concurrently, each pinning its own width from its first
+            // row — so a ragged file whose arity changes exactly at a
+            // chunk boundary yields internally-consistent chunks that
+            // disagree with each other. Corrupt input is an error,
+            // never a silent misalignment.
+            if chunk.cols != width {
+                return Err(IngestError::BadArity {
+                    line: raw.line_numbers[0],
+                    expected: width + 1,
+                    found: chunk.cols + 1,
+                }
+                .into());
+            }
             let (train_x, test_x) = (
                 train_x.get_or_insert_with(|| Matrix::zeros(n_train, width)),
                 test_x.get_or_insert_with(|| Matrix::zeros(n_test, width)),

@@ -150,6 +150,42 @@ fn corrupt_rows_are_structured_errors() {
 }
 
 #[test]
+fn ragged_arity_change_at_chunk_boundary_is_bad_arity() {
+    // Width flips exactly at a chunk boundary, so with the
+    // width-inferring `csv` format every chunk in the parse wave is
+    // internally consistent — only the cross-chunk width check can
+    // catch the raggedness. Both directions must be a structured
+    // error: a wider second chunk must not panic the scatter loop, a
+    // narrower one must not scatter misaligned rows silently.
+    let dir = temp_dir("ragged");
+    let path = dir.join("ragged.csv");
+    for (text, expected, found) in [
+        ("1,2,1\n3,4,0\n1,2,3,1\n4,5,6,0\n", 3, 4),
+        ("1,2,3,1\n4,5,6,0\n1,2,1\n3,4,0\n", 4, 3),
+    ] {
+        std::fs::write(&path, text).unwrap();
+        let source = DataSource::File {
+            path: path.display().to_string(),
+            checksum: None,
+            format: "csv".to_string(),
+            chunk_rows: Some(2),
+            max_inflight_chunks: Some(4),
+        };
+        match prepare_data(&source, 3, 0.3) {
+            Err(SimError::Ingest(poisongame_io::IngestError::BadArity {
+                line: 3,
+                expected: e,
+                found: f,
+            })) => {
+                assert_eq!((e, f), (expected, found), "{text:?}");
+            }
+            other => panic!("{text:?}: expected BadArity at line 3, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn degenerate_knobs_are_rejected() {
     let (path, _) = write_dataset("knobs", 40);
     assert!(matches!(
